@@ -1,0 +1,116 @@
+//! Substrate microbenchmarks: the raw cost of the parallel constructs
+//! candidates are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcg_gpusim::{cuda, GpuBuffer, Launch};
+use pcg_mpisim::{CostModel, ReduceOp, World};
+use pcg_patterns::{ExecSpace, View};
+use pcg_shmem::{Barrier, Pool};
+use std::hint::black_box;
+
+fn bench_shmem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shmem");
+    g.sample_size(20);
+    let pool = Pool::new(4);
+    g.bench_function("region_fork_join", |b| {
+        b.iter(|| pool.parallel(|_| black_box(())))
+    });
+    let xs: Vec<f64> = (0..1 << 14).map(|i| i as f64).collect();
+    g.bench_function("parallel_for_reduce_16k", |b| {
+        b.iter(|| {
+            black_box(pool.parallel_for_reduce(0..xs.len(), 0.0, |a, i| a + xs[i], |a, b| a + b))
+        })
+    });
+    g.bench_function("barrier_100_phases", |b| {
+        let barrier = Barrier::new(4);
+        b.iter(|| {
+            pool.parallel(|_| {
+                for _ in 0..100 {
+                    barrier.wait();
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patterns");
+    g.sample_size(20);
+    let space = ExecSpace::new(4);
+    let x: View<f64> = View::from_slice("x", &(0..1 << 14).map(|i| i as f64).collect::<Vec<_>>());
+    g.bench_function("parallel_reduce_16k", |b| {
+        b.iter(|| black_box(space.parallel_reduce(x.len(), 0.0, |i| x.get(i), |a, b| a + b)))
+    });
+    g.bench_function("parallel_scan_16k", |b| {
+        let out: View<f64> = View::new("out", x.len());
+        b.iter(|| {
+            let o = out.clone();
+            black_box(space.parallel_scan(
+                x.len(),
+                0.0,
+                |i| x.get(i),
+                |a, b| a + b,
+                move |i, v| unsafe { o.set(i, v) },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mpisim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim");
+    g.sample_size(10);
+    for ranks in [8usize, 32] {
+        g.bench_function(format!("world_allreduce_{ranks}r"), |b| {
+            let world = World::new(ranks).with_cost_model(CostModel::deterministic());
+            b.iter(|| {
+                black_box(
+                    world
+                        .run(|comm| comm.allreduce_one(comm.rank() as f64, ReduceOp::Sum))
+                        .unwrap()
+                        .elapsed,
+                )
+            })
+        });
+    }
+    g.bench_function("world_spawn_teardown_64r", |b| {
+        let world = World::new(64).with_cost_model(CostModel::deterministic());
+        b.iter(|| black_box(world.run(|comm| comm.rank()).unwrap().per_rank.len()))
+    });
+    g.finish();
+}
+
+fn bench_gpusim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpusim");
+    g.sample_size(10);
+    let gpu = cuda::device();
+    let n = 1 << 16;
+    let x = GpuBuffer::from_slice(&(0..n).map(|i| i as f64).collect::<Vec<_>>());
+    let y = GpuBuffer::<f64>::zeroed(n);
+    g.bench_function("map_kernel_64k_threads", |b| {
+        b.iter(|| {
+            black_box(gpu.launch_each(Launch::over(n, 256), |t, ctx| {
+                let i = t.global_id();
+                if i < n {
+                    ctx.write(&y, i, 2.0 * ctx.read(&x, i));
+                }
+            }))
+        })
+    });
+    let hist = GpuBuffer::<u32>::zeroed(64);
+    g.bench_function("atomic_histogram_64k", |b| {
+        b.iter(|| {
+            black_box(gpu.launch_each(Launch::over(n, 256), |t, ctx| {
+                let i = t.global_id();
+                if i < n {
+                    ctx.atomic_add(&hist, i % 64, 1);
+                }
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shmem, bench_patterns, bench_mpisim, bench_gpusim);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! # pcg-bench
+//!
+//! Criterion benchmarks regenerating the paper's tables and figures
+//! (`benches/figures.rs`), measuring the substrates themselves
+//! (`benches/substrates.rs`), and quantifying the design choices
+//! DESIGN.md calls out (`benches/ablations.rs`).
+//!
+//! Shared setup lives here: a small cached evaluation record every
+//! figure bench can reuse without re-running the pipeline per
+//! iteration.
+
+use pcg_core::TaskId;
+use pcg_harness::{eval, EvalConfig, EvalRecord};
+use pcg_models::SyntheticModel;
+use std::sync::OnceLock;
+
+/// A reduced-but-representative evaluation record: three models, one
+/// problem per problem type, all execution models, computed once per
+/// bench process.
+pub fn bench_record() -> &'static EvalRecord {
+    static RECORD: OnceLock<EvalRecord> = OnceLock::new();
+    RECORD.get_or_init(|| {
+        let cfg = EvalConfig::smoke();
+        let models: Vec<SyntheticModel> = ["CodeLlama-13B", "Phind-CodeLlama-V2", "GPT-4"]
+            .iter()
+            .map(|n| SyntheticModel::by_name(n).expect("zoo model"))
+            .collect();
+        let tasks: Vec<TaskId> = eval::smoke_tasks();
+        eval::evaluate(&cfg, &models, Some(&tasks))
+    })
+}

@@ -1,0 +1,113 @@
+//! The candidate-defect taxonomy.
+//!
+//! A synthetic model "generates code" by emitting a [`CandidateKind`]:
+//! which executable artifact the harness should build and run for a task.
+//! The taxonomy mirrors the failure modes the paper observes in real LLM
+//! output: code that does not compile, code that crashes, code that runs
+//! but computes the wrong thing, code that silently ignores the requested
+//! programming model (sequential fallback), code that never terminates
+//! within the limit, and correct code of varying parallel quality.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallel quality of a correct candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quality {
+    /// The reference parallel implementation (good decomposition).
+    Efficient,
+    /// Correct but poorly parallelized (e.g. one thread/rank does all
+    /// the work — a failure mode the paper's efficiency metrics expose).
+    Inefficient,
+}
+
+/// How a wrong-output candidate corrupts its (otherwise computed) result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corruption {
+    /// One element perturbed (classic boundary/race symptom).
+    PerturbElement,
+    /// Output shifted by one position (off-by-one decomposition).
+    OffByOneShift,
+    /// Output truncated (lost remainder in the block distribution).
+    Truncate,
+    /// Result scaled wrongly (double-counted overlap).
+    WrongScale,
+}
+
+impl Corruption {
+    /// All corruption modes.
+    pub const ALL: [Corruption; 4] = [
+        Corruption::PerturbElement,
+        Corruption::OffByOneShift,
+        Corruption::Truncate,
+        Corruption::WrongScale,
+    ];
+}
+
+/// The artifact a synthetic model emitted for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// Compiles, runs, validates; quality affects performance only.
+    Correct(Quality),
+    /// Correct output but never touches the required parallel API
+    /// (detected by the harness usage check; counted incorrect for
+    /// parallel tasks, exactly as the paper's string-match check does).
+    SequentialFallback,
+    /// Runs the parallel code path but produces a corrupted result.
+    WrongOutput(Corruption),
+    /// Does not compile.
+    BuildFailure,
+    /// Crashes at runtime.
+    RuntimeCrash,
+    /// Exceeds the harness time limit.
+    Timeout,
+}
+
+impl CandidateKind {
+    /// Whether the sample also counts as a successful *build* (the
+    /// paper's `build@k` numerator).
+    pub fn builds(self) -> bool {
+        !matches!(self, CandidateKind::BuildFailure)
+    }
+
+    /// Short stable code for run records.
+    pub fn code(self) -> &'static str {
+        match self {
+            CandidateKind::Correct(Quality::Efficient) => "correct",
+            CandidateKind::Correct(Quality::Inefficient) => "correct-slow",
+            CandidateKind::SequentialFallback => "sequential",
+            CandidateKind::WrongOutput(_) => "wrong",
+            CandidateKind::BuildFailure => "nobuild",
+            CandidateKind::RuntimeCrash => "crash",
+            CandidateKind::Timeout => "timeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_flag() {
+        assert!(CandidateKind::Correct(Quality::Efficient).builds());
+        assert!(CandidateKind::WrongOutput(Corruption::Truncate).builds());
+        assert!(!CandidateKind::BuildFailure.builds());
+    }
+
+    #[test]
+    fn codes_distinct() {
+        let kinds = [
+            CandidateKind::Correct(Quality::Efficient),
+            CandidateKind::Correct(Quality::Inefficient),
+            CandidateKind::SequentialFallback,
+            CandidateKind::WrongOutput(Corruption::OffByOneShift),
+            CandidateKind::BuildFailure,
+            CandidateKind::RuntimeCrash,
+            CandidateKind::Timeout,
+        ];
+        let mut codes: Vec<_> = kinds.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+    }
+}

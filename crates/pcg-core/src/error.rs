@@ -1,0 +1,87 @@
+//! The failure taxonomy shared by substrates, problems, and the harness.
+//!
+//! Mirrors the outcomes the paper's test harness records for a generated
+//! sample: failure to compile, runtime failure, exceeding the time limit,
+//! producing a wrong answer, or not using the required parallel model.
+
+use serde::{Deserialize, Serialize};
+
+/// An error surfaced while building or running a candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcgError {
+    /// The candidate artifact does not build (compile-error analog).
+    BuildFailure(String),
+    /// The candidate panicked or violated a substrate invariant at runtime.
+    Runtime(String),
+    /// The run exceeded the harness time limit (paper: 3 minutes).
+    Timeout,
+    /// The output did not match the sequential baseline.
+    WrongAnswer(String),
+    /// The candidate never invoked its required parallel programming model
+    /// (the paper's string-matching check; here detected by substrate
+    /// instrumentation counters).
+    SequentialFallback,
+    /// Invalid configuration (bad rank/thread count, malformed input, ...).
+    Config(String),
+}
+
+impl PcgError {
+    /// Short stable code used in run records and reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PcgError::BuildFailure(_) => "build",
+            PcgError::Runtime(_) => "runtime",
+            PcgError::Timeout => "timeout",
+            PcgError::WrongAnswer(_) => "wrong",
+            PcgError::SequentialFallback => "sequential",
+            PcgError::Config(_) => "config",
+        }
+    }
+}
+
+impl std::fmt::Display for PcgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcgError::BuildFailure(m) => write!(f, "build failure: {m}"),
+            PcgError::Runtime(m) => write!(f, "runtime error: {m}"),
+            PcgError::Timeout => write!(f, "timed out"),
+            PcgError::WrongAnswer(m) => write!(f, "wrong answer: {m}"),
+            PcgError::SequentialFallback => {
+                write!(f, "did not use the required parallel programming model")
+            }
+            PcgError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PcgError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PcgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let errs = [
+            PcgError::BuildFailure(String::new()),
+            PcgError::Runtime(String::new()),
+            PcgError::Timeout,
+            PcgError::WrongAnswer(String::new()),
+            PcgError::SequentialFallback,
+            PcgError::Config(String::new()),
+        ];
+        let mut codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+    }
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = PcgError::WrongAnswer("len mismatch".into());
+        assert!(e.to_string().contains("len mismatch"));
+    }
+}

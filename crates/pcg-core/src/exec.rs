@@ -1,0 +1,187 @@
+//! The seven execution models tested by PCGBench (paper §4).
+//!
+//! The Rust reproduction maps each C++ programming model to an in-repo
+//! substrate with equivalent observable semantics:
+//!
+//! | Paper model  | Substrate crate | Parallel resource |
+//! |--------------|-----------------|-------------------|
+//! | Serial       | plain Rust      | 1 core            |
+//! | OpenMP       | `pcg-shmem`     | threads (1..=32)  |
+//! | Kokkos       | `pcg-patterns`  | threads (1..=32)  |
+//! | MPI          | `pcg-mpisim`    | ranks (1..=512)   |
+//! | MPI+OpenMP   | `pcg-hybrid`    | ranks x threads   |
+//! | CUDA         | `pcg-gpusim`    | kernel threads    |
+//! | HIP          | `pcg-gpusim`    | kernel threads    |
+
+use serde::{Deserialize, Serialize};
+
+/// One of the seven execution models a PCGBench prompt targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// Sequential C++ in the paper; plain single-threaded Rust here.
+    Serial,
+    /// OpenMP work-sharing; the `pcg-shmem` thread-pool substrate here.
+    OpenMp,
+    /// Kokkos parallel patterns; the `pcg-patterns` substrate here.
+    Kokkos,
+    /// MPI message passing; the `pcg-mpisim` virtual-time simulator here.
+    Mpi,
+    /// Hybrid MPI+OpenMP; `pcg-hybrid` (ranks whose compute is threaded).
+    MpiOpenMp,
+    /// CUDA kernels; the `pcg-gpusim` emulator with an A100-like profile.
+    Cuda,
+    /// HIP kernels; the `pcg-gpusim` emulator with an MI50-like profile.
+    Hip,
+}
+
+impl ExecutionModel {
+    /// All seven models, in the paper's canonical order.
+    pub const ALL: [ExecutionModel; 7] = [
+        ExecutionModel::Serial,
+        ExecutionModel::OpenMp,
+        ExecutionModel::Kokkos,
+        ExecutionModel::Mpi,
+        ExecutionModel::MpiOpenMp,
+        ExecutionModel::Cuda,
+        ExecutionModel::Hip,
+    ];
+
+    /// The six parallel models (everything but `Serial`).
+    pub const PARALLEL: [ExecutionModel; 6] = [
+        ExecutionModel::OpenMp,
+        ExecutionModel::Kokkos,
+        ExecutionModel::Mpi,
+        ExecutionModel::MpiOpenMp,
+        ExecutionModel::Cuda,
+        ExecutionModel::Hip,
+    ];
+
+    /// Whether this model is expected to use parallel resources.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, ExecutionModel::Serial)
+    }
+
+    /// Whether this model runs on the (simulated) GPU.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, ExecutionModel::Cuda | ExecutionModel::Hip)
+    }
+
+    /// Whether this model involves distributed-memory ranks.
+    pub fn is_distributed(self) -> bool {
+        matches!(self, ExecutionModel::Mpi | ExecutionModel::MpiOpenMp)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionModel::Serial => "serial",
+            ExecutionModel::OpenMp => "omp",
+            ExecutionModel::Kokkos => "kokkos",
+            ExecutionModel::Mpi => "mpi",
+            ExecutionModel::MpiOpenMp => "mpi+omp",
+            ExecutionModel::Cuda => "cuda",
+            ExecutionModel::Hip => "hip",
+        }
+    }
+
+    /// Stable small integer index (order of [`ExecutionModel::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            ExecutionModel::Serial => 0,
+            ExecutionModel::OpenMp => 1,
+            ExecutionModel::Kokkos => 2,
+            ExecutionModel::Mpi => 3,
+            ExecutionModel::MpiOpenMp => 4,
+            ExecutionModel::Cuda => 5,
+            ExecutionModel::Hip => 6,
+        }
+    }
+
+    /// Inverse of [`ExecutionModel::index`].
+    pub fn from_index(i: usize) -> Option<ExecutionModel> {
+        ExecutionModel::ALL.get(i).copied()
+    }
+
+    /// Parse a figure label (as produced by [`ExecutionModel::label`]).
+    pub fn parse(s: &str) -> Option<ExecutionModel> {
+        ExecutionModel::ALL.into_iter().find(|m| m.label() == s)
+    }
+
+    /// The resource counts `n` the paper sweeps for this model (§7.2):
+    /// threads 1..=32 for OpenMP/Kokkos, ranks 1..=512 for MPI, node x thread
+    /// products for hybrid, and a nominal kernel-thread count for GPU models
+    /// (per-prompt in the paper; we report a single canonical point).
+    pub fn resource_sweep(self) -> Vec<u32> {
+        match self {
+            ExecutionModel::Serial => vec![1],
+            ExecutionModel::OpenMp | ExecutionModel::Kokkos => vec![1, 2, 4, 8, 16, 32],
+            ExecutionModel::Mpi => vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+            // 1..=4 nodes x 1,2,4,...,64 threads; reported as total cores.
+            ExecutionModel::MpiOpenMp => vec![1, 2, 4, 8, 16, 32, 64, 128, 192, 256],
+            // Kernel-thread count varies per prompt; the sweep is nominal.
+            ExecutionModel::Cuda | ExecutionModel::Hip => vec![0],
+        }
+    }
+
+    /// The largest resource count, used for the headline `speedup_n@k` /
+    /// `efficiency_n@k` comparisons (Figures 6 and 7): n=32 threads for
+    /// OpenMP and Kokkos, n=512 ranks for MPI, n=4x64 for MPI+OpenMP.
+    /// For CUDA/HIP the paper sets n to the kernel thread count, which
+    /// varies per prompt; 0 is a sentinel meaning "per-prompt".
+    pub fn headline_n(self) -> u32 {
+        match self {
+            ExecutionModel::Serial => 1,
+            ExecutionModel::OpenMp | ExecutionModel::Kokkos => 32,
+            ExecutionModel::Mpi => 512,
+            ExecutionModel::MpiOpenMp => 256,
+            ExecutionModel::Cuda | ExecutionModel::Hip => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for m in ExecutionModel::ALL {
+            assert_eq!(ExecutionModel::from_index(m.index()), Some(m));
+            assert_eq!(ExecutionModel::parse(m.label()), Some(m));
+        }
+        assert_eq!(ExecutionModel::from_index(7), None);
+        assert_eq!(ExecutionModel::parse("nope"), None);
+    }
+
+    #[test]
+    fn parallel_partition() {
+        assert!(!ExecutionModel::Serial.is_parallel());
+        for m in ExecutionModel::PARALLEL {
+            assert!(m.is_parallel());
+        }
+        assert_eq!(ExecutionModel::ALL.len(), ExecutionModel::PARALLEL.len() + 1);
+    }
+
+    #[test]
+    fn gpu_and_distributed_flags() {
+        assert!(ExecutionModel::Cuda.is_gpu());
+        assert!(ExecutionModel::Hip.is_gpu());
+        assert!(!ExecutionModel::Kokkos.is_gpu());
+        assert!(ExecutionModel::Mpi.is_distributed());
+        assert!(ExecutionModel::MpiOpenMp.is_distributed());
+        assert!(!ExecutionModel::OpenMp.is_distributed());
+    }
+
+    #[test]
+    fn headline_matches_sweep_max() {
+        for m in [ExecutionModel::OpenMp, ExecutionModel::Kokkos, ExecutionModel::Mpi] {
+            assert_eq!(m.headline_n(), *m.resource_sweep().last().unwrap());
+        }
+    }
+}

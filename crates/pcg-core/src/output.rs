@@ -1,0 +1,195 @@
+//! Typed task outputs and tolerant validation.
+//!
+//! Each PCGBench test driver compares a candidate's output against the
+//! handwritten sequential baseline. Floating-point outputs use a relative
+//! tolerance so that legitimate parallel reassociation (e.g. tree
+//! reductions) is not marked incorrect, matching the paper's drivers.
+
+use serde::{Deserialize, Serialize};
+
+/// Default relative tolerance for floating-point comparisons.
+pub const DEFAULT_REL_TOL: f64 = 1e-5;
+/// Default absolute tolerance floor for values near zero.
+pub const DEFAULT_ABS_TOL: f64 = 1e-7;
+
+/// The result a task driver extracts from a candidate run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Output {
+    /// A vector of floats (e.g. a scanned or transformed array).
+    F64s(Vec<f64>),
+    /// A vector of integers (e.g. histogram counts, sorted keys).
+    I64s(Vec<i64>),
+    /// A scalar float (e.g. a reduction result).
+    F64(f64),
+    /// A scalar integer (e.g. a count or an index).
+    I64(i64),
+    /// A boolean property (e.g. existence search).
+    Bool(bool),
+}
+
+impl Output {
+    /// Approximate equality: exact for integers/booleans, tolerance-based
+    /// for floats (relative with an absolute floor).
+    pub fn approx_eq(&self, other: &Output) -> bool {
+        self.approx_eq_tol(other, DEFAULT_REL_TOL, DEFAULT_ABS_TOL)
+    }
+
+    /// Approximate equality with explicit tolerances.
+    pub fn approx_eq_tol(&self, other: &Output, rel: f64, abs: f64) -> bool {
+        match (self, other) {
+            (Output::F64s(a), Output::F64s(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(&x, &y)| float_close(x, y, rel, abs))
+            }
+            (Output::I64s(a), Output::I64s(b)) => a == b,
+            (Output::F64(a), Output::F64(b)) => float_close(*a, *b, rel, abs),
+            (Output::I64(a), Output::I64(b)) => a == b,
+            (Output::Bool(a), Output::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Number of scalar elements (1 for scalars).
+    pub fn len(&self) -> usize {
+        match self {
+            Output::F64s(v) => v.len(),
+            Output::I64s(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// True when a vector output has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A human-readable summary used in failure reports.
+    pub fn summary(&self) -> String {
+        match self {
+            Output::F64s(v) => format!("f64[{}]", v.len()),
+            Output::I64s(v) => format!("i64[{}]", v.len()),
+            Output::F64(x) => format!("f64({x})"),
+            Output::I64(x) => format!("i64({x})"),
+            Output::Bool(b) => format!("bool({b})"),
+        }
+    }
+}
+
+fn float_close(x: f64, y: f64, rel: f64, abs: f64) -> bool {
+    if x == y {
+        return true; // covers infinities of equal sign and exact zeros
+    }
+    if x.is_nan() || y.is_nan() {
+        return false;
+    }
+    let diff = (x - y).abs();
+    diff <= abs || diff <= rel * x.abs().max(y.abs())
+}
+
+impl From<Vec<f64>> for Output {
+    fn from(v: Vec<f64>) -> Output {
+        Output::F64s(v)
+    }
+}
+impl From<Vec<f32>> for Output {
+    fn from(v: Vec<f32>) -> Output {
+        Output::F64s(v.into_iter().map(f64::from).collect())
+    }
+}
+impl From<Vec<i64>> for Output {
+    fn from(v: Vec<i64>) -> Output {
+        Output::I64s(v)
+    }
+}
+impl From<Vec<u32>> for Output {
+    fn from(v: Vec<u32>) -> Output {
+        Output::I64s(v.into_iter().map(i64::from).collect())
+    }
+}
+impl From<Vec<usize>> for Output {
+    fn from(v: Vec<usize>) -> Output {
+        Output::I64s(v.into_iter().map(|x| x as i64).collect())
+    }
+}
+impl From<f64> for Output {
+    fn from(x: f64) -> Output {
+        Output::F64(x)
+    }
+}
+impl From<i64> for Output {
+    fn from(x: i64) -> Output {
+        Output::I64(x)
+    }
+}
+impl From<usize> for Output {
+    fn from(x: usize) -> Output {
+        Output::I64(x as i64)
+    }
+}
+impl From<bool> for Output {
+    fn from(b: bool) -> Output {
+        Output::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integer_equality() {
+        assert!(Output::I64s(vec![1, 2, 3]).approx_eq(&Output::I64s(vec![1, 2, 3])));
+        assert!(!Output::I64s(vec![1, 2, 3]).approx_eq(&Output::I64s(vec![1, 2, 4])));
+        assert!(!Output::I64s(vec![1, 2]).approx_eq(&Output::I64s(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn float_tolerance() {
+        let a = Output::F64(1.0);
+        let b = Output::F64(1.0 + 5e-6);
+        assert!(a.approx_eq(&b));
+        let c = Output::F64(1.0 + 5e-4);
+        assert!(!a.approx_eq(&c));
+    }
+
+    #[test]
+    fn near_zero_uses_abs_floor() {
+        assert!(Output::F64(0.0).approx_eq(&Output::F64(5e-8)));
+        assert!(!Output::F64(0.0).approx_eq(&Output::F64(1e-3)));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!Output::F64(f64::NAN).approx_eq(&Output::F64(f64::NAN)));
+        assert!(!Output::F64(1.0).approx_eq(&Output::F64(f64::NAN)));
+    }
+
+    #[test]
+    fn type_mismatch_unequal() {
+        assert!(!Output::F64(1.0).approx_eq(&Output::I64(1)));
+        assert!(!Output::Bool(true).approx_eq(&Output::I64(1)));
+    }
+
+    #[test]
+    fn vector_tolerance() {
+        let a = Output::F64s(vec![1.0, 2.0, 3.0]);
+        let b = Output::F64s(vec![1.0 + 1e-6, 2.0 - 1e-6, 3.0]);
+        assert!(a.approx_eq(&b));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Output::from(vec![1u32, 2]), Output::I64s(vec![1, 2]));
+        assert_eq!(Output::from(3usize), Output::I64(3));
+        assert_eq!(Output::from(vec![1.5f32]), Output::F64s(vec![1.5]));
+        assert!(Output::from(true).approx_eq(&Output::Bool(true)));
+    }
+
+    #[test]
+    fn len_and_summary() {
+        assert_eq!(Output::F64s(vec![0.0; 4]).len(), 4);
+        assert_eq!(Output::I64(7).len(), 1);
+        assert!(Output::F64s(vec![]).is_empty());
+        assert_eq!(Output::F64s(vec![0.0; 4]).summary(), "f64[4]");
+    }
+}

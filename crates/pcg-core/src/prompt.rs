@@ -1,0 +1,148 @@
+//! Prompt rendering (paper §4, Listing 1).
+//!
+//! Each PCGBench prompt is a doc comment describing the computation, two
+//! example input/output pairs, an execution-model-specific instruction
+//! ("Use Kokkos to compute in parallel. Assume Kokkos has already been
+//! initialized."), the necessary include/use header, and the opening of a
+//! standalone function the model must complete.
+//!
+//! The per-problem content (description, signature, examples) lives in
+//! `pcg-problems`; this module owns the model-specific framing so all 420
+//! rendered prompts stay structurally identical across execution models,
+//! as the paper requires.
+
+use crate::ExecutionModel;
+use serde::{Deserialize, Serialize};
+
+/// Problem-specific prompt content supplied by the problem suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PromptSpec {
+    /// Short function name, e.g. `partialMinimums`.
+    pub fn_name: String,
+    /// Natural-language description of the computation.
+    pub description: String,
+    /// Example input/output pairs, rendered verbatim.
+    pub examples: Vec<(String, String)>,
+    /// The function parameter list, in the substrate's idiom.
+    pub signature: String,
+}
+
+/// The model-specific instruction sentence, mirroring the paper's prompts.
+pub fn model_instruction(model: ExecutionModel) -> &'static str {
+    match model {
+        ExecutionModel::Serial => "Implement sequentially.",
+        ExecutionModel::OpenMp => "Use the shmem work-sharing pool to compute in parallel.",
+        ExecutionModel::Kokkos => {
+            "Use parallel patterns to compute in parallel. Assume the execution space has already been initialized."
+        }
+        ExecutionModel::Mpi => {
+            "Use message passing to compute in parallel. Assume the runtime has already been initialized and every rank calls this function. The result should be stored on rank 0."
+        }
+        ExecutionModel::MpiOpenMp => {
+            "Use message passing and the shmem pool to compute in parallel. Assume the runtime has already been initialized and every rank calls this function. The result should be stored on rank 0."
+        }
+        ExecutionModel::Cuda => {
+            "Use the CUDA-like kernel API to compute in parallel. The kernel is launched with at least as many threads as elements."
+        }
+        ExecutionModel::Hip => {
+            "Use the HIP-like kernel API to compute in parallel. The kernel is launched with at least as many threads as elements."
+        }
+    }
+}
+
+/// The header line (include/use analog) prepended per execution model;
+/// the paper found this improves use of the correct programming model.
+pub fn model_header(model: ExecutionModel) -> &'static str {
+    match model {
+        ExecutionModel::Serial => "",
+        ExecutionModel::OpenMp => "use pcg_shmem::prelude::*;",
+        ExecutionModel::Kokkos => "use pcg_patterns::prelude::*;",
+        ExecutionModel::Mpi => "use pcg_mpisim::prelude::*;",
+        ExecutionModel::MpiOpenMp => "use pcg_mpisim::prelude::*;\nuse pcg_shmem::prelude::*;",
+        ExecutionModel::Cuda => "use pcg_gpusim::cuda::*;",
+        ExecutionModel::Hip => "use pcg_gpusim::hip::*;",
+    }
+}
+
+/// Render the full prompt text for one task.
+pub fn render(spec: &PromptSpec, model: ExecutionModel) -> String {
+    let mut s = String::with_capacity(512);
+    s.push_str("/* ");
+    s.push_str(&spec.description);
+    s.push('\n');
+    s.push_str("   ");
+    s.push_str(model_instruction(model));
+    s.push_str("\n   Examples:\n");
+    for (input, output) in &spec.examples {
+        s.push_str("   input: ");
+        s.push_str(input);
+        s.push_str("\n   output: ");
+        s.push_str(output);
+        s.push('\n');
+    }
+    s.push_str("*/\n");
+    let header = model_header(model);
+    if !header.is_empty() {
+        s.push_str(header);
+        s.push('\n');
+    }
+    s.push_str("fn ");
+    s.push_str(&spec.fn_name);
+    s.push('(');
+    s.push_str(&spec.signature);
+    s.push_str(") {\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PromptSpec {
+        PromptSpec {
+            fn_name: "partialMinimums".into(),
+            description: "Replace the i-th element of the array x with the minimum value from indices 0 through i.".into(),
+            examples: vec![(
+                "[8, 6, -1, 7, 3, 4, 4]".into(),
+                "[8, 6, -1, -1, -1, -1, -1]".into(),
+            )],
+            signature: "x: &mut [f32]".into(),
+        }
+    }
+
+    #[test]
+    fn renders_all_parts() {
+        let p = render(&spec(), ExecutionModel::Kokkos);
+        assert!(p.contains("partialMinimums"));
+        assert!(p.contains("minimum value from indices"));
+        assert!(p.contains("parallel patterns"));
+        assert!(p.contains("pcg_patterns::prelude"));
+        assert!(p.contains("input: [8, 6"));
+        assert!(p.ends_with("{\n"));
+    }
+
+    #[test]
+    fn serial_has_no_header() {
+        let p = render(&spec(), ExecutionModel::Serial);
+        assert!(!p.contains("use pcg_"));
+        assert!(p.contains("Implement sequentially."));
+    }
+
+    #[test]
+    fn prompts_differ_only_by_framing() {
+        let a = render(&spec(), ExecutionModel::Cuda);
+        let b = render(&spec(), ExecutionModel::Hip);
+        assert_ne!(a, b);
+        // Shared body text is identical across models.
+        assert!(a.contains("minimum value from indices"));
+        assert!(b.contains("minimum value from indices"));
+    }
+
+    #[test]
+    fn instructions_distinct_per_model() {
+        let mut seen: Vec<&str> = ExecutionModel::ALL.iter().map(|m| model_instruction(*m)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ExecutionModel::ALL.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Problem and task identifiers.
+//!
+//! PCGBench contains 12 problem types x 5 problems = 60 [`ProblemId`]s; each
+//! problem crossed with the 7 execution models yields 420 [`TaskId`]s
+//! (individual prompts).
+
+use crate::{ExecutionModel, ProblemType, NUM_TASKS, PROBLEMS_PER_TYPE};
+use serde::{Deserialize, Serialize};
+
+/// One of the 60 computational problems (a problem type plus a variant
+/// index in `0..5`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProblemId {
+    /// The Table 1 category.
+    pub ptype: ProblemType,
+    /// Variant within the category, `0..PROBLEMS_PER_TYPE`.
+    pub variant: usize,
+}
+
+impl ProblemId {
+    /// Construct, panicking on an out-of-range variant.
+    pub fn new(ptype: ProblemType, variant: usize) -> ProblemId {
+        assert!(variant < PROBLEMS_PER_TYPE, "variant {variant} out of range");
+        ProblemId { ptype, variant }
+    }
+
+    /// Dense index in `0..60`.
+    pub fn index(self) -> usize {
+        self.ptype.index() * PROBLEMS_PER_TYPE + self.variant
+    }
+
+    /// Inverse of [`ProblemId::index`].
+    pub fn from_index(i: usize) -> Option<ProblemId> {
+        let ptype = ProblemType::from_index(i / PROBLEMS_PER_TYPE)?;
+        Some(ProblemId { ptype, variant: i % PROBLEMS_PER_TYPE })
+    }
+
+    /// The task for this problem under a given execution model.
+    pub fn task(self, model: ExecutionModel) -> TaskId {
+        TaskId { problem: self, model }
+    }
+}
+
+impl std::fmt::Display for ProblemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.ptype, self.variant)
+    }
+}
+
+/// One of the 420 prompts: a problem plus an execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The computational problem.
+    pub problem: ProblemId,
+    /// The execution model the prompt targets.
+    pub model: ExecutionModel,
+}
+
+impl TaskId {
+    /// Dense index in `0..420`. Tasks are ordered problem-major, then by
+    /// execution model in [`ExecutionModel::ALL`] order.
+    pub fn index(self) -> usize {
+        self.problem.index() * ExecutionModel::ALL.len() + self.model.index()
+    }
+
+    /// Inverse of [`TaskId::index`].
+    pub fn from_index(i: usize) -> Option<TaskId> {
+        if i >= NUM_TASKS {
+            return None;
+        }
+        let nm = ExecutionModel::ALL.len();
+        Some(TaskId {
+            problem: ProblemId::from_index(i / nm)?,
+            model: ExecutionModel::from_index(i % nm)?,
+        })
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.problem, self.model)
+    }
+}
+
+/// Iterate over all 60 problems in canonical order.
+pub fn all_problems() -> impl Iterator<Item = ProblemId> {
+    (0..ProblemType::ALL.len() * PROBLEMS_PER_TYPE).map(|i| ProblemId::from_index(i).unwrap())
+}
+
+/// Iterate over all 420 tasks in canonical order.
+pub fn all_tasks() -> impl Iterator<Item = TaskId> {
+    (0..NUM_TASKS).map(|i| TaskId::from_index(i).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_index_roundtrip() {
+        for (i, p) in all_problems().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(ProblemId::from_index(i), Some(p));
+        }
+        assert_eq!(all_problems().count(), 60);
+    }
+
+    #[test]
+    fn task_index_roundtrip() {
+        for (i, t) in all_tasks().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(TaskId::from_index(i), Some(t));
+        }
+        assert_eq!(TaskId::from_index(NUM_TASKS), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn variant_bounds_checked() {
+        let _ = ProblemId::new(ProblemType::Sort, 5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = ProblemId::new(ProblemType::Scan, 1).task(ExecutionModel::Kokkos);
+        assert_eq!(t.to_string(), "scan#1/kokkos");
+    }
+}

@@ -1,0 +1,149 @@
+//! Parallel-API usage instrumentation.
+//!
+//! The paper marks a generated sample incorrect if it does not use its
+//! required parallel programming model, detected there by string matching
+//! on the source. This reproduction uses a stronger dynamic check: every
+//! substrate increments a global counter on each API entry (e.g. each
+//! `parallel_for`, each `MPI_Send`, each kernel launch). The harness
+//! snapshots the counters around a candidate run; a parallel task whose
+//! counters did not move is a sequential fallback.
+//!
+//! Counters are global atomics so substrate worker threads can record
+//! without coordination; the harness serializes candidate runs, so
+//! snapshot deltas attribute cleanly to one candidate.
+
+use crate::ExecutionModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTERS: [AtomicU64; 7] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Record one use of a substrate API belonging to `model`.
+#[inline]
+pub fn record(model: ExecutionModel) {
+    COUNTERS[model.index()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` uses at once (e.g. a collective performed by every rank).
+#[inline]
+pub fn record_n(model: ExecutionModel, n: u64) {
+    COUNTERS[model.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// A point-in-time view of all usage counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [u64; 7],
+}
+
+impl Snapshot {
+    /// Capture the current counter values.
+    pub fn capture() -> Snapshot {
+        let mut counts = [0u64; 7];
+        for (i, c) in COUNTERS.iter().enumerate() {
+            counts[i] = c.load(Ordering::Relaxed);
+        }
+        Snapshot { counts }
+    }
+
+    /// Counter increments since `earlier`, per execution model.
+    pub fn delta_since(&self, earlier: &Snapshot) -> UsageDelta {
+        let mut d = [0u64; 7];
+        for (slot, (now, before)) in d.iter_mut().zip(self.counts.iter().zip(&earlier.counts)) {
+            *slot = now.wrapping_sub(*before);
+        }
+        UsageDelta { counts: d }
+    }
+}
+
+/// Counter increments observed across a candidate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageDelta {
+    counts: [u64; 7],
+}
+
+impl UsageDelta {
+    /// API calls recorded for `model`.
+    pub fn calls(&self, model: ExecutionModel) -> u64 {
+        self.counts[model.index()]
+    }
+
+    /// Whether the candidate exercised the parallel API required by
+    /// `model`. Hybrid tasks must touch the MPI layer; the threaded inner
+    /// level alone does not count, mirroring the paper's check that an
+    /// MPI+OpenMP prompt actually distributes work across ranks.
+    pub fn used_required_api(&self, model: ExecutionModel) -> bool {
+        match model {
+            ExecutionModel::Serial => true,
+            ExecutionModel::MpiOpenMp => {
+                self.calls(ExecutionModel::Mpi) > 0 || self.calls(ExecutionModel::MpiOpenMp) > 0
+            }
+            m => self.calls(m) > 0,
+        }
+    }
+}
+
+/// RAII-style scope: capture at construction, diff at [`UsageScope::finish`].
+pub struct UsageScope {
+    start: Snapshot,
+}
+
+impl UsageScope {
+    /// Begin observing usage.
+    pub fn begin() -> UsageScope {
+        UsageScope { start: Snapshot::capture() }
+    }
+
+    /// Stop observing and return the per-model API call deltas.
+    pub fn finish(self) -> UsageDelta {
+        Snapshot::capture().delta_since(&self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: counters are process-global, so tests only assert on deltas of
+    // models they themselves touch, and tolerate concurrent increments by
+    // using models unlikely to be exercised by other core tests.
+
+    #[test]
+    fn delta_reflects_records() {
+        let scope = UsageScope::begin();
+        record(ExecutionModel::Kokkos);
+        record_n(ExecutionModel::Kokkos, 4);
+        let d = scope.finish();
+        assert!(d.calls(ExecutionModel::Kokkos) >= 5);
+        assert!(d.used_required_api(ExecutionModel::Kokkos));
+    }
+
+    #[test]
+    fn serial_always_counts_as_used() {
+        let d = UsageScope::begin().finish();
+        assert!(d.used_required_api(ExecutionModel::Serial));
+    }
+
+    #[test]
+    fn hybrid_requires_mpi_layer() {
+        let scope = UsageScope::begin();
+        record(ExecutionModel::OpenMp);
+        let d = scope.finish();
+        // Only the threaded layer moved: the hybrid requirement is unmet
+        // unless some other test concurrently recorded MPI usage.
+        if d.calls(ExecutionModel::Mpi) == 0 && d.calls(ExecutionModel::MpiOpenMp) == 0 {
+            assert!(!d.used_required_api(ExecutionModel::MpiOpenMp));
+        }
+        let scope = UsageScope::begin();
+        record(ExecutionModel::Mpi);
+        let d = scope.finish();
+        assert!(d.used_required_api(ExecutionModel::MpiOpenMp));
+    }
+}

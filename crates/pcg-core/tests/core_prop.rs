@@ -1,0 +1,68 @@
+//! Property tests for the core vocabulary: id round-trips, tolerant
+//! comparison laws, and prompt-rendering invariants.
+
+use pcg_core::prompt::{render, PromptSpec};
+use pcg_core::{ExecutionModel, Output, TaskId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn task_index_bijection(i in 0usize..pcg_core::NUM_TASKS) {
+        let t = TaskId::from_index(i).unwrap();
+        prop_assert_eq!(t.index(), i);
+    }
+
+    #[test]
+    fn approx_eq_is_reflexive_and_symmetric(
+        v in proptest::collection::vec(-1e6f64..1e6, 0..32),
+        w in proptest::collection::vec(-1e6f64..1e6, 0..32),
+    ) {
+        let a = Output::F64s(v);
+        let b = Output::F64s(w);
+        prop_assert!(a.approx_eq(&a));
+        prop_assert_eq!(a.approx_eq(&b), b.approx_eq(&a));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_relative_noise(
+        v in proptest::collection::vec(-1e6f64..1e6, 1..32),
+        scale in -1e-7f64..1e-7,
+    ) {
+        let noisy: Vec<f64> = v.iter().map(|x| x * (1.0 + scale)).collect();
+        prop_assert!(Output::F64s(v).approx_eq(&Output::F64s(noisy)));
+    }
+
+    #[test]
+    fn rendered_prompts_contain_all_parts(
+        fn_name in "[a-zA-Z][a-zA-Z0-9]{0,20}",
+        description in "[ -~]{1,120}",
+    ) {
+        let spec = PromptSpec {
+            fn_name: fn_name.clone(),
+            description: description.clone(),
+            examples: vec![("[1]".into(), "[2]".into())],
+            signature: "x: &mut [f64]".into(),
+        };
+        for model in ExecutionModel::ALL {
+            let p = render(&spec, model);
+            prop_assert!(p.contains(&fn_name));
+            prop_assert!(p.contains(&description));
+            prop_assert!(p.contains(pcg_core::prompt::model_instruction(model)));
+            let opens_body = p.ends_with("{\n");
+            prop_assert!(opens_body);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct_across_samples(
+        seed in 0u64..10_000,
+        i in 0usize..pcg_core::NUM_TASKS,
+        samples in 1u64..20,
+    ) {
+        use pcg_core::rng::{derive_seed, Purpose};
+        let task = TaskId::from_index(i).unwrap();
+        let a = derive_seed(seed, task, Purpose::Input, 0);
+        prop_assert_eq!(a, derive_seed(seed, task, Purpose::Input, 0));
+        prop_assert_ne!(a, derive_seed(seed, task, Purpose::Input, samples));
+    }
+}

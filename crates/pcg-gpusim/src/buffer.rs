@@ -1,0 +1,123 @@
+//! GPU global-memory buffers.
+//!
+//! A [`GpuBuffer`] is the analog of a `cudaMalloc`'d array handed to a
+//! kernel as a raw pointer: shared across all blocks, element accesses
+//! relaxed-atomic. `Clone` aliases the same memory (pointer semantics).
+
+use crate::elem::GpuElem;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Device global memory holding `len` elements of `T`.
+pub struct GpuBuffer<T: GpuElem> {
+    data: Arc<[UnsafeCell<T>]>,
+}
+
+// SAFETY: all element accesses go through the atomic operations of
+// `GpuElem`, so concurrent use from emulated blocks is well-defined.
+unsafe impl<T: GpuElem> Sync for GpuBuffer<T> {}
+unsafe impl<T: GpuElem> Send for GpuBuffer<T> {}
+
+impl<T: GpuElem> Clone for GpuBuffer<T> {
+    fn clone(&self) -> GpuBuffer<T> {
+        GpuBuffer { data: Arc::clone(&self.data) }
+    }
+}
+
+impl<T: GpuElem> GpuBuffer<T> {
+    /// Allocate zero/default-initialized device memory.
+    pub fn zeroed(len: usize) -> GpuBuffer<T> {
+        GpuBuffer { data: (0..len).map(|_| UnsafeCell::new(T::default())).collect() }
+    }
+
+    /// Allocate and copy from host (`cudaMemcpy` host-to-device analog).
+    pub fn from_slice(src: &[T]) -> GpuBuffer<T> {
+        GpuBuffer { data: src.iter().map(|&x| UnsafeCell::new(x)).collect() }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Relaxed-atomic read of element `i`.
+    pub fn load(&self, i: usize) -> T {
+        unsafe { T::atomic_load(self.data[i].get()) }
+    }
+
+    /// Relaxed-atomic write of element `i`.
+    pub fn store(&self, i: usize, v: T) {
+        unsafe { T::atomic_store(self.data[i].get(), v) }
+    }
+
+    /// Atomic add to element `i`, returning the previous value
+    /// (`atomicAdd` analog).
+    pub fn fetch_add(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_add(self.data[i].get(), v) }
+    }
+
+    /// Atomic max on element `i`, returning the previous value
+    /// (`atomicMax` analog).
+    pub fn fetch_max(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_max(self.data[i].get(), v) }
+    }
+
+    /// Copy device memory back to host (`cudaMemcpy` device-to-host).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+
+    /// Overwrite device memory from host.
+    pub fn copy_from(&self, src: &[T]) {
+        assert_eq!(src.len(), self.len(), "copy_from length mismatch");
+        for (i, &x) in src.iter().enumerate() {
+            self.store(i, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = GpuBuffer::from_slice(&[1.0f64, 2.0]);
+        assert_eq!(b.to_vec(), vec![1.0, 2.0]);
+        b.store(0, 5.0);
+        assert_eq!(b.load(0), 5.0);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn clone_aliases() {
+        let a: GpuBuffer<i64> = GpuBuffer::zeroed(3);
+        let b = a.clone();
+        a.store(1, 9);
+        assert_eq!(b.load(1), 9);
+    }
+
+    #[test]
+    fn atomic_rmw() {
+        let b: GpuBuffer<u32> = GpuBuffer::zeroed(1);
+        assert_eq!(b.fetch_add(0, 5), 0);
+        assert_eq!(b.fetch_add(0, 5), 5);
+        b.fetch_max(0, 3);
+        assert_eq!(b.load(0), 10);
+        b.fetch_max(0, 42);
+        assert_eq!(b.load(0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_checks() {
+        let b: GpuBuffer<f64> = GpuBuffer::zeroed(2);
+        b.copy_from(&[1.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! CUDA-flavored frontend: an A100-like device.
+//!
+//! CUDA and HIP expose nearly identical APIs over different hardware; the
+//! paper exploits that similarity (its CUDA and HIP prompts differ only
+//! in includes and compiler). Here both frontends share the emulator and
+//! differ only in device profile and usage attribution.
+
+use crate::device::DeviceProfile;
+use crate::exec::Gpu;
+use pcg_core::ExecutionModel;
+
+/// Open the simulated CUDA device (A100-like).
+pub fn device() -> Gpu {
+    Gpu::with_profile(DeviceProfile::a100_like(), ExecutionModel::Cuda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::usage::UsageScope;
+
+    #[test]
+    fn cuda_device_profile_and_usage() {
+        let scope = UsageScope::begin();
+        let gpu = device();
+        assert_eq!(gpu.profile().name, "sim-a100");
+        let buf = crate::GpuBuffer::<f64>::zeroed(64);
+        gpu.launch_each(crate::Launch::over(64, 32), |t, ctx| {
+            let i = t.global_id();
+            ctx.write(&buf, i, 1.0);
+        });
+        let delta = scope.finish();
+        assert!(delta.used_required_api(ExecutionModel::Cuda));
+    }
+}

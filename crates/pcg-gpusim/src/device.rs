@@ -1,0 +1,112 @@
+//! Device profiles feeding the analytical timing model.
+
+/// Performance characteristics of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak global-memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Peak FP64 throughput, flops/second.
+    pub flop_rate: f64,
+    /// Fixed kernel-launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Cost per global atomic operation at full utilization, seconds.
+    pub atomic_cost: f64,
+    /// Threads needed to saturate the device (SMs x resident threads).
+    pub saturation_threads: f64,
+    /// Maximum threads per block accepted by [`crate::Launch`].
+    pub max_block_threads: u32,
+}
+
+impl DeviceProfile {
+    /// An NVIDIA A100-80GB-like profile (the paper's CUDA device).
+    pub fn a100_like() -> DeviceProfile {
+        DeviceProfile {
+            name: "sim-a100",
+            mem_bandwidth: 1.9e12,
+            flop_rate: 9.7e12,
+            launch_overhead: 4.0e-6,
+            atomic_cost: 3.0e-9,
+            saturation_threads: 108.0 * 2048.0,
+            max_block_threads: 1024,
+        }
+    }
+
+    /// An AMD MI50-like profile (the paper's HIP device).
+    pub fn mi50_like() -> DeviceProfile {
+        DeviceProfile {
+            name: "sim-mi50",
+            mem_bandwidth: 1.0e12,
+            flop_rate: 6.6e12,
+            launch_overhead: 6.0e-6,
+            atomic_cost: 5.0e-9,
+            saturation_threads: 60.0 * 2560.0,
+            max_block_threads: 1024,
+        }
+    }
+
+    /// Utilization factor for a launch of `threads` total threads: the
+    /// fraction of peak throughput the grid can reach, with a floor so
+    /// even one-thread launches make progress.
+    pub fn utilization(&self, threads: u64) -> f64 {
+        (threads as f64 / self.saturation_threads).clamp(1.0 / self.saturation_threads, 1.0)
+    }
+
+    /// Roofline kernel-time estimate. Atomics are charged at a flat
+    /// per-operation cost (the atomic units serialize conflicting
+    /// updates regardless of occupancy), added on top of the
+    /// memory/compute roof.
+    pub fn kernel_time(&self, threads: u64, bytes: u64, flops: u64, atomics: u64) -> f64 {
+        let util = self.utilization(threads);
+        let t_mem = bytes as f64 / (self.mem_bandwidth * util);
+        let t_flop = flops as f64 / (self.flop_rate * util);
+        let t_atomic = atomics as f64 * self.atomic_cost;
+        self.launch_overhead + t_mem.max(t_flop) + t_atomic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_clamps() {
+        let p = DeviceProfile::a100_like();
+        assert!(p.utilization(1) > 0.0);
+        assert!(p.utilization(1) < 1e-4);
+        assert_eq!(p.utilization(10_000_000), 1.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bytes() {
+        let p = DeviceProfile::a100_like();
+        let t1 = p.kernel_time(1 << 20, 1 << 20, 0, 0);
+        let t2 = p.kernel_time(1 << 20, 1 << 28, 0, 0);
+        assert!(t2 > t1 * 10.0);
+    }
+
+    #[test]
+    fn small_launch_dominated_by_overhead() {
+        let p = DeviceProfile::a100_like();
+        let t = p.kernel_time(32, 256, 0, 0);
+        assert!(t < p.launch_overhead * 2.0);
+        assert!(t >= p.launch_overhead);
+    }
+
+    #[test]
+    fn compute_bound_uses_flop_roof() {
+        let p = DeviceProfile::a100_like();
+        let mem_only = p.kernel_time(1 << 22, 1 << 20, 0, 0);
+        let with_flops = p.kernel_time(1 << 22, 1 << 20, 1 << 40, 0);
+        assert!(with_flops > mem_only * 100.0);
+    }
+
+    #[test]
+    fn mi50_slower_than_a100_on_bandwidth() {
+        let a = DeviceProfile::a100_like();
+        let m = DeviceProfile::mi50_like();
+        let bytes = 1u64 << 30;
+        assert!(m.kernel_time(1 << 22, bytes, 0, 0) > a.kernel_time(1 << 22, bytes, 0, 0));
+    }
+}

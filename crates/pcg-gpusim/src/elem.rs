@@ -1,0 +1,158 @@
+//! Element types storable in GPU global memory.
+//!
+//! All global-memory traffic goes through relaxed atomics so that the
+//! emulator's concurrent block execution is free of undefined behavior
+//! while faithfully exhibiting GPU memory semantics (racy conflicting
+//! writes resolve to one of the written values).
+
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+
+/// A scalar that can live in [`crate::GpuBuffer`] global memory.
+///
+/// # Safety
+/// Implementations must perform genuinely atomic operations on the
+/// pointed-to storage; `PTR` casts rely on identical layout between the
+/// element and its atomic representation.
+pub unsafe trait GpuElem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Size in bytes (drives the memory-traffic model).
+    const BYTES: usize;
+    /// Atomic relaxed load.
+    ///
+    /// # Safety
+    /// `ptr` must point to valid, properly aligned storage of `Self`.
+    unsafe fn atomic_load(ptr: *mut Self) -> Self;
+    /// Atomic relaxed store.
+    ///
+    /// # Safety
+    /// `ptr` must point to valid, properly aligned storage of `Self`.
+    unsafe fn atomic_store(ptr: *mut Self, v: Self);
+    /// Atomic add, returning the previous value.
+    ///
+    /// # Safety
+    /// `ptr` must point to valid, properly aligned storage of `Self`.
+    unsafe fn atomic_add(ptr: *mut Self, v: Self) -> Self;
+    /// Atomic max, returning the previous value.
+    ///
+    /// # Safety
+    /// `ptr` must point to valid, properly aligned storage of `Self`.
+    unsafe fn atomic_max(ptr: *mut Self, v: Self) -> Self;
+}
+
+unsafe impl GpuElem for f64 {
+    const BYTES: usize = 8;
+    unsafe fn atomic_load(ptr: *mut f64) -> f64 {
+        f64::from_bits(AtomicU64::from_ptr(ptr.cast()).load(Ordering::Relaxed))
+    }
+    unsafe fn atomic_store(ptr: *mut f64, v: f64) {
+        AtomicU64::from_ptr(ptr.cast()).store(v.to_bits(), Ordering::Relaxed);
+    }
+    unsafe fn atomic_add(ptr: *mut f64, v: f64) -> f64 {
+        let a = AtomicU64::from_ptr(ptr.cast());
+        let mut cur = a.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(now) => cur = now,
+            }
+        }
+    }
+    unsafe fn atomic_max(ptr: *mut f64, v: f64) -> f64 {
+        let a = AtomicU64::from_ptr(ptr.cast());
+        let mut cur = a.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur).max(v).to_bits();
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+unsafe impl GpuElem for i64 {
+    const BYTES: usize = 8;
+    unsafe fn atomic_load(ptr: *mut i64) -> i64 {
+        AtomicI64::from_ptr(ptr).load(Ordering::Relaxed)
+    }
+    unsafe fn atomic_store(ptr: *mut i64, v: i64) {
+        AtomicI64::from_ptr(ptr).store(v, Ordering::Relaxed);
+    }
+    unsafe fn atomic_add(ptr: *mut i64, v: i64) -> i64 {
+        AtomicI64::from_ptr(ptr).fetch_add(v, Ordering::AcqRel)
+    }
+    unsafe fn atomic_max(ptr: *mut i64, v: i64) -> i64 {
+        AtomicI64::from_ptr(ptr).fetch_max(v, Ordering::AcqRel)
+    }
+}
+
+unsafe impl GpuElem for u32 {
+    const BYTES: usize = 4;
+    unsafe fn atomic_load(ptr: *mut u32) -> u32 {
+        AtomicU32::from_ptr(ptr).load(Ordering::Relaxed)
+    }
+    unsafe fn atomic_store(ptr: *mut u32, v: u32) {
+        AtomicU32::from_ptr(ptr).store(v, Ordering::Relaxed);
+    }
+    unsafe fn atomic_add(ptr: *mut u32, v: u32) -> u32 {
+        AtomicU32::from_ptr(ptr).fetch_add(v, Ordering::AcqRel)
+    }
+    unsafe fn atomic_max(ptr: *mut u32, v: u32) -> u32 {
+        AtomicU32::from_ptr(ptr).fetch_max(v, Ordering::AcqRel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_atomic_ops() {
+        let mut x = 1.5f64;
+        let p = &mut x as *mut f64;
+        unsafe {
+            assert_eq!(f64::atomic_load(p), 1.5);
+            f64::atomic_store(p, 2.5);
+            assert_eq!(f64::atomic_add(p, 1.0), 2.5);
+            assert_eq!(f64::atomic_load(p), 3.5);
+            f64::atomic_max(p, 10.0);
+            assert_eq!(f64::atomic_load(p), 10.0);
+            f64::atomic_max(p, 5.0);
+            assert_eq!(f64::atomic_load(p), 10.0);
+        }
+    }
+
+    #[test]
+    fn i64_and_u32_atomic_ops() {
+        let mut a = 5i64;
+        let mut b = 7u32;
+        unsafe {
+            assert_eq!(i64::atomic_add(&mut a, -2), 5);
+            assert_eq!(i64::atomic_load(&mut a), 3);
+            i64::atomic_max(&mut a, 100);
+            assert_eq!(i64::atomic_load(&mut a), 100);
+            assert_eq!(u32::atomic_add(&mut b, 3), 7);
+            assert_eq!(u32::atomic_load(&mut b), 10);
+        }
+    }
+
+    #[test]
+    fn contended_f64_add_is_exact() {
+        let mut x = 0.0f64;
+        let p = SendPtr(&mut x as *mut f64);
+        struct SendPtr(*mut f64);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        unsafe { f64::atomic_add(p.0, 1.0) };
+                    }
+                });
+            }
+        });
+        assert_eq!(x, 40_000.0);
+    }
+}

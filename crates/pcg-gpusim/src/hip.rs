@@ -1,0 +1,52 @@
+//! HIP-flavored frontend: an MI50-like device.
+//!
+//! See [`crate::cuda`] — the two frontends mirror the near-identity of
+//! CUDA and HIP, sharing the emulator with a different device profile.
+
+use crate::device::DeviceProfile;
+use crate::exec::Gpu;
+use pcg_core::ExecutionModel;
+
+/// Open the simulated HIP device (MI50-like).
+pub fn device() -> Gpu {
+    Gpu::with_profile(DeviceProfile::mi50_like(), ExecutionModel::Hip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::usage::UsageScope;
+
+    #[test]
+    fn hip_device_profile_and_usage() {
+        let scope = UsageScope::begin();
+        let gpu = device();
+        assert_eq!(gpu.profile().name, "sim-mi50");
+        let buf = crate::GpuBuffer::<i64>::zeroed(16);
+        gpu.launch_each(crate::Launch::over(16, 16), |t, ctx| {
+            let i = t.global_id();
+            ctx.write(&buf, i, i as i64);
+        });
+        let delta = scope.finish();
+        assert!(delta.used_required_api(ExecutionModel::Hip));
+        assert!(!buf.to_vec().is_empty());
+    }
+
+    #[test]
+    fn hip_kernels_slower_than_cuda_for_same_traffic() {
+        let c = crate::cuda::device();
+        let h = device();
+        let n = 1usize << 20;
+        let run = |gpu: &Gpu| {
+            let x = crate::GpuBuffer::<f64>::zeroed(n);
+            gpu.launch_each(crate::Launch::over(n, 256), |t, ctx| {
+                let i = t.global_id();
+                if i < x.len() {
+                    ctx.write(&x, i, 1.0);
+                }
+            })
+            .time
+        };
+        assert!(run(&h) > run(&c));
+    }
+}

@@ -1,0 +1,10 @@
+//! Extension: build@k per execution model (computed by the paper's
+//! harness in §7.3 but not shown as a figure).
+
+use pcg_harness::{pipeline, report, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let record = pipeline::load_or_run(None, &cfg);
+    print!("{}", report::build_at_k_table(&record, 1));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 3. Set PCG_FULL=1 for paper-scale settings.
+
+use pcg_harness::{pipeline, report, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let record = pipeline::load_or_run(None, &cfg);
+    print!("{}", report::figure3(&record));
+}

@@ -1,0 +1,10 @@
+//! Dump the rendered prompts of all 420 PCGBench tasks (or one
+//! execution model's 60 with e.g. `-- kokkos`).
+
+use pcg_core::ExecutionModel;
+use pcg_harness::report;
+
+fn main() {
+    let filter = std::env::args().nth(1).and_then(|s| ExecutionModel::parse(&s));
+    print!("{}", report::prompts(filter));
+}

@@ -1,0 +1,20 @@
+//! Run the full PCGBench evaluation and print every table and figure
+//! plus the paper-vs-measured summary. Set PCG_FULL=1 for paper-scale
+//! settings; the evaluation record is cached under target/pcgbench/.
+
+use pcg_harness::{pipeline, report, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let record = pipeline::load_or_run(None, &cfg);
+    print!("{}", report::table1());
+    print!("{}", report::table2());
+    print!("{}", report::figure1(&record));
+    print!("{}", report::figure2(&record));
+    print!("{}", report::figure3(&record));
+    print!("{}", report::figure4(&record));
+    print!("{}", report::figure5(&record));
+    print!("{}", report::figure6(&record));
+    print!("{}", report::figure7(&record));
+    print!("{}", report::experiments_summary(&record));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1 (problem-type catalog).
+
+fn main() {
+    print!("{}", pcg_harness::report::table1());
+}

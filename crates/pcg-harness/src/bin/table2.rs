@@ -1,0 +1,5 @@
+//! Regenerate Table 2 (model zoo).
+
+fn main() {
+    print!("{}", pcg_harness::report::table2());
+}

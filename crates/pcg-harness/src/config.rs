@@ -1,0 +1,115 @@
+//! Evaluation configuration.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Knobs for one full evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Global seed for workload generation and model sampling.
+    pub seed: u64,
+    /// Samples per task at the low temperature (paper: 20 @ 0.2).
+    pub samples_low: usize,
+    /// Samples per task at the high temperature (paper: 200 @ 0.8).
+    pub samples_high: usize,
+    /// Low sampling temperature.
+    pub temp_low: f64,
+    /// High sampling temperature.
+    pub temp_high: f64,
+    /// Workload size divisor applied to each problem's default size
+    /// (1 = paper-scale shapes, larger = faster smoke runs).
+    pub size_divisor: usize,
+    /// Wall-clock limit per candidate run (the paper's 3-minute cap,
+    /// scaled to our workload sizes).
+    pub timeout: Duration,
+    /// Timing repetitions per measured run (paper: 10).
+    pub reps: usize,
+    /// Skip the 200-sample high-temperature set entirely.
+    pub skip_high_temp: bool,
+    /// Skip the resource sweeps (Figure 5) and keep only headline-n
+    /// performance.
+    pub skip_sweeps: bool,
+}
+
+impl EvalConfig {
+    /// Paper-faithful settings (slow: full sizes, 200-sample runs).
+    pub fn full() -> EvalConfig {
+        EvalConfig {
+            seed: 20240501,
+            samples_low: 20,
+            samples_high: 200,
+            temp_low: 0.2,
+            temp_high: 0.8,
+            size_divisor: 1,
+            timeout: Duration::from_secs(20),
+            reps: 3,
+            skip_high_temp: false,
+            skip_sweeps: false,
+        }
+    }
+
+    /// Reduced settings for regenerating every figure in minutes.
+    pub fn quick() -> EvalConfig {
+        EvalConfig {
+            samples_high: 60,
+            size_divisor: 8,
+            reps: 1,
+            ..EvalConfig::full()
+        }
+    }
+
+    /// Tiny settings for integration tests (a subset of tasks is chosen
+    /// by the caller).
+    pub fn smoke() -> EvalConfig {
+        EvalConfig {
+            samples_low: 6,
+            samples_high: 10,
+            size_divisor: 64,
+            reps: 1,
+            skip_high_temp: false,
+            skip_sweeps: true,
+            ..EvalConfig::full()
+        }
+    }
+
+    /// Pick quick/full from the `PCG_FULL` environment variable.
+    pub fn from_env() -> EvalConfig {
+        let mut cfg = if std::env::var_os("PCG_FULL").is_some() {
+            EvalConfig::full()
+        } else {
+            EvalConfig::quick()
+        };
+        if let Ok(seed) = std::env::var("PCG_SEED") {
+            if let Ok(seed) = seed.parse() {
+                cfg.seed = seed;
+            }
+        }
+        cfg
+    }
+
+    /// The workload size used for a problem's default size.
+    pub fn size_for(&self, default_size: usize) -> usize {
+        (default_size / self.size_divisor.max(1)).max(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = EvalConfig::quick();
+        let f = EvalConfig::full();
+        assert!(q.size_divisor > f.size_divisor);
+        assert!(q.samples_high <= f.samples_high);
+        assert_eq!(q.samples_low, 20, "pass@1 sampling stays paper-faithful");
+    }
+
+    #[test]
+    fn size_for_scales_and_floors() {
+        let cfg = EvalConfig { size_divisor: 8, ..EvalConfig::full() };
+        assert_eq!(cfg.size_for(1 << 16), 1 << 13);
+        assert_eq!(cfg.size_for(100), 64);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pcg-harness
+//!
+//! The PCGBench evaluation pipeline (paper §7): generate candidates from
+//! the synthetic model zoo, "build" them, run them on the right
+//! substrate, validate against the handwritten sequential baselines,
+//! time them across resource counts, and aggregate the paper's metrics.
+//!
+//! The pipeline mirrors the paper's harness decisions:
+//!
+//! * a candidate is incorrect if it fails to build, crashes, exceeds the
+//!   time limit, produces a wrong answer, **or never touches its
+//!   required parallel programming model** (checked here via substrate
+//!   instrumentation counters rather than string matching),
+//! * `pass@1`-family metrics use 20 samples at temperature 0.2;
+//!   `pass@k` for `k > 1` uses 200 samples at temperature 0.8, with the
+//!   closed-source models excluded from the high-temperature runs (the
+//!   paper skipped them for cost),
+//! * performance ratios compare against the sequential baseline
+//!   (`T*/T`), with Search problems excluded from performance metrics
+//!   (the paper's super-linear-speedup footnote).
+//!
+//! Figure/table regenerators live in `src/bin/` — one binary per paper
+//! artifact — all driven by [`pipeline::load_or_run`] which caches the
+//! full evaluation record as JSON.
+
+pub mod config;
+pub mod eval;
+pub mod expected;
+pub mod pipeline;
+pub mod record;
+pub mod report;
+pub mod runner;
+
+pub use config::EvalConfig;
+pub use record::{EvalRecord, ModelRecord, TaskRecord};

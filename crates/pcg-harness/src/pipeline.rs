@@ -1,0 +1,61 @@
+//! Disk-cached end-to-end evaluation used by the figure binaries.
+
+use crate::config::EvalConfig;
+use crate::eval::evaluate;
+use crate::record::EvalRecord;
+use std::path::{Path, PathBuf};
+
+/// Default cache path for a config (quick and full runs cache
+/// separately).
+pub fn default_cache_path(cfg: &EvalConfig) -> PathBuf {
+    let tag = if cfg.size_divisor == 1 { "full" } else { "quick" };
+    PathBuf::from("target").join("pcgbench").join(format!("records-{tag}.json"))
+}
+
+/// Load a cached evaluation record if it matches `cfg`, else run the
+/// full evaluation (all 7 models, all 420 tasks) and cache it.
+pub fn load_or_run(path: Option<&Path>, cfg: &EvalConfig) -> EvalRecord {
+    let path = path.map(Path::to_path_buf).unwrap_or_else(|| default_cache_path(cfg));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(rec) = serde_json::from_slice::<EvalRecord>(&bytes) {
+            if rec.config == *cfg {
+                eprintln!("[pcgbench] loaded cached records from {}", path.display());
+                return rec;
+            }
+            eprintln!("[pcgbench] cache config mismatch; re-running evaluation");
+        }
+    }
+    eprintln!(
+        "[pcgbench] running evaluation (7 models x 420 tasks, size/{}, {} low samples)...",
+        cfg.size_divisor, cfg.samples_low
+    );
+    let t0 = std::time::Instant::now();
+    let record = evaluate(cfg, &pcg_models::zoo(), None);
+    eprintln!("[pcgbench] evaluation finished in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match serde_json::to_vec(&record) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("[pcgbench] warning: could not cache records: {e}");
+            } else {
+                eprintln!("[pcgbench] cached records at {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[pcgbench] warning: could not serialize records: {e}"),
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_paths_distinguish_modes() {
+        let q = default_cache_path(&EvalConfig::quick());
+        let f = default_cache_path(&EvalConfig::full());
+        assert_ne!(q, f);
+    }
+}

@@ -1,0 +1,89 @@
+//! Serializable evaluation records consumed by the figure regenerators.
+
+use crate::config::EvalConfig;
+use pcg_core::TaskId;
+use pcg_metrics::TaskSamples;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything recorded for one (model, task) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Which task.
+    pub task: TaskId,
+    /// The 20-sample low-temperature set: build/correct flags plus the
+    /// headline-n performance ratio per sample.
+    pub low: TaskSamples,
+    /// The 200-sample high-temperature set (correctness only), when
+    /// collected.
+    pub high: Option<TaskSamples>,
+    /// Per-resource-count ratios aligned with the low samples
+    /// (Figure 5 sweeps; only OpenMP/Kokkos/MPI tasks carry these).
+    pub sweep: BTreeMap<u32, Vec<f64>>,
+}
+
+/// All tasks for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Model display name (Table 2).
+    pub model: String,
+    /// Per-task records in canonical task order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl ModelRecord {
+    /// Records matching a predicate on the task id.
+    pub fn tasks_where(&self, pred: impl Fn(TaskId) -> bool) -> Vec<&TaskRecord> {
+        self.tasks.iter().filter(|t| pred(t.task)).collect()
+    }
+}
+
+/// A complete evaluation: the config that produced it plus per-model
+/// records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// The configuration used.
+    pub config: EvalConfig,
+    /// One record per evaluated model, zoo order.
+    pub models: Vec<ModelRecord>,
+}
+
+impl EvalRecord {
+    /// Look up a model's record by name.
+    pub fn model(&self, name: &str) -> Option<&ModelRecord> {
+        self.models.iter().find(|m| m.model == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::{ExecutionModel, ProblemId, ProblemType};
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let task = ProblemId::new(ProblemType::Scan, 1).task(ExecutionModel::Mpi);
+        let rec = EvalRecord {
+            config: EvalConfig::smoke(),
+            models: vec![ModelRecord {
+                model: "GPT-4".into(),
+                tasks: vec![TaskRecord {
+                    task,
+                    low: TaskSamples {
+                        built: vec![true, false],
+                        correct: vec![true, false],
+                        ratio: vec![3.0, 0.0],
+                    },
+                    high: None,
+                    sweep: BTreeMap::from([(4u32, vec![2.0, 0.0])]),
+                }],
+            }],
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: EvalRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.models[0].model, "GPT-4");
+        assert_eq!(back.models[0].tasks[0].task, task);
+        assert_eq!(back.model("GPT-4").unwrap().tasks.len(), 1);
+        assert!(back.model("nope").is_none());
+    }
+}

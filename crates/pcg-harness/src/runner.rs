@@ -1,0 +1,266 @@
+//! Candidate execution: build, run (with a time limit), validate
+//! against the baseline, check parallel-API usage, and time.
+//!
+//! Outcomes are cached by `(task, kind, n)`: a synthetic model's
+//! candidate artifact is fully determined by its kind, so distinct
+//! samples (and distinct models) sharing a kind share one execution —
+//! the analog of the paper's per-sample compile-and-run, minus redundant
+//! recompilation of byte-identical generations.
+
+use crate::config::EvalConfig;
+use pcg_core::usage::UsageScope;
+use pcg_core::{CandidateKind, Output, PcgError, ProblemId, TaskId};
+use pcg_problems::registry;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// A measured, validated candidate execution.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Whether the candidate built.
+    pub built: bool,
+    /// Fully correct: built, ran in time, validated, used its API.
+    pub correct: bool,
+    /// Candidate runtime in seconds (virtual or measured; meaningful
+    /// only when correct).
+    pub seconds: f64,
+    /// Failure code (`PcgError::code`-style) when not correct.
+    pub error: Option<String>,
+}
+
+/// The sequential baseline for a problem at the configured size.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Oracle output.
+    pub output: Output,
+    /// Best-of-reps baseline runtime in seconds.
+    pub seconds: f64,
+}
+
+/// Caching candidate runner.
+pub struct Runner {
+    cfg: EvalConfig,
+    baselines: HashMap<ProblemId, Baseline>,
+    outcomes: HashMap<(TaskId, CandidateKind, u32), Outcome>,
+}
+
+impl Runner {
+    /// A fresh runner for one evaluation.
+    pub fn new(cfg: EvalConfig) -> Runner {
+        Runner { cfg, baselines: HashMap::new(), outcomes: HashMap::new() }
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.cfg
+    }
+
+    /// The baseline for `problem`, measured on first use.
+    pub fn baseline(&mut self, problem: ProblemId) -> &Baseline {
+        let cfg = &self.cfg;
+        self.baselines.entry(problem).or_insert_with(|| {
+            let p = registry::problem(problem);
+            let size = cfg.size_for(p.default_size());
+            let mut best = f64::INFINITY;
+            let mut output = None;
+            for _ in 0..cfg.reps.max(1) {
+                let run = p.run_baseline(cfg.seed, size);
+                best = best.min(run.seconds);
+                output = Some(run.output);
+            }
+            Baseline { output: output.expect("at least one rep"), seconds: best }
+        })
+    }
+
+    /// Execute (or fetch the cached execution of) one candidate.
+    pub fn outcome(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> Outcome {
+        if let Some(hit) = self.outcomes.get(&(task, kind, n)) {
+            return hit.clone();
+        }
+        let baseline_output = self.baseline(task.problem).output.clone();
+        let out = self.execute(task, kind, n, &baseline_output);
+        self.outcomes.insert((task, kind, n), out.clone());
+        out
+    }
+
+    /// The `T*/T` performance ratio of one candidate (0 when incorrect).
+    pub fn ratio(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> f64 {
+        let base = self.baseline(task.problem).seconds;
+        let out = self.outcome(task, kind, n);
+        if out.correct && out.seconds > 0.0 {
+            base / out.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn execute(
+        &self,
+        task: TaskId,
+        kind: CandidateKind,
+        n: u32,
+        baseline_output: &Output,
+    ) -> Outcome {
+        let problem = registry::problem(task.problem);
+        let size = self.cfg.size_for(problem.default_size());
+        let seed = self.cfg.seed;
+        let reps = if matches!(kind, CandidateKind::Correct(_)) { self.cfg.reps.max(1) } else { 1 };
+
+        // Run on a worker thread so a runaway candidate can be abandoned
+        // at the time limit (the paper's 3-minute kill).
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let scope = UsageScope::begin();
+            let t0 = Instant::now();
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps {
+                let run = problem.run_candidate(task.model, kind, n, seed, size);
+                match &run {
+                    Ok(r) => best = best.min(r.seconds),
+                    Err(_) => {
+                        last = Some(run);
+                        break;
+                    }
+                }
+                last = Some(run);
+            }
+            let usage = scope.finish();
+            let _wall = t0.elapsed();
+            let _ = tx.send((last.expect("at least one rep ran"), best, usage));
+        });
+
+        let (result, best, usage) = match rx.recv_timeout(self.cfg.timeout) {
+            Ok(v) => v,
+            Err(_) => {
+                // Either the candidate hung past the limit or the worker
+                // died; both count as a failed run.
+                return Outcome {
+                    built: true,
+                    correct: false,
+                    seconds: f64::INFINITY,
+                    error: Some("timeout".into()),
+                };
+            }
+        };
+
+        match result {
+            Err(PcgError::BuildFailure(_)) => Outcome {
+                built: false,
+                correct: false,
+                seconds: f64::INFINITY,
+                error: Some("build".into()),
+            },
+            Err(e) => Outcome {
+                built: true,
+                correct: false,
+                seconds: f64::INFINITY,
+                error: Some(e.code().to_string()),
+            },
+            Ok(run) => {
+                if !run.output.approx_eq(baseline_output) {
+                    return Outcome {
+                        built: true,
+                        correct: false,
+                        seconds: best,
+                        error: Some("wrong".into()),
+                    };
+                }
+                if !usage.used_required_api(task.model) {
+                    return Outcome {
+                        built: true,
+                        correct: false,
+                        seconds: best,
+                        error: Some("sequential".into()),
+                    };
+                }
+                Outcome { built: true, correct: true, seconds: best, error: None }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::{ExecutionModel, ProblemType, Quality};
+
+    fn mk_task(model: ExecutionModel) -> TaskId {
+        pcg_core::ProblemId::new(ProblemType::Transform, 0).task(model)
+    }
+
+    fn runner() -> Runner {
+        Runner::new(EvalConfig::smoke())
+    }
+
+    #[test]
+    fn correct_candidate_validates() {
+        let mut r = runner();
+        let out = r.outcome(
+            mk_task(ExecutionModel::OpenMp),
+            CandidateKind::Correct(Quality::Efficient),
+            4,
+        );
+        assert!(out.built && out.correct, "{out:?}");
+        assert!(r.ratio(mk_task(ExecutionModel::OpenMp), CandidateKind::Correct(Quality::Efficient), 4) > 0.0);
+    }
+
+    #[test]
+    fn failure_kinds_map_to_codes() {
+        let mut r = runner();
+        let t = mk_task(ExecutionModel::OpenMp);
+        let build = r.outcome(t, CandidateKind::BuildFailure, 4);
+        assert!(!build.built && !build.correct);
+        assert_eq!(build.error.as_deref(), Some("build"));
+
+        let crash = r.outcome(t, CandidateKind::RuntimeCrash, 4);
+        assert!(crash.built && !crash.correct);
+        assert_eq!(crash.error.as_deref(), Some("runtime"));
+
+        let timeout = r.outcome(t, CandidateKind::Timeout, 4);
+        assert!(!timeout.correct);
+        assert_eq!(timeout.error.as_deref(), Some("timeout"));
+
+        let wrong = r.outcome(
+            t,
+            CandidateKind::WrongOutput(pcg_core::Corruption::PerturbElement),
+            4,
+        );
+        assert!(wrong.built && !wrong.correct);
+        assert_eq!(wrong.error.as_deref(), Some("wrong"));
+        assert_eq!(r.ratio(t, CandidateKind::WrongOutput(pcg_core::Corruption::PerturbElement), 4), 0.0);
+    }
+
+    #[test]
+    fn sequential_fallback_flagged_only_for_parallel_tasks() {
+        let mut r = runner();
+        let par = r.outcome(mk_task(ExecutionModel::Kokkos), CandidateKind::SequentialFallback, 4);
+        assert!(!par.correct);
+        assert_eq!(par.error.as_deref(), Some("sequential"));
+
+        let ser = r.outcome(mk_task(ExecutionModel::Serial), CandidateKind::SequentialFallback, 1);
+        assert!(ser.correct, "serial prompts cannot fail the usage check");
+    }
+
+    #[test]
+    fn outcomes_are_cached() {
+        let mut r = runner();
+        let t = mk_task(ExecutionModel::Cuda);
+        let a = r.outcome(t, CandidateKind::Correct(Quality::Efficient), 0);
+        let b = r.outcome(t, CandidateKind::Correct(Quality::Efficient), 0);
+        assert_eq!(a.seconds, b.seconds, "second call must be the cached run");
+    }
+
+    #[test]
+    fn inefficient_candidate_is_slower() {
+        let mut r = runner();
+        let t = mk_task(ExecutionModel::OpenMp);
+        let eff = r.ratio(t, CandidateKind::Correct(Quality::Efficient), 8);
+        let ineff = r.ratio(t, CandidateKind::Correct(Quality::Inefficient), 8);
+        assert!(eff > 0.0 && ineff > 0.0);
+        // The lopsided candidate cannot beat the balanced one by much;
+        // allow noise but expect a clear ordering at 8 threads.
+        assert!(ineff < eff * 1.5, "eff={eff} ineff={ineff}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the hybrid substrate: rank x thread decomposition
+//! must agree with serial oracles for arbitrary shapes.
+
+use pcg_hybrid::HybridWorld;
+use pcg_mpisim::{block_range, ReduceOp};
+use pcg_shmem::UnsafeSlice;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn hybrid_reduce_matches_oracle(
+        data in proptest::collection::vec(-100i64..100, 1..1500),
+        ranks in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let data_ref = &data;
+        let want: i64 = data.iter().sum();
+        let out = HybridWorld::new(ranks, threads)
+            .run(|ctx| {
+                let comm = ctx.comm();
+                let rg = block_range(data_ref.len(), comm.size(), comm.rank());
+                let local = ctx.par_reduce(rg, 0i64, |a, i| a + data_ref[i], |a, b| a + b);
+                comm.allreduce_one(local, ReduceOp::Sum)
+            })
+            .unwrap();
+        for r in out.per_rank {
+            prop_assert_eq!(r, want);
+        }
+    }
+
+    #[test]
+    fn hybrid_map_gather_matches_oracle(
+        n in 1usize..1200,
+        ranks in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        let out = HybridWorld::new(ranks, threads)
+            .run(|ctx| {
+                let comm = ctx.comm();
+                let rg = block_range(n, comm.size(), comm.rank());
+                let mut local = vec![0i64; rg.len()];
+                let lo = rg.start;
+                {
+                    let slice = UnsafeSlice::new(&mut local);
+                    ctx.par_for(0..rg.len(), |j| unsafe {
+                        slice.write(j, ((lo + j) * 3) as i64);
+                    });
+                }
+                comm.gather(0, &local)
+            })
+            .unwrap();
+        let got = out.per_rank[0].as_ref().unwrap();
+        prop_assert!(got.iter().enumerate().all(|(i, &v)| v == (i * 3) as i64));
+    }
+
+    #[test]
+    fn virtual_time_monotone_in_work(ranks in 1usize..4) {
+        let run = |per_rank_work: usize| {
+            HybridWorld::new(ranks, 2)
+                .run(|ctx| {
+                    ctx.par_for(0..per_rank_work, |i| {
+                        std::hint::black_box(i * i);
+                    });
+                })
+                .unwrap()
+                .elapsed
+        };
+        // 50x the work cannot be modeled as faster.
+        prop_assert!(run(100_000) > run(2_000));
+    }
+}

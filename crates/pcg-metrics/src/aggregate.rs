@@ -1,0 +1,122 @@
+//! Benchmark-level aggregation of per-sample outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-sample outcomes for one task (one prompt).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskSamples {
+    /// Whether each sample built.
+    pub built: Vec<bool>,
+    /// Whether each sample was fully correct (built, ran, validated,
+    /// used the required parallel API).
+    pub correct: Vec<bool>,
+    /// Each sample's `T*/T` ratio at the headline resource count
+    /// (0 for incorrect samples).
+    pub ratio: Vec<f64>,
+}
+
+impl TaskSamples {
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.correct.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.correct.is_empty()
+    }
+
+    /// Count of correct samples.
+    pub fn num_correct(&self) -> usize {
+        self.correct.iter().filter(|&&c| c).count()
+    }
+
+    /// Count of building samples.
+    pub fn num_built(&self) -> usize {
+        self.built.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Aggregated metrics over a set of tasks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Mean `pass@k`.
+    pub pass_at_k: f64,
+    /// Mean `build@k`.
+    pub build_at_k: f64,
+    /// Mean `speedup_n@k`.
+    pub speedup: f64,
+    /// Mean `efficiency_n@k`.
+    pub efficiency: f64,
+    /// Number of tasks aggregated.
+    pub tasks: usize,
+}
+
+impl MetricSummary {
+    /// Aggregate `tasks` at draw count `k` and resource count `n`.
+    pub fn compute(tasks: &[&TaskSamples], k: usize, n_resources: u32) -> MetricSummary {
+        if tasks.is_empty() {
+            return MetricSummary::default();
+        }
+        let mut pass = 0.0;
+        let mut build = 0.0;
+        let mut ratios: Vec<Vec<f64>> = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            let n = t.len().max(1);
+            let k_eff = k.min(n);
+            pass += crate::pass_at_k(n, t.num_correct(), k_eff);
+            build += crate::pass_at_k(n, t.num_built(), k_eff);
+            ratios.push(t.ratio.clone());
+        }
+        let k_perf = k.min(ratios.iter().map(|r| r.len()).min().unwrap_or(1)).max(1);
+        let speedup = crate::speedup_n_at_k(&ratios, k_perf);
+        MetricSummary {
+            pass_at_k: pass / tasks.len() as f64,
+            build_at_k: build / tasks.len() as f64,
+            speedup,
+            efficiency: speedup / f64::from(n_resources.max(1)),
+            tasks: tasks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(correct: &[bool], ratios: &[f64]) -> TaskSamples {
+        TaskSamples {
+            built: correct.iter().map(|_| true).collect(),
+            correct: correct.to_vec(),
+            ratio: ratios.to_vec(),
+        }
+    }
+
+    #[test]
+    fn summary_over_two_tasks() {
+        let a = task(&[true, false], &[2.0, 0.0]);
+        let b = task(&[false, false], &[0.0, 0.0]);
+        let s = MetricSummary::compute(&[&a, &b], 1, 4);
+        assert!((s.pass_at_k - 0.25).abs() < 1e-12);
+        assert!((s.build_at_k - 1.0).abs() < 1e-12);
+        assert!((s.speedup - 0.5).abs() < 1e-12);
+        assert!((s.efficiency - 0.125).abs() < 1e-12);
+        assert_eq!(s.tasks, 2);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = MetricSummary::compute(&[], 1, 32);
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.pass_at_k, 0.0);
+    }
+
+    #[test]
+    fn counts() {
+        let t = task(&[true, true, false], &[1.0, 1.0, 0.0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_correct(), 2);
+        assert_eq!(t.num_built(), 3);
+        assert!(!t.is_empty());
+    }
+}

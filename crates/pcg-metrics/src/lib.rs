@@ -1,0 +1,245 @@
+//! # pcg-metrics
+//!
+//! Estimators for the paper's evaluation metrics (§6):
+//!
+//! * [`pass_at_k`] — the unbiased Codex estimator (Eq. 4); `build@k` is
+//!   the same estimator with "builds" as the success count,
+//! * [`expected_best_ratio`] — the order-statistics estimator of the
+//!   expected best speedup among `k` draws (Eq. 5),
+//! * [`speedup_n_at_k`] / [`efficiency_n_at_k`] — the benchmark-level
+//!   averages (Eqs. 6 and 7).
+//!
+//! All estimators are numerically stable (ratio recurrences, no raw
+//! factorials) and validated against brute-force enumeration in tests.
+
+mod aggregate;
+
+pub use aggregate::{MetricSummary, TaskSamples};
+
+/// Unbiased `pass@k` estimator (Eq. 4): the probability that at least
+/// one of `k` uniformly drawn samples out of `n` (with `c` correct) is
+/// correct, computed as `1 - C(n-c, k)/C(n, k)` via a stable product.
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(k >= 1, "pass@k needs k >= 1");
+    assert!(k <= n, "pass@k needs k <= n (got k={k}, n={n})");
+    assert!(c <= n, "cannot have more correct than total samples");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        // Fewer incorrect samples than draws: some draw is correct.
+        return 1.0;
+    }
+    // prod_{i=n-c+1..=n} (i - k) / i
+    let mut fail = 1.0f64;
+    for i in (n - c + 1)..=n {
+        fail *= (i - k) as f64 / i as f64;
+    }
+    1.0 - fail
+}
+
+/// Expected best value among `k` uniform draws without replacement from
+/// `values` (Eq. 5): `sum_j C(j-1, k-1)/C(N, k) * v_(j)` over the
+/// ascending order statistics `v_(j)`.
+///
+/// Returns 0 for an empty slice; panics if `k == 0` or `k > N`.
+pub fn expected_best_ratio(values: &[f64], k: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len();
+    assert!(k >= 1, "expected_best_ratio needs k >= 1");
+    assert!(k <= n, "expected_best_ratio needs k <= N (got k={k}, N={n})");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios must not be NaN"));
+    // w_j = C(j-1, k-1) / C(N, k) for j = k..=N (1-based); w_k = k/ C(N,k)*...
+    // Start from w_k = C(k-1, k-1)/C(N, k) = 1/C(N, k) and use the
+    // recurrence C(j, k-1) = C(j-1, k-1) * j / (j - k + 1).
+    let mut inv_cnk = 1.0f64; // 1 / C(N, k) built as a product
+    for i in 0..k {
+        inv_cnk *= (i + 1) as f64 / (n - i) as f64;
+    }
+    let mut weight = inv_cnk; // w_k
+    let mut acc = 0.0;
+    for j in k..=n {
+        acc += weight * sorted[j - 1];
+        // advance C(j-1, k-1) -> C(j, k-1)
+        weight *= j as f64 / (j - k + 1) as f64;
+    }
+    acc
+}
+
+/// `speedup_n@k` (Eq. 6): the average over prompts of the expected best
+/// baseline-over-candidate runtime ratio among `k` draws. Each inner
+/// slice holds one prompt's per-sample ratios (`T*/T_j`, with incorrect
+/// samples contributing 0).
+pub fn speedup_n_at_k(per_prompt_ratios: &[Vec<f64>], k: usize) -> f64 {
+    if per_prompt_ratios.is_empty() {
+        return 0.0;
+    }
+    let total: f64 =
+        per_prompt_ratios.iter().map(|ratios| expected_best_ratio(ratios, k)).sum();
+    total / per_prompt_ratios.len() as f64
+}
+
+/// `efficiency_n@k` (Eq. 7): [`speedup_n_at_k`] divided by the resource
+/// count `n`.
+pub fn efficiency_n_at_k(per_prompt_ratios: &[Vec<f64>], k: usize, n_resources: u32) -> f64 {
+    speedup_n_at_k(per_prompt_ratios, k) / f64::from(n_resources.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute force over all k-subsets for validation.
+    fn brute_pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+        let mut correct_draws = 0usize;
+        let mut total = 0usize;
+        let items: Vec<bool> = (0..n).map(|i| i < c).collect();
+        fn subsets(
+            items: &[bool],
+            k: usize,
+            start: usize,
+            any: bool,
+            total: &mut usize,
+            hit: &mut usize,
+        ) {
+            if k == 0 {
+                *total += 1;
+                if any {
+                    *hit += 1;
+                }
+                return;
+            }
+            for i in start..items.len() {
+                subsets(items, k - 1, i + 1, any || items[i], total, hit);
+            }
+        }
+        subsets(&items, k, 0, false, &mut total, &mut correct_draws);
+        correct_draws as f64 / total as f64
+    }
+
+    fn brute_expected_best(values: &[f64], k: usize) -> f64 {
+        fn subsets(values: &[f64], k: usize, start: usize, best: f64, acc: &mut (f64, usize)) {
+            if k == 0 {
+                acc.0 += best;
+                acc.1 += 1;
+                return;
+            }
+            for i in start..values.len() {
+                subsets(values, k - 1, i + 1, best.max(values[i]), acc);
+            }
+        }
+        let mut acc = (0.0, 0usize);
+        subsets(values, k, 0, f64::NEG_INFINITY, &mut acc);
+        acc.0 / acc.1 as f64
+    }
+
+    #[test]
+    fn pass_at_k_matches_brute_force() {
+        for n in 1..=8 {
+            for c in 0..=n {
+                for k in 1..=n {
+                    let est = pass_at_k(n, c, k);
+                    let brute = brute_pass_at_k(n, c, k);
+                    assert!((est - brute).abs() < 1e-12, "n={n} c={c} k={k}: {est} vs {brute}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_at_k_edges() {
+        assert_eq!(pass_at_k(20, 0, 1), 0.0);
+        assert_eq!(pass_at_k(20, 20, 1), 1.0);
+        assert!((pass_at_k(20, 10, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(pass_at_k(10, 5, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= n")]
+    fn pass_at_k_rejects_k_above_n() {
+        let _ = pass_at_k(5, 2, 6);
+    }
+
+    #[test]
+    fn expected_best_matches_brute_force() {
+        let values = [0.4, 2.0, 1.1, 0.0, 3.7, 0.9];
+        for k in 1..=values.len() {
+            let est = expected_best_ratio(&values, k);
+            let brute = brute_expected_best(&values, k);
+            assert!((est - brute).abs() < 1e-10, "k={k}: {est} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn expected_best_k_equals_n_is_max() {
+        let values = [0.5, 4.0, 2.0];
+        assert!((expected_best_ratio(&values, 3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_best_k1_is_mean() {
+        let values = [1.0, 2.0, 6.0];
+        assert!((expected_best_ratio(&values, 1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_averages_prompts() {
+        let prompts = vec![vec![2.0, 2.0], vec![0.0, 0.0]];
+        assert!((speedup_n_at_k(&prompts, 1) - 1.0).abs() < 1e-12);
+        assert!((efficiency_n_at_k(&prompts, 1, 4) - 0.25).abs() < 1e-12);
+        assert_eq!(speedup_n_at_k(&[], 1), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pass_at_k_monotone_in_k(n in 2usize..40, c in 0usize..40) {
+            let c = c.min(n);
+            let mut last = 0.0;
+            for k in 1..=n {
+                let v = pass_at_k(n, c, k);
+                prop_assert!(v >= last - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&v));
+                last = v;
+            }
+        }
+
+        #[test]
+        fn pass_at_k_monotone_in_c(n in 2usize..40, k in 1usize..10) {
+            let k = k.min(n);
+            let mut last = 0.0;
+            for c in 0..=n {
+                let v = pass_at_k(n, c, k);
+                prop_assert!(v >= last - 1e-12);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn expected_best_monotone_in_k(values in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+            let mut last = f64::NEG_INFINITY;
+            for k in 1..=values.len() {
+                let v = expected_best_ratio(&values, k);
+                prop_assert!(v >= last - 1e-9);
+                last = v;
+            }
+            // k = N recovers the maximum.
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((last - max).abs() < 1e-9);
+        }
+
+        #[test]
+        fn expected_best_bounded_by_extremes(values in proptest::collection::vec(0.0f64..10.0, 1..15), k in 1usize..15) {
+            let k = k.min(values.len());
+            let v = expected_best_ratio(&values, k);
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The per-rank communicator handle.
+//!
+//! [`Comm`] is the `MPI_COMM_WORLD` analog each rank program receives.
+//! Point-to-point operations move real data between rank threads and
+//! advance virtual clocks per the world's [`crate::CostModel`].
+//! Collectives are built on top of point-to-point with the classical
+//! algorithms (binomial broadcast/reduce, recursive-doubling allreduce,
+//! Hillis–Steele scan, ring allgather, dissemination barrier), so their
+//! log-P virtual-time scaling emerges from the p2p model.
+
+use crate::mailbox::Envelope;
+use crate::packet::{Elem, ReduceOp};
+use crate::world::WorldShared;
+use pcg_core::{usage, ExecutionModel};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Tags at or above this value are reserved for collectives.
+pub const RESERVED_TAG_BASE: u32 = 0x4000_0000;
+
+/// A rank's handle to the simulated world.
+pub struct Comm<'w> {
+    rank: usize,
+    size: usize,
+    shared: &'w WorldShared,
+    clock: Cell<f64>,
+    mark: Cell<Instant>,
+    coll_seq: Cell<u32>,
+    has_token: Cell<bool>,
+}
+
+impl<'w> Comm<'w> {
+    pub(crate) fn new(rank: usize, size: usize, shared: &'w WorldShared) -> Comm<'w> {
+        Comm {
+            rank,
+            size,
+            shared,
+            clock: Cell::new(0.0),
+            mark: Cell::new(Instant::now()),
+            coll_seq: Cell::new(0),
+            has_token: Cell::new(false),
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time in seconds (the `MPI_Wtime` analog).
+    pub fn clock(&self) -> f64 {
+        self.flush_compute();
+        self.clock.get()
+    }
+
+    /// Add `dt` seconds of modeled work to this rank's clock (used for
+    /// explicitly modeled compute, e.g. in tests and the hybrid layer).
+    pub fn advance(&self, dt: f64) {
+        self.flush_compute();
+        self.clock.set(self.clock.get() + dt.max(0.0));
+    }
+
+    // ---- token & clock internals -------------------------------------
+
+    pub(crate) fn acquire_token(&self) {
+        if !self.shared.tokens.acquire() {
+            abort_panic();
+        }
+        self.has_token.set(true);
+        self.mark.set(Instant::now());
+    }
+
+    pub(crate) fn release_token(&self) {
+        if self.has_token.replace(false) {
+            self.shared.tokens.release();
+        }
+    }
+
+    pub(crate) fn holds_token(&self) -> bool {
+        self.has_token.get()
+    }
+
+    pub(crate) fn final_clock(&self) -> f64 {
+        self.flush_compute();
+        self.clock.get()
+    }
+
+    /// Fold real elapsed time since the last mark into the virtual clock
+    /// (scaled), and reset the mark.
+    fn flush_compute(&self) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.mark.get()).as_secs_f64();
+        self.mark.set(now);
+        let scale = self.shared.cost.compute_scale;
+        if scale > 0.0 {
+            self.clock.set(self.clock.get() + dt * scale);
+        }
+    }
+
+    fn check_alive(&self) {
+        if self.shared.tokens.is_aborted() {
+            abort_panic();
+        }
+    }
+
+    fn next_coll_base(&self) -> u32 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1) & 0x003F_FFFF);
+        RESERVED_TAG_BASE + (seq << 6)
+    }
+
+    // ---- point to point ----------------------------------------------
+
+    /// Eager (buffered, non-blocking completion) send of a typed slice.
+    pub fn send<T: Elem>(&self, dst: usize, tag: u32, data: &[T]) {
+        usage::record(ExecutionModel::Mpi);
+        self.check_alive();
+        assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
+        self.flush_compute();
+        let packet = T::wrap(data.to_vec());
+        let bytes = packet.byte_len();
+        let t = self.clock.get() + self.shared.cost.send_overhead;
+        self.clock.set(t);
+        let available_at = t + self.shared.cost.wire_time(self.rank, dst, bytes);
+        self.shared.mailboxes[dst].deposit(Envelope {
+            src: self.rank,
+            tag,
+            packet,
+            available_at,
+        });
+    }
+
+    /// Blocking receive of a typed slice. `src = None` matches any
+    /// source. Panics (aborting the world) on a payload type mismatch,
+    /// mirroring an MPI datatype error.
+    pub fn recv<T: Elem>(&self, src: Option<usize>, tag: u32) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        self.check_alive();
+        if let Some(s) = src {
+            assert!(s < self.size, "recv from rank {s} out of range (size {})", self.size);
+        }
+        self.flush_compute();
+        let mut released = false;
+        let got = self.shared.mailboxes[self.rank].take_matching(src, tag, &mut || {
+            // Release the compute token before blocking so other rank
+            // threads can run; `release_token` only touches Cells and
+            // the semaphore, never the mailbox lock we hold.
+            if self.has_token.replace(false) {
+                self.shared.tokens.release();
+            }
+            released = true;
+        });
+        let Some((env, _)) = got else { abort_panic() };
+        if released {
+            self.acquire_token();
+        }
+        let arrived = self.clock.get().max(env.available_at) + self.shared.cost.recv_overhead;
+        self.clock.set(arrived);
+        match T::unwrap(env.packet) {
+            Some(v) => v,
+            None => panic!(
+                "mpisim: recv type mismatch at rank {} (tag {tag}, from {})",
+                self.rank, env.src
+            ),
+        }
+    }
+
+    /// Non-blocking probe for a matching message (`MPI_Iprobe` analog).
+    pub fn probe(&self, src: Option<usize>, tag: u32) -> bool {
+        usage::record(ExecutionModel::Mpi);
+        self.check_alive();
+        self.shared.mailboxes[self.rank].probe(src, tag)
+    }
+
+    /// Number of undelivered messages queued at this rank (diagnostics).
+    pub fn pending_messages(&self) -> usize {
+        self.shared.mailboxes[self.rank].pending()
+    }
+
+    /// Combined send-then-receive (deadlock-free thanks to eager sends).
+    pub fn sendrecv<T: Elem>(
+        &self,
+        dst: usize,
+        send_tag: u32,
+        data: &[T],
+        src: usize,
+        recv_tag: u32,
+    ) -> Vec<T> {
+        self.send(dst, send_tag, data);
+        self.recv(Some(src), recv_tag)
+    }
+
+    /// Send a single element.
+    pub fn send_one<T: Elem>(&self, dst: usize, tag: u32, value: T) {
+        self.send(dst, tag, &[value]);
+    }
+
+    /// Receive a single element.
+    pub fn recv_one<T: Elem>(&self, src: Option<usize>, tag: u32) -> T {
+        let v = self.recv::<T>(src, tag);
+        assert_eq!(v.len(), 1, "recv_one got {} elements", v.len());
+        v[0]
+    }
+
+    // ---- collectives ---------------------------------------------------
+
+    /// Dissemination barrier: ceil(log2 P) rounds of pairwise signals.
+    pub fn barrier(&self) {
+        usage::record(ExecutionModel::Mpi);
+        let base = self.next_coll_base();
+        if self.size == 1 {
+            return;
+        }
+        let mut k = 0u32;
+        let mut d = 1usize;
+        while d < self.size {
+            let dst = (self.rank + d) % self.size;
+            let src = (self.rank + self.size - d) % self.size;
+            self.send::<i64>(dst, base + k, &[]);
+            let _ = self.recv::<i64>(Some(src), base + k);
+            d <<= 1;
+            k += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. On non-root ranks the buffer
+    /// is replaced by the received data.
+    pub fn bcast<T: Elem>(&self, root: usize, data: &mut Vec<T>) {
+        usage::record(ExecutionModel::Mpi);
+        assert!(root < self.size, "bcast root out of range");
+        let base = self.next_coll_base();
+        if self.size == 1 {
+            return;
+        }
+        let relative = (self.rank + self.size - root) % self.size;
+        let real = |v: usize| (v + root) % self.size;
+        // Receive phase: find parent.
+        let mut mask = 1usize;
+        while mask < self.size {
+            if relative & mask != 0 {
+                *data = self.recv::<T>(Some(real(relative - mask)), base);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < self.size {
+                self.send::<T>(real(relative + mask), base, data);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Broadcast a single element from `root`.
+    pub fn bcast_one<T: Elem>(&self, root: usize, value: T) -> T {
+        let mut buf = vec![value];
+        self.bcast(root, &mut buf);
+        buf[0]
+    }
+
+    /// Binomial-tree elementwise reduction to `root`. Returns `Some`
+    /// on the root, `None` elsewhere. All ranks must pass equal-length
+    /// slices.
+    pub fn reduce<T: Elem>(&self, root: usize, local: &[T], op: ReduceOp) -> Option<Vec<T>> {
+        usage::record(ExecutionModel::Mpi);
+        assert!(root < self.size, "reduce root out of range");
+        let base = self.next_coll_base();
+        let relative = (self.rank + self.size - root) % self.size;
+        let real = |v: usize| (v + root) % self.size;
+        let mut acc = local.to_vec();
+        let mut mask = 1usize;
+        while mask < self.size {
+            if relative & mask != 0 {
+                self.send::<T>(real(relative - mask), base, &acc);
+                return None;
+            }
+            let child = relative + mask;
+            if child < self.size {
+                let other = self.recv::<T>(Some(real(child)), base);
+                assert_eq!(other.len(), acc.len(), "reduce length mismatch across ranks");
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = T::apply(op, *a, b);
+                }
+            }
+            mask <<= 1;
+        }
+        if self.rank == root {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Scalar reduction to `root`.
+    pub fn reduce_one<T: Elem>(&self, root: usize, value: T, op: ReduceOp) -> Option<T> {
+        self.reduce(root, &[value], op).map(|v| v[0])
+    }
+
+    /// Elementwise allreduce. Uses recursive doubling when the world is
+    /// a power of two; otherwise falls back to reduce-to-0 + broadcast.
+    pub fn allreduce<T: Elem>(&self, local: &[T], op: ReduceOp) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        if self.size.is_power_of_two() && self.size > 1 {
+            let base = self.next_coll_base();
+            let mut acc = local.to_vec();
+            let mut mask = 1usize;
+            let mut round = 0u32;
+            while mask < self.size {
+                let partner = self.rank ^ mask;
+                let other = self.sendrecv::<T>(partner, base + round, &acc, partner, base + round);
+                assert_eq!(other.len(), acc.len(), "allreduce length mismatch across ranks");
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = T::apply(op, *a, b);
+                }
+                mask <<= 1;
+                round += 1;
+            }
+            acc
+        } else {
+            let reduced = self.reduce(0, local, op);
+            let mut data = reduced.unwrap_or_default();
+            self.bcast(0, &mut data);
+            data
+        }
+    }
+
+    /// Scalar allreduce.
+    pub fn allreduce_one<T: Elem>(&self, value: T, op: ReduceOp) -> T {
+        self.allreduce(&[value], op)[0]
+    }
+
+    /// Inclusive scan over ranks (Hillis–Steele, ceil(log2 P) rounds):
+    /// rank r receives `op`-combination of locals from ranks `0..=r`.
+    pub fn scan<T: Elem>(&self, local: &[T], op: ReduceOp) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        let base = self.next_coll_base();
+        let mut acc = local.to_vec();
+        let mut d = 1usize;
+        let mut round = 0u32;
+        while d < self.size {
+            if self.rank + d < self.size {
+                self.send::<T>(self.rank + d, base + round, &acc);
+            }
+            if self.rank >= d {
+                let other = self.recv::<T>(Some(self.rank - d), base + round);
+                assert_eq!(other.len(), acc.len(), "scan length mismatch across ranks");
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = T::apply(op, b, *a);
+                }
+            }
+            d <<= 1;
+            round += 1;
+        }
+        acc
+    }
+
+    /// Exclusive scan: rank r receives the combination of ranks `0..r`;
+    /// rank 0 receives the operator identity.
+    pub fn exscan<T: Elem>(&self, local: &[T], op: ReduceOp) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        let inclusive = self.scan(local, op);
+        let base = self.next_coll_base();
+        if self.rank + 1 < self.size {
+            self.send::<T>(self.rank + 1, base, &inclusive);
+        }
+        if self.rank == 0 {
+            local.iter().map(|_| T::identity(op)).collect()
+        } else {
+            self.recv::<T>(Some(self.rank - 1), base)
+        }
+    }
+
+    /// Scalar inclusive scan.
+    pub fn scan_one<T: Elem>(&self, value: T, op: ReduceOp) -> T {
+        self.scan(&[value], op)[0]
+    }
+
+    /// Scalar exclusive scan.
+    pub fn exscan_one<T: Elem>(&self, value: T, op: ReduceOp) -> T {
+        self.exscan(&[value], op)[0]
+    }
+
+    /// Linear gather of variable-length contributions, concatenated in
+    /// rank order at `root` (`MPI_Gatherv` analog).
+    pub fn gather<T: Elem>(&self, root: usize, local: &[T]) -> Option<Vec<T>> {
+        usage::record(ExecutionModel::Mpi);
+        assert!(root < self.size, "gather root out of range");
+        let base = self.next_coll_base();
+        if self.rank != root {
+            self.send::<T>(root, base, local);
+            return None;
+        }
+        let mut out = Vec::new();
+        for r in 0..self.size {
+            if r == root {
+                out.extend_from_slice(local);
+            } else {
+                out.extend(self.recv::<T>(Some(r), base));
+            }
+        }
+        Some(out)
+    }
+
+    /// Ring allgather: every rank ends with the rank-order concatenation
+    /// of all contributions.
+    pub fn allgather<T: Elem>(&self, local: &[T]) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        let base = self.next_coll_base();
+        let mut blocks: Vec<Option<Vec<T>>> = vec![None; self.size];
+        blocks[self.rank] = Some(local.to_vec());
+        let right = (self.rank + 1) % self.size;
+        let left = (self.rank + self.size - 1) % self.size;
+        for step in 0..self.size.saturating_sub(1) {
+            let send_idx = (self.rank + self.size - step) % self.size;
+            let tag = base + step as u32;
+            self.send::<T>(right, tag, blocks[send_idx].as_ref().expect("ring invariant"));
+            let recv_idx = (self.rank + self.size - step - 1) % self.size;
+            blocks[recv_idx] = Some(self.recv::<T>(Some(left), tag));
+        }
+        blocks.into_iter().flat_map(|b| b.expect("ring completed")).collect()
+    }
+
+    /// Scatter variable-length chunks from `root`: `chunks` is consulted
+    /// only on the root and must contain one `Vec` per rank.
+    pub fn scatter<T: Elem>(&self, root: usize, chunks: Option<&[Vec<T>]>) -> Vec<T> {
+        usage::record(ExecutionModel::Mpi);
+        assert!(root < self.size, "scatter root out of range");
+        let base = self.next_coll_base();
+        if self.rank == root {
+            let chunks = chunks.expect("root must supply scatter chunks");
+            assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
+            for (r, chunk) in chunks.iter().enumerate() {
+                if r != root {
+                    self.send::<T>(r, base, chunk);
+                }
+            }
+            chunks[root].clone()
+        } else {
+            self.recv::<T>(Some(root), base)
+        }
+    }
+
+    /// Scatter a slice in contiguous block distribution from `root`
+    /// (the common "divide the array" idiom). Non-roots pass `None`.
+    pub fn scatter_blocks<T: Elem>(&self, root: usize, data: Option<&[T]>, total_len: usize) -> Vec<T> {
+        let chunks: Option<Vec<Vec<T>>> = if self.rank == root {
+            let data = data.expect("root must supply scatter data");
+            assert_eq!(data.len(), total_len, "scatter_blocks length mismatch");
+            Some(
+                (0..self.size)
+                    .map(|r| data[block_range(total_len, self.size, r)].to_vec())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.scatter(root, chunks.as_deref())
+    }
+
+    /// Pairwise all-to-all personalized exchange: `chunks[r]` goes to
+    /// rank `r`; returns the chunks received, indexed by source rank.
+    pub fn alltoall<T: Elem>(&self, chunks: &[Vec<T>]) -> Vec<Vec<T>> {
+        usage::record(ExecutionModel::Mpi);
+        assert_eq!(chunks.len(), self.size, "alltoall needs one chunk per rank");
+        let base = self.next_coll_base();
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); self.size];
+        out[self.rank] = chunks[self.rank].clone();
+        for offset in 1..self.size {
+            let dst = (self.rank + offset) % self.size;
+            let src = (self.rank + self.size - offset) % self.size;
+            let tag = base + offset as u32;
+            self.send::<T>(dst, tag, &chunks[dst]);
+            out[src] = self.recv::<T>(Some(src), tag);
+        }
+        out
+    }
+}
+
+/// The contiguous block of `0..n` owned by `rank` out of `size` in the
+/// standard balanced block distribution (remainder spread over the first
+/// ranks).
+pub fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
+    let base = n / size;
+    let rem = n % size;
+    let lo = rank * base + rank.min(rem);
+    let len = base + usize::from(rank < rem);
+    lo..lo + len
+}
+
+#[cold]
+fn abort_panic() -> ! {
+    panic!("mpisim: world aborted");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_partitions() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for size in [1usize, 2, 3, 8] {
+                let mut covered = vec![];
+                for r in 0..size {
+                    covered.extend(block_range(n, size, r));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_balanced() {
+        // Sizes differ by at most one element.
+        let lens: Vec<usize> = (0..7).map(|r| block_range(100, 7, r).len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max - min <= 1, "{lens:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The Hockney α–β communication cost model.
+//!
+//! A message of `b` bytes between two ranks costs `α + b/β` seconds of
+//! virtual time, with separate (α, β) pairs for intra-node (shared
+//! memory) and inter-node (network) paths. Node membership is derived
+//! from `ranks_per_node`, mirroring the paper's "one rank per physical
+//! core, 64 cores per node" placement.
+
+/// Communication and compute-scaling parameters for a [`crate::World`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency between ranks on the same node (seconds).
+    pub latency_intra: f64,
+    /// Bandwidth between ranks on the same node (bytes/second).
+    pub bandwidth_intra: f64,
+    /// Per-message latency across nodes (seconds).
+    pub latency_inter: f64,
+    /// Bandwidth across nodes (bytes/second).
+    pub bandwidth_inter: f64,
+    /// Sender-side overhead charged per send (seconds).
+    pub send_overhead: f64,
+    /// Receiver-side overhead charged per matched receive (seconds).
+    pub recv_overhead: f64,
+    /// How many consecutive ranks share a node.
+    pub ranks_per_node: usize,
+    /// Multiplier applied to measured compute segments. `0.0` makes
+    /// virtual clocks fully deterministic (communication-only), which
+    /// tests use.
+    pub compute_scale: f64,
+}
+
+impl CostModel {
+    /// EPYC-class cluster defaults: ~0.5 µs / 20 GB/s intra-node,
+    /// ~1.8 µs / 12 GB/s inter-node (100 Gb/s class fabric), 64 ranks
+    /// per node as in the paper's testbed.
+    pub fn cluster() -> CostModel {
+        CostModel {
+            latency_intra: 0.5e-6,
+            bandwidth_intra: 20e9,
+            latency_inter: 1.8e-6,
+            bandwidth_inter: 12e9,
+            send_overhead: 0.2e-6,
+            recv_overhead: 0.2e-6,
+            ranks_per_node: 64,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// Deterministic variant of [`CostModel::cluster`] with measured
+    /// compute disabled; used by tests asserting exact virtual times.
+    pub fn deterministic() -> CostModel {
+        CostModel { compute_scale: 0.0, ..CostModel::cluster() }
+    }
+
+    /// A zero-cost model: all communication free, compute disabled.
+    /// Useful for pure correctness tests.
+    pub fn free() -> CostModel {
+        CostModel {
+            latency_intra: 0.0,
+            bandwidth_intra: f64::INFINITY,
+            latency_inter: 0.0,
+            bandwidth_inter: f64::INFINITY,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            ranks_per_node: 64,
+            compute_scale: 0.0,
+        }
+    }
+
+    /// The node index hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node.max(1)
+    }
+
+    /// Virtual-time cost of moving `bytes` from `src` to `dst`
+    /// (excluding the per-call overheads).
+    pub fn wire_time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let (lat, bw) = if self.node_of(src) == self.node_of(dst) {
+            (self.latency_intra, self.bandwidth_intra)
+        } else {
+            (self.latency_inter, self.bandwidth_inter)
+        };
+        lat + bytes as f64 / bw
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_cheaper_than_inter() {
+        let m = CostModel::cluster();
+        let intra = m.wire_time(0, 1, 1 << 20);
+        let inter = m.wire_time(0, 64, 1 << 20);
+        assert!(intra < inter);
+    }
+
+    #[test]
+    fn self_send_free() {
+        let m = CostModel::cluster();
+        assert_eq!(m.wire_time(3, 3, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn node_mapping() {
+        let m = CostModel::cluster();
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(63), 0);
+        assert_eq!(m.node_of(64), 1);
+        assert_eq!(m.node_of(511), 7);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let m = CostModel::cluster();
+        let small = m.wire_time(0, 1, 8);
+        let big = m.wire_time(0, 1, 8 << 20);
+        assert!(big > small * 100.0);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.wire_time(0, 200, 1 << 20), 0.0);
+    }
+}

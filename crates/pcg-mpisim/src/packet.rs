@@ -1,0 +1,195 @@
+//! Typed message payloads and reduction operators.
+//!
+//! Messages carry one of a small set of concrete element types; the
+//! [`Elem`] trait lets the point-to-point and collective APIs stay
+//! generic while byte counts (for the cost model) and reduction
+//! semantics stay exact.
+
+/// A message payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// 64-bit floats.
+    F64s(Vec<f64>),
+    /// 64-bit signed integers.
+    I64s(Vec<i64>),
+    /// 32-bit unsigned integers (graph/sparse indices).
+    U32s(Vec<u32>),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Packet {
+    /// Payload size in bytes, as charged by the cost model.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Packet::F64s(v) => v.len() * 8,
+            Packet::I64s(v) => v.len() * 8,
+            Packet::U32s(v) => v.len() * 4,
+            Packet::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Short type tag used in mismatch diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Packet::F64s(_) => "f64",
+            Packet::I64s(_) => "i64",
+            Packet::U32s(_) => "u32",
+            Packet::Bytes(_) => "bytes",
+        }
+    }
+}
+
+/// Built-in reduction operators (the `MPI_Op` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+/// An element type that can travel in a [`Packet`] and be reduced.
+pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Wrap a vector of elements into a packet.
+    fn wrap(v: Vec<Self>) -> Packet;
+    /// Unwrap a packet, `None` on type mismatch.
+    fn unwrap(p: Packet) -> Option<Vec<Self>>;
+    /// Size of one element in bytes.
+    const BYTES: usize;
+    /// Apply a reduction operator to a pair.
+    fn apply(op: ReduceOp, a: Self, b: Self) -> Self;
+    /// The operator's identity element.
+    fn identity(op: ReduceOp) -> Self;
+}
+
+impl Elem for f64 {
+    fn wrap(v: Vec<f64>) -> Packet {
+        Packet::F64s(v)
+    }
+    fn unwrap(p: Packet) -> Option<Vec<f64>> {
+        match p {
+            Packet::F64s(v) => Some(v),
+            _ => None,
+        }
+    }
+    const BYTES: usize = 8;
+    fn apply(op: ReduceOp, a: f64, b: f64) -> f64 {
+        match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+    fn identity(op: ReduceOp) -> f64 {
+        match op {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Prod => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Elem for i64 {
+    fn wrap(v: Vec<i64>) -> Packet {
+        Packet::I64s(v)
+    }
+    fn unwrap(p: Packet) -> Option<Vec<i64>> {
+        match p {
+            Packet::I64s(v) => Some(v),
+            _ => None,
+        }
+    }
+    const BYTES: usize = 8;
+    fn apply(op: ReduceOp, a: i64, b: i64) -> i64 {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+    fn identity(op: ReduceOp) -> i64 {
+        match op {
+            ReduceOp::Sum => 0,
+            ReduceOp::Prod => 1,
+            ReduceOp::Min => i64::MAX,
+            ReduceOp::Max => i64::MIN,
+        }
+    }
+}
+
+impl Elem for u32 {
+    fn wrap(v: Vec<u32>) -> Packet {
+        Packet::U32s(v)
+    }
+    fn unwrap(p: Packet) -> Option<Vec<u32>> {
+        match p {
+            Packet::U32s(v) => Some(v),
+            _ => None,
+        }
+    }
+    const BYTES: usize = 4;
+    fn apply(op: ReduceOp, a: u32, b: u32) -> u32 {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+    fn identity(op: ReduceOp) -> u32 {
+        match op {
+            ReduceOp::Sum => 0,
+            ReduceOp::Prod => 1,
+            ReduceOp::Min => u32::MAX,
+            ReduceOp::Max => u32::MIN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_lengths() {
+        assert_eq!(Packet::F64s(vec![0.0; 3]).byte_len(), 24);
+        assert_eq!(Packet::I64s(vec![0; 2]).byte_len(), 16);
+        assert_eq!(Packet::U32s(vec![0; 5]).byte_len(), 20);
+        assert_eq!(Packet::Bytes(vec![0; 7]).byte_len(), 7);
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let v = vec![1.5f64, -2.0];
+        assert_eq!(f64::unwrap(f64::wrap(v.clone())), Some(v));
+        assert_eq!(i64::unwrap(Packet::F64s(vec![1.0])), None);
+        assert_eq!(u32::unwrap(u32::wrap(vec![7])), Some(vec![7]));
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            for x in [-3.5f64, 0.0, 7.25] {
+                assert_eq!(f64::apply(op, f64::identity(op), x), x, "{op:?} {x}");
+            }
+            for x in [-3i64, 0, 7] {
+                assert_eq!(i64::apply(op, i64::identity(op), x), x, "{op:?} {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn ops_compute() {
+        assert_eq!(f64::apply(ReduceOp::Max, 2.0, 5.0), 5.0);
+        assert_eq!(i64::apply(ReduceOp::Prod, 3, 4), 12);
+        assert_eq!(u32::apply(ReduceOp::Min, 3, 4), 3);
+    }
+}

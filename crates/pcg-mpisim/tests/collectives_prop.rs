@@ -1,0 +1,158 @@
+//! Property tests: every collective agrees with a local oracle for
+//! arbitrary rank counts, payload lengths, and contents — including the
+//! algorithm-switch boundaries (power-of-two vs not).
+
+use pcg_mpisim::{block_range, CostModel, ReduceOp, World};
+use proptest::prelude::*;
+
+fn det_world(size: usize) -> World {
+    World::new(size).with_cost_model(CostModel::deterministic())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bcast_delivers_root_data(
+        size in 1usize..12,
+        root_pick in 0usize..12,
+        data in proptest::collection::vec(-1000i64..1000, 0..40),
+    ) {
+        let root = root_pick % size;
+        let data_ref = &data;
+        let out = det_world(size)
+            .run(move |comm| {
+                let mut buf = if comm.rank() == root { data_ref.clone() } else { vec![] };
+                comm.bcast(root, &mut buf);
+                buf
+            })
+            .unwrap();
+        for r in out.per_rank {
+            prop_assert_eq!(&r, data_ref);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_oracle(
+        size in 1usize..12,
+        len in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        // Deterministic per-rank payloads derived from (rank, index).
+        let val = move |rank: usize, i: usize| {
+            ((seed as i64 + rank as i64 * 31 + i as i64 * 7) % 23) - 11
+        };
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let out = det_world(size)
+                .run(move |comm| {
+                    let local: Vec<i64> = (0..len).map(|i| val(comm.rank(), i)).collect();
+                    comm.allreduce(&local, op)
+                })
+                .unwrap();
+            let oracle: Vec<i64> = (0..len)
+                .map(|i| {
+                    let mut acc = val(0, i);
+                    for r in 1..size {
+                        acc = match op {
+                            ReduceOp::Sum => acc + val(r, i),
+                            ReduceOp::Min => acc.min(val(r, i)),
+                            ReduceOp::Max => acc.max(val(r, i)),
+                            ReduceOp::Prod => unreachable!(),
+                        };
+                    }
+                    acc
+                })
+                .collect();
+            for r in &out.per_rank {
+                prop_assert_eq!(r, &oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_and_exscan_match_oracle(size in 1usize..12, seed in 0u64..500) {
+        let val = move |rank: usize| ((seed as i64 + rank as i64 * 13) % 17) - 8;
+        let out = det_world(size)
+            .run(move |comm| {
+                (
+                    comm.scan_one(val(comm.rank()), ReduceOp::Sum),
+                    comm.exscan_one(val(comm.rank()), ReduceOp::Sum),
+                )
+            })
+            .unwrap();
+        let mut running = 0i64;
+        for (rank, (inc, exc)) in out.per_rank.iter().enumerate() {
+            prop_assert_eq!(*exc, running, "exscan at rank {}", rank);
+            running += val(rank);
+            prop_assert_eq!(*inc, running, "scan at rank {}", rank);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip(
+        size in 1usize..10,
+        data in proptest::collection::vec(-100f64..100.0, 1..80),
+    ) {
+        let data_ref = &data;
+        let n = data.len();
+        let out = det_world(size)
+            .run(move |comm| {
+                let local = comm.scatter_blocks(
+                    0,
+                    (comm.rank() == 0).then_some(data_ref.as_slice()),
+                    n,
+                );
+                // The local block must be exactly this rank's range.
+                let rg = block_range(n, comm.size(), comm.rank());
+                assert_eq!(local, data_ref[rg]);
+                comm.gather(0, &local)
+            })
+            .unwrap();
+        prop_assert_eq!(out.per_rank[0].as_ref().unwrap(), data_ref);
+    }
+
+    #[test]
+    fn allgather_matches_concatenation(size in 1usize..10, len in 0usize..10) {
+        let out = det_world(size)
+            .run(move |comm| {
+                let local: Vec<u32> = (0..len).map(|i| (comm.rank() * 100 + i) as u32).collect();
+                comm.allgather(&local)
+            })
+            .unwrap();
+        let want: Vec<u32> = (0..size)
+            .flat_map(|r| (0..len).map(move |i| (r * 100 + i) as u32))
+            .collect();
+        for r in out.per_rank {
+            prop_assert_eq!(&r, &want);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(size in 1usize..9) {
+        let out = det_world(size)
+            .run(move |comm| {
+                let chunks: Vec<Vec<i64>> = (0..comm.size())
+                    .map(|dst| vec![(comm.rank() * 100 + dst) as i64])
+                    .collect();
+                comm.alltoall(&chunks)
+            })
+            .unwrap();
+        for (dst, got) in out.per_rank.iter().enumerate() {
+            for (src, chunk) in got.iter().enumerate() {
+                prop_assert_eq!(chunk.clone(), vec![(src * 100 + dst) as i64]);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_elapsed_is_deterministic(size in 2usize..10) {
+        let run = || {
+            det_world(size)
+                .run(|comm| comm.allreduce_one(1.0f64, ReduceOp::Sum))
+                .unwrap()
+                .elapsed
+        };
+        // With compute_scale = 0 the virtual clock is exactly repeatable.
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,147 @@
+//! `ScatterView` analog: contention-free irregular updates.
+//!
+//! Kokkos' `ScatterView` gives each thread a private replica of an output
+//! array; contributions accumulate without atomics and are combined in a
+//! final `contribute` step. This is the canonical pattern for parallel
+//! histograms, which PCGBench tests directly.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-thread replicated scatter-add target.
+pub struct ScatterView<T> {
+    replicas: Vec<Mutex<Vec<T>>>,
+    len: usize,
+    next_slot: AtomicUsize,
+}
+
+/// A thread's access handle into a [`ScatterView`].
+pub struct ScatterAccess<'a, T> {
+    replica: parking_lot::MutexGuard<'a, Vec<T>>,
+}
+
+impl<T: Copy + Default + std::ops::AddAssign> ScatterView<T> {
+    /// Create a scatter target of length `len` with `replicas` private
+    /// copies (typically the thread count).
+    pub fn new(len: usize, replicas: usize) -> ScatterView<T> {
+        assert!(replicas > 0, "need at least one replica");
+        ScatterView {
+            replicas: (0..replicas).map(|_| Mutex::new(vec![T::default(); len])).collect(),
+            len,
+            next_slot: AtomicUsize::new(0),
+        }
+    }
+
+    /// Target length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the target is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Acquire a replica for the calling thread. Replicas are handed out
+    /// round-robin; under one acquisition per team member per region this
+    /// is contention-free.
+    pub fn access(&self) -> ScatterAccess<'_, T> {
+        let start = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.replicas.len();
+        // Try each replica starting from our round-robin slot; fall back
+        // to blocking on ours if all are busy.
+        for k in 0..self.replicas.len() {
+            let idx = (start + k) % self.replicas.len();
+            if let Some(guard) = self.replicas[idx].try_lock() {
+                return ScatterAccess { replica: guard };
+            }
+        }
+        ScatterAccess { replica: self.replicas[start].lock() }
+    }
+
+    /// Combine all replicas into `out` (adds on top of existing values).
+    pub fn contribute(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.len, "contribute length mismatch");
+        for replica in &self.replicas {
+            let r = replica.lock();
+            for (o, &v) in out.iter_mut().zip(r.iter()) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Reset all replicas to default.
+    pub fn reset(&self) {
+        for replica in &self.replicas {
+            for v in replica.lock().iter_mut() {
+                *v = T::default();
+            }
+        }
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign> ScatterAccess<'_, T> {
+    /// Accumulate `value` into slot `i` of this thread's replica.
+    pub fn add(&mut self, i: usize, value: T) {
+        self.replica[i] += value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecSpace;
+
+    #[test]
+    fn concurrent_histogram_sums_correctly() {
+        let space = ExecSpace::new(4);
+        let scatter: ScatterView<i64> = ScatterView::new(10, 4);
+        let data: Vec<usize> = (0..10_000).map(|i| i % 10).collect();
+        let data_ref = &data;
+        let scatter_ref = &scatter;
+        space.parallel_for_teams(16, |team| {
+            let mut access = scatter_ref.access();
+            let chunk = data_ref.len() / 16;
+            let lo = team.league_rank() * chunk;
+            let hi = if team.league_rank() == 15 { data_ref.len() } else { lo + chunk };
+            for &bin in &data_ref[lo..hi] {
+                access.add(bin, 1);
+            }
+        });
+        let mut out = vec![0i64; 10];
+        scatter.contribute(&mut out);
+        assert!(out.iter().all(|&c| c == 1000), "{out:?}");
+    }
+
+    #[test]
+    fn contribute_adds_to_existing() {
+        let s: ScatterView<i64> = ScatterView::new(3, 2);
+        s.access().add(1, 5);
+        let mut out = vec![10, 10, 10];
+        s.contribute(&mut out);
+        assert_eq!(out, vec![10, 15, 10]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s: ScatterView<f64> = ScatterView::new(2, 2);
+        s.access().add(0, 1.5);
+        s.reset();
+        let mut out = vec![0.0; 2];
+        s.contribute(&mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn contribute_checks_len() {
+        let s: ScatterView<i64> = ScatterView::new(3, 1);
+        let mut out = vec![0i64; 2];
+        s.contribute(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _: ScatterView<i64> = ScatterView::new(3, 0);
+    }
+}

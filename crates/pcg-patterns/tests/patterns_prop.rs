@@ -1,0 +1,106 @@
+//! Property tests: pattern dispatches agree with serial oracles for
+//! arbitrary shapes and operator choices.
+
+use pcg_patterns::{ExecSpace, ScatterView, View};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scan_matches_serial_for_sum_and_min(
+        data in proptest::collection::vec(-50f64..50.0, 0..1200),
+        threads in 1usize..7,
+    ) {
+        let space = ExecSpace::new(threads);
+        let n = data.len();
+        let data_ref = &data;
+
+        // Inclusive sum scan.
+        let out: View<f64> = View::new("out", n);
+        let o2 = out.clone();
+        let total = space.parallel_scan(
+            n,
+            0.0,
+            |i| data_ref[i],
+            |a, b| a + b,
+            move |i, v| unsafe { o2.set(i, v) },
+        );
+        let mut acc = 0.0;
+        let got = out.to_vec();
+        for i in 0..n {
+            acc += data_ref[i];
+            prop_assert!((got[i] - acc).abs() < 1e-9 * acc.abs().max(1.0));
+        }
+        prop_assert!((total - acc).abs() < 1e-9 * acc.abs().max(1.0));
+
+        // Inclusive min scan (idempotent op: catches double-counting).
+        let out: View<f64> = View::new("out", n);
+        let o2 = out.clone();
+        space.parallel_scan(
+            n,
+            f64::INFINITY,
+            |i| data_ref[i],
+            f64::min,
+            move |i, v| unsafe { o2.set(i, v) },
+        );
+        let mut m = f64::INFINITY;
+        let got = out.to_vec();
+        for i in 0..n {
+            m = m.min(data_ref[i]);
+            prop_assert_eq!(got[i], m);
+        }
+    }
+
+    #[test]
+    fn md_range_covers_exactly(rows in 0usize..60, cols in 0usize..60) {
+        let space = ExecSpace::new(4);
+        let m: pcg_patterns::View2D<i64> = pcg_patterns::View2D::new("m", rows.max(1), cols.max(1));
+        let m2 = m.clone();
+        space.parallel_for_2d(rows.max(1), cols.max(1), |r, c| unsafe {
+            m2.set(r, c, (r * cols.max(1) + c) as i64 + 1)
+        });
+        let v = m.to_vec();
+        prop_assert!(v.iter().enumerate().all(|(k, &x)| x == k as i64 + 1));
+    }
+
+    #[test]
+    fn scatter_view_totals_match_direct_histogram(
+        bins in proptest::collection::vec(0usize..16, 0..2000),
+        replicas in 1usize..6,
+    ) {
+        let space = ExecSpace::new(4);
+        let scatter: ScatterView<i64> = ScatterView::new(16, replicas);
+        let bins_ref = &bins;
+        let scatter_ref = &scatter;
+        space.parallel_for_teams(8, |team| {
+            let per = bins_ref.len().div_ceil(8).max(1);
+            let lo = (team.league_rank() * per).min(bins_ref.len());
+            let hi = ((team.league_rank() + 1) * per).min(bins_ref.len());
+            let mut acc = scatter_ref.access();
+            for &b in &bins_ref[lo..hi] {
+                acc.add(b, 1);
+            }
+        });
+        let mut got = vec![0i64; 16];
+        scatter.contribute(&mut got);
+        let mut want = vec![0i64; 16];
+        for &b in bins_ref {
+            want[b] += 1;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_agrees_between_thread_counts(
+        data in proptest::collection::vec(-100i64..100, 0..1000),
+    ) {
+        let a = ExecSpace::new(1);
+        let b = ExecSpace::new(6);
+        let data_ref = &data;
+        let f = |space: &ExecSpace| {
+            space.parallel_reduce(data_ref.len(), 0i64, |i| data_ref[i], |x, y| x + y)
+        };
+        prop_assert_eq!(f(&a), f(&b));
+    }
+}

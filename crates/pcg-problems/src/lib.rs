@@ -1,0 +1,44 @@
+//! # pcg-problems
+//!
+//! The PCGBench problem suite: 12 problem types x 5 problems (paper
+//! Table 1), each with a seeded input generator, a handwritten optimal
+//! sequential baseline (the paper's `T*`), an output validator (via
+//! `pcg_core::Output` tolerant comparison), and reference parallel
+//! implementations for all seven execution models — 420 tasks in total.
+//!
+//! The [`framework`] module defines the [`framework::Spec`] trait each
+//! problem implements and the object-safe [`framework::Problem`] runner
+//! the harness consumes: given a task, a [`pcg_core::CandidateKind`]
+//! (what a synthetic model "generated"), and a resource count, it builds
+//! the corresponding executable artifact, runs it on the right substrate,
+//! and returns output plus (virtual or measured) runtime.
+//!
+//! ```
+//! use pcg_core::{CandidateKind, ExecutionModel, Quality};
+//! use pcg_problems::registry;
+//!
+//! let problems = registry::all_problems();
+//! assert_eq!(problems.len(), 60);
+//! let p = &problems[0];
+//! let base = p.run_baseline(42, 1 << 10);
+//! let run = p
+//!     .run_candidate(
+//!         ExecutionModel::OpenMp,
+//!         CandidateKind::Correct(Quality::Efficient),
+//!         4,
+//!         42,
+//!         1 << 10,
+//!     )
+//!     .unwrap();
+//! assert!(run.output.approx_eq(&base.output));
+//! ```
+
+pub mod corrupt;
+pub mod fallback;
+pub mod framework;
+pub mod registry;
+pub mod util;
+
+mod types;
+
+pub use framework::{Problem, Resources, Spec, TimedRun};

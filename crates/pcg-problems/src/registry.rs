@@ -1,0 +1,66 @@
+//! The problem registry: all 60 problems in canonical Table 1 order.
+
+use crate::framework::Problem;
+use crate::types;
+use pcg_core::ProblemId;
+use std::sync::OnceLock;
+
+static REGISTRY: OnceLock<Vec<Box<dyn Problem>>> = OnceLock::new();
+
+/// All problems, ordered by [`ProblemId::index`].
+pub fn all_problems() -> &'static [Box<dyn Problem>] {
+    REGISTRY.get_or_init(|| {
+        let mut v: Vec<Box<dyn Problem>> = Vec::with_capacity(60);
+        v.extend(types::sort::problems());
+        v.extend(types::scan::problems());
+        v.extend(types::dense::problems());
+        v.extend(types::sparse::problems());
+        v.extend(types::search::problems());
+        v.extend(types::reduce::problems());
+        v.extend(types::histogram::problems());
+        v.extend(types::stencil::problems());
+        v.extend(types::graph::problems());
+        v.extend(types::geometry::problems());
+        v.extend(types::fft::problems());
+        v.extend(types::transform::problems());
+        for (i, p) in v.iter().enumerate() {
+            assert_eq!(p.id().index(), i, "registry out of order at {}", p.id());
+        }
+        v
+    })
+}
+
+/// Look up one problem by id.
+pub fn problem(id: ProblemId) -> &'static dyn Problem {
+    &*all_problems()[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::task::all_problems as all_ids;
+
+    #[test]
+    fn registry_complete_and_ordered() {
+        let problems = all_problems();
+        assert_eq!(problems.len(), 60);
+        for (id, p) in all_ids().zip(problems.iter()) {
+            assert_eq!(p.id(), id);
+            assert_eq!(problem(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn prompts_are_renderable_and_distinct() {
+        let mut fn_names: Vec<String> =
+            all_problems().iter().map(|p| p.prompt().fn_name).collect();
+        fn_names.sort();
+        fn_names.dedup();
+        assert_eq!(fn_names.len(), 60, "every problem needs a unique function name");
+        for p in all_problems() {
+            let spec = p.prompt();
+            assert!(!spec.description.is_empty());
+            assert!(!spec.examples.is_empty(), "{}: prompts need examples", p.id());
+        }
+    }
+}

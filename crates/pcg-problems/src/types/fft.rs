@@ -1,0 +1,885 @@
+//! Fourier transform problems (Table 1 "Fourier Transform"): forward
+//! and inverse transforms over batches of rows, an averaged power
+//! spectrum, a full 2-D FFT (with an all-to-all distributed transpose
+//! on the MPI path), and a direct sparse DFT.
+//!
+//! The batch formulation parallelizes over independent transforms —
+//! rows, columns, or output frequencies — with the radix-2 kernel from
+//! `crate::util::fft_inplace` as the per-row workhorse.
+
+use crate::framework::{Problem, Spec};
+use crate::util::{self, fft_inplace};
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm, ReduceOp};
+use pcg_patterns::{ExecSpace, View};
+use pcg_shmem::{Pool, Schedule, UnsafeSlice};
+
+/// Batched complex input: `rows` rows of length `n` (both powers of two
+/// where a column pass needs them).
+pub struct FftInput {
+    rows: usize,
+    n: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+    /// Sparse signal (positions, values) for the direct-DFT variant.
+    sparse: (Vec<u32>, Vec<f64>),
+}
+
+fn prev_power_of_two(x: usize) -> usize {
+    ((x + 1).next_power_of_two()) / 2
+}
+
+fn gen_input(variant: usize, seed: u64, size: usize) -> FftInput {
+    let mut r = util::rng(seed, 1100 + variant as u64);
+    let n = 256usize.min(prev_power_of_two(size.max(8)));
+    let rows = prev_power_of_two((size / n).max(2));
+    let re = util::rand_f64s(&mut r, rows * n, -1.0, 1.0);
+    let im = util::rand_f64s(&mut r, rows * n, -1.0, 1.0);
+    use rand::Rng;
+    let k = 16usize;
+    let mut pos: Vec<u32> = (0..k).map(|_| r.gen_range(0..(rows * n) as u32)).collect();
+    pos.sort_unstable();
+    pos.dedup();
+    let vals = util::rand_f64s(&mut r, pos.len(), -1.0, 1.0);
+    FftInput { rows, n, re, im, sparse: (pos, vals) }
+}
+
+fn input_bytes(i: &FftInput) -> usize {
+    (i.re.len() + i.im.len()) * 8
+}
+
+/// Per-row flop charge for an n-point FFT.
+fn fft_flops(n: usize) -> u64 {
+    (5 * n as u64) * (n as f64).log2() as u64
+}
+
+/// What each row-batched variant emits.
+#[derive(Clone, Copy, PartialEq)]
+enum RowMode {
+    /// |FFT(row)| per element.
+    Magnitude,
+    /// Re(IFFT(row)) per element.
+    InverseReal,
+    /// Mean over rows of |FFT(row)|^2 per frequency.
+    PowerAvg,
+}
+
+struct RowFft {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    mode: RowMode,
+}
+
+impl RowFft {
+    fn transform_row(&self, input: &FftInput, row: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = input.n;
+        let mut re = input.re[row * n..(row + 1) * n].to_vec();
+        let mut im = input.im[row * n..(row + 1) * n].to_vec();
+        fft_inplace(&mut re, &mut im, self.mode == RowMode::InverseReal);
+        (re, im)
+    }
+
+    fn row_output(&self, input: &FftInput, row: usize) -> Vec<f64> {
+        let (re, im) = self.transform_row(input, row);
+        match self.mode {
+            RowMode::Magnitude => {
+                re.iter().zip(&im).map(|(a, b)| (a * a + b * b).sqrt()).collect()
+            }
+            RowMode::InverseReal => re,
+            RowMode::PowerAvg => re.iter().zip(&im).map(|(a, b)| a * a + b * b).collect(),
+        }
+    }
+
+    fn finish_power(&self, mut spectrum: Vec<f64>, rows: usize) -> Output {
+        for v in spectrum.iter_mut() {
+            *v /= rows as f64;
+        }
+        Output::F64s(spectrum)
+    }
+}
+
+impl Spec for RowFft {
+    type Input = FftInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::FourierTransform, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(
+                "rows of complex samples (re, im)".into(),
+                "per-row transform results".into(),
+            )],
+            signature: "rows: usize, n: usize, re: &[f64], im: &[f64], out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 14
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> FftInput {
+        gen_input(self.variant, seed, size)
+    }
+
+    fn input_bytes(&self, input: &FftInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &FftInput) -> Output {
+        match self.mode {
+            RowMode::PowerAvg => {
+                let mut acc = vec![0.0; input.n];
+                for row in 0..input.rows {
+                    for (a, v) in acc.iter_mut().zip(self.row_output(input, row)) {
+                        *a += v;
+                    }
+                }
+                self.finish_power(acc, input.rows)
+            }
+            _ => {
+                let mut out = Vec::with_capacity(input.rows * input.n);
+                for row in 0..input.rows {
+                    out.extend(self.row_output(input, row));
+                }
+                Output::F64s(out)
+            }
+        }
+    }
+
+    fn solve_shmem(&self, input: &FftInput, pool: &Pool) -> Output {
+        match self.mode {
+            RowMode::PowerAvg => {
+                let acc = pool.parallel_for_reduce(
+                    0..input.rows,
+                    vec![0.0f64; input.n],
+                    |mut acc, row| {
+                        for (a, v) in acc.iter_mut().zip(self.row_output(input, row)) {
+                            *a += v;
+                        }
+                        acc
+                    },
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                self.finish_power(acc, input.rows)
+            }
+            _ => {
+                let n = input.n;
+                let mut out = vec![0.0; input.rows * n];
+                {
+                    let slice = UnsafeSlice::new(&mut out);
+                    pool.parallel_for(0..input.rows, Schedule::Dynamic { chunk: 1 }, |row| {
+                        for (k, v) in self.row_output(input, row).into_iter().enumerate() {
+                            unsafe { slice.write(row * n + k, v) };
+                        }
+                    });
+                }
+                Output::F64s(out)
+            }
+        }
+    }
+
+    fn solve_patterns(&self, input: &FftInput, space: &ExecSpace) -> Output {
+        match self.mode {
+            RowMode::PowerAvg => {
+                let acc = space.parallel_reduce(
+                    input.rows,
+                    vec![0.0f64; input.n],
+                    |row| self.row_output(input, row),
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                self.finish_power(acc, input.rows)
+            }
+            _ => {
+                let n = input.n;
+                let out: View<f64> = View::new("out", input.rows * n);
+                let out2 = out.clone();
+                space.parallel_for_teams(input.rows, |team| {
+                    let row = team.league_rank();
+                    for (k, v) in self.row_output(input, row).into_iter().enumerate() {
+                        unsafe { out2.set(row * n + k, v) };
+                    }
+                });
+                Output::F64s(out.to_vec())
+            }
+        }
+    }
+
+    fn solve_mpi(&self, input: &FftInput, comm: &Comm<'_>) -> Option<Output> {
+        let n = input.n;
+        let rows = input.rows;
+        // Scatter row blocks of re and im.
+        let scatter_rows = |data: &[f64]| {
+            let chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+                (0..comm.size())
+                    .map(|p| {
+                        let rg = block_range(rows, comm.size(), p);
+                        data[rg.start * n..rg.end * n].to_vec()
+                    })
+                    .collect()
+            });
+            comm.scatter(0, chunks.as_deref())
+        };
+        let lre = scatter_rows(&input.re);
+        let lim = scatter_rows(&input.im);
+        let local_rows = lre.len() / n;
+        let local_input = FftInput {
+            rows: local_rows,
+            n,
+            re: lre,
+            im: lim,
+            sparse: (vec![], vec![]),
+        };
+        match self.mode {
+            RowMode::PowerAvg => {
+                let mut acc = vec![0.0; n];
+                for row in 0..local_rows {
+                    for (a, v) in acc.iter_mut().zip(self.row_output(&local_input, row)) {
+                        *a += v;
+                    }
+                }
+                comm.reduce(0, &acc, ReduceOp::Sum).map(|total| self.finish_power(total, rows))
+            }
+            _ => {
+                let mut local_out = Vec::with_capacity(local_rows * n);
+                for row in 0..local_rows {
+                    local_out.extend(self.row_output(&local_input, row));
+                }
+                comm.gather(0, &local_out).map(Output::F64s)
+            }
+        }
+    }
+
+    fn solve_hybrid(&self, input: &FftInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let rg = block_range(input.rows, comm.size(), comm.rank());
+        match self.mode {
+            RowMode::PowerAvg => {
+                let acc = ctx.par_reduce(
+                    rg,
+                    vec![0.0f64; input.n],
+                    |mut acc, row| {
+                        for (a, v) in acc.iter_mut().zip(self.row_output(input, row)) {
+                            *a += v;
+                        }
+                        acc
+                    },
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                comm.reduce(0, &acc, ReduceOp::Sum)
+                    .map(|total| self.finish_power(total, input.rows))
+            }
+            _ => {
+                let n = input.n;
+                let mut local = vec![0.0; rg.len() * n];
+                let lo = rg.start;
+                {
+                    let slice = UnsafeSlice::new(&mut local);
+                    ctx.par_for(0..rg.len(), |j| {
+                        for (k, v) in self.row_output(input, lo + j).into_iter().enumerate() {
+                            unsafe { slice.write(j * n + k, v) };
+                        }
+                    });
+                }
+                comm.gather(0, &local).map(Output::F64s)
+            }
+        }
+    }
+
+    fn solve_gpu(&self, input: &FftInput, gpu: &Gpu) -> Output {
+        let n = input.n;
+        let rows = input.rows;
+        let re = GpuBuffer::from_slice(&input.re);
+        let im = GpuBuffer::from_slice(&input.im);
+        let out = GpuBuffer::<f64>::zeroed(match self.mode {
+            RowMode::PowerAvg => n,
+            _ => rows * n,
+        });
+        let mode = self.mode;
+        gpu.launch_each(Launch::over(rows, 32), |t, ctx| {
+            let row = t.global_id();
+            if row < rows {
+                // Stream the row in through metered reads, transform in
+                // thread-local registers/scratch, stream the result out.
+                let mut lre: Vec<f64> = (0..n).map(|k| ctx.read(&re, row * n + k)).collect();
+                let mut lim: Vec<f64> = (0..n).map(|k| ctx.read(&im, row * n + k)).collect();
+                fft_inplace(&mut lre, &mut lim, mode == RowMode::InverseReal);
+                ctx.charge_flops(fft_flops(n));
+                match mode {
+                    RowMode::Magnitude => {
+                        for k in 0..n {
+                            ctx.write(&out, row * n + k, (lre[k] * lre[k] + lim[k] * lim[k]).sqrt());
+                        }
+                    }
+                    RowMode::InverseReal => {
+                        for (k, v) in lre.iter().enumerate() {
+                            ctx.write(&out, row * n + k, *v);
+                        }
+                    }
+                    RowMode::PowerAvg => {
+                        for k in 0..n {
+                            ctx.atomic_add(&out, k, lre[k] * lre[k] + lim[k] * lim[k]);
+                        }
+                    }
+                }
+            }
+        });
+        match self.mode {
+            RowMode::PowerAvg => self.finish_power(out.to_vec(), rows),
+            _ => Output::F64s(out.to_vec()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 3: full 2-D FFT magnitude
+// ----------------------------------------------------------------------
+
+struct Fft2d;
+
+impl Fft2d {
+    /// Serial 2-D FFT: row pass then column pass; returns (re, im).
+    fn fft2_serial(input: &FftInput) -> (Vec<f64>, Vec<f64>) {
+        let (rows, n) = (input.rows, input.n);
+        let mut re = input.re.clone();
+        let mut im = input.im.clone();
+        for r in 0..rows {
+            fft_inplace(&mut re[r * n..(r + 1) * n], &mut im[r * n..(r + 1) * n], false);
+        }
+        for c in 0..n {
+            let mut cre: Vec<f64> = (0..rows).map(|r| re[r * n + c]).collect();
+            let mut cim: Vec<f64> = (0..rows).map(|r| im[r * n + c]).collect();
+            fft_inplace(&mut cre, &mut cim, false);
+            for r in 0..rows {
+                re[r * n + c] = cre[r];
+                im[r * n + c] = cim[r];
+            }
+        }
+        (re, im)
+    }
+
+    fn magnitude(re: &[f64], im: &[f64]) -> Output {
+        Output::F64s(re.iter().zip(im).map(|(a, b)| (a * a + b * b).sqrt()).collect())
+    }
+}
+
+impl Spec for Fft2d {
+    type Input = FftInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::FourierTransform, 3)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: "fft2dMagnitude".into(),
+            description: "Compute the magnitude of the 2-D FFT of a rows x n complex matrix (row transforms followed by column transforms).".into(),
+            examples: vec![("a rows x n complex matrix".into(), "|FFT2(matrix)|".into())],
+            signature: "rows: usize, n: usize, re: &[f64], im: &[f64], out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 14
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> FftInput {
+        gen_input(3, seed, size)
+    }
+
+    fn input_bytes(&self, input: &FftInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &FftInput) -> Output {
+        let (re, im) = Fft2d::fft2_serial(input);
+        Fft2d::magnitude(&re, &im)
+    }
+
+    fn solve_shmem(&self, input: &FftInput, pool: &Pool) -> Output {
+        let (rows, n) = (input.rows, input.n);
+        let mut re = input.re.clone();
+        let mut im = input.im.clone();
+        // Row pass: chunks of whole rows.
+        {
+            let sre = UnsafeSlice::new(&mut re);
+            let sim = UnsafeSlice::new(&mut im);
+            pool.parallel_for(0..rows, Schedule::Dynamic { chunk: 1 }, |r| {
+                let mut lre: Vec<f64> = (0..n).map(|k| unsafe { sre.read(r * n + k) }).collect();
+                let mut lim: Vec<f64> = (0..n).map(|k| unsafe { sim.read(r * n + k) }).collect();
+                fft_inplace(&mut lre, &mut lim, false);
+                for k in 0..n {
+                    unsafe {
+                        sre.write(r * n + k, lre[k]);
+                        sim.write(r * n + k, lim[k]);
+                    }
+                }
+            });
+        }
+        // Column pass.
+        {
+            let sre = UnsafeSlice::new(&mut re);
+            let sim = UnsafeSlice::new(&mut im);
+            pool.parallel_for(0..n, Schedule::Dynamic { chunk: 1 }, |c| {
+                let mut cre: Vec<f64> =
+                    (0..rows).map(|r| unsafe { sre.read(r * n + c) }).collect();
+                let mut cim: Vec<f64> =
+                    (0..rows).map(|r| unsafe { sim.read(r * n + c) }).collect();
+                fft_inplace(&mut cre, &mut cim, false);
+                for r in 0..rows {
+                    unsafe {
+                        sre.write(r * n + c, cre[r]);
+                        sim.write(r * n + c, cim[r]);
+                    }
+                }
+            });
+        }
+        Fft2d::magnitude(&re, &im)
+    }
+
+    fn solve_patterns(&self, input: &FftInput, space: &ExecSpace) -> Output {
+        let (rows, n) = (input.rows, input.n);
+        let re = View::from_slice("re", &input.re);
+        let im = View::from_slice("im", &input.im);
+        let (re2, im2) = (re.clone(), im.clone());
+        space.parallel_for_teams(rows, |team| {
+            let r = team.league_rank();
+            let mut lre: Vec<f64> = (0..n).map(|k| re2.get(r * n + k)).collect();
+            let mut lim: Vec<f64> = (0..n).map(|k| im2.get(r * n + k)).collect();
+            fft_inplace(&mut lre, &mut lim, false);
+            for k in 0..n {
+                unsafe {
+                    re2.set(r * n + k, lre[k]);
+                    im2.set(r * n + k, lim[k]);
+                }
+            }
+        });
+        let (re3, im3) = (re.clone(), im.clone());
+        space.parallel_for_teams(n, |team| {
+            let c = team.league_rank();
+            let mut cre: Vec<f64> = (0..rows).map(|r| re3.get(r * n + c)).collect();
+            let mut cim: Vec<f64> = (0..rows).map(|r| im3.get(r * n + c)).collect();
+            fft_inplace(&mut cre, &mut cim, false);
+            for r in 0..rows {
+                unsafe {
+                    re3.set(r * n + c, cre[r]);
+                    im3.set(r * n + c, cim[r]);
+                }
+            }
+        });
+        let fre = re.to_vec();
+        let fim = im.to_vec();
+        Fft2d::magnitude(&fre, &fim)
+    }
+
+    fn solve_mpi(&self, input: &FftInput, comm: &Comm<'_>) -> Option<Output> {
+        // Distributed 2-D FFT: row blocks -> row FFTs -> all-to-all
+        // transpose -> column FFTs on column blocks -> gather + host
+        // reassembly.
+        let (rows, n) = (input.rows, input.n);
+        let p = comm.size();
+        let scatter_rows = |data: &[f64]| {
+            let chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+                (0..p)
+                    .map(|q| {
+                        let rg = block_range(rows, p, q);
+                        data[rg.start * n..rg.end * n].to_vec()
+                    })
+                    .collect()
+            });
+            comm.scatter(0, chunks.as_deref())
+        };
+        let mut lre = scatter_rows(&input.re);
+        let mut lim = scatter_rows(&input.im);
+        let my_rows = lre.len() / n;
+        for r in 0..my_rows {
+            fft_inplace(&mut lre[r * n..(r + 1) * n], &mut lim[r * n..(r + 1) * n], false);
+        }
+        // All-to-all transpose: to rank q send, for each of q's columns,
+        // my rows' (re, im) at that column.
+        let send: Vec<Vec<f64>> = (0..p)
+            .map(|q| {
+                let cols_q = block_range(n, p, q);
+                let mut buf = Vec::with_capacity(cols_q.len() * my_rows * 2);
+                for c in cols_q {
+                    for r in 0..my_rows {
+                        buf.push(lre[r * n + c]);
+                        buf.push(lim[r * n + c]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let recv = comm.alltoall(&send);
+        // Assemble my column block: columns cols_mine, each of length
+        // `rows`, ordered by sender rank (senders hold consecutive row
+        // blocks).
+        let cols_mine = block_range(n, p, comm.rank());
+        let ncols = cols_mine.len();
+        let mut cre = vec![0.0; ncols * rows];
+        let mut cim = vec![0.0; ncols * rows];
+        for (src, buf) in recv.iter().enumerate() {
+            let src_rows = block_range(rows, p, src);
+            let rlen = src_rows.len();
+            for (ci, _c) in cols_mine.clone().enumerate() {
+                for (rj, r) in src_rows.clone().enumerate() {
+                    let v = 2 * (ci * rlen + rj);
+                    cre[ci * rows + r] = buf[v];
+                    cim[ci * rows + r] = buf[v + 1];
+                }
+            }
+        }
+        for ci in 0..ncols {
+            fft_inplace(&mut cre[ci * rows..(ci + 1) * rows], &mut cim[ci * rows..(ci + 1) * rows], false);
+        }
+        // Gather column blocks to root and reassemble row-major.
+        let mut packed = Vec::with_capacity(ncols * rows * 2);
+        for ci in 0..ncols {
+            for r in 0..rows {
+                packed.push(cre[ci * rows + r]);
+                packed.push(cim[ci * rows + r]);
+            }
+        }
+        comm.gather(0, &packed).map(|all| {
+            let mut out = vec![0.0; rows * n];
+            let mut cursor = 0usize;
+            for q in 0..p {
+                let cols_q = block_range(n, p, q);
+                for c in cols_q {
+                    for r in 0..rows {
+                        let (a, b) = (all[cursor], all[cursor + 1]);
+                        out[r * n + c] = (a * a + b * b).sqrt();
+                        cursor += 2;
+                    }
+                }
+            }
+            Output::F64s(out)
+        })
+    }
+
+    fn solve_hybrid(&self, input: &FftInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        // Rank 0 path of MPI would need the transpose; here ranks split
+        // the row pass, gather at root... simpler hybrid: split rows for
+        // pass 1 and columns for pass 2, exchanging via allgather.
+        let comm = ctx.comm();
+        let (rows, n) = (input.rows, input.n);
+        let my_rows = block_range(rows, comm.size(), comm.rank());
+        let mut local = vec![0.0; my_rows.len() * n * 2];
+        let lo = my_rows.start;
+        {
+            let slice = UnsafeSlice::new(&mut local);
+            ctx.par_for(0..my_rows.len(), |j| {
+                let r = lo + j;
+                let mut lre: Vec<f64> = input.re[r * n..(r + 1) * n].to_vec();
+                let mut lim: Vec<f64> = input.im[r * n..(r + 1) * n].to_vec();
+                fft_inplace(&mut lre, &mut lim, false);
+                for k in 0..n {
+                    unsafe {
+                        slice.write(j * n * 2 + 2 * k, lre[k]);
+                        slice.write(j * n * 2 + 2 * k + 1, lim[k]);
+                    }
+                }
+            });
+        }
+        let stage1 = comm.allgather(&local);
+        // Column pass over my column block.
+        let my_cols = block_range(n, comm.size(), comm.rank());
+        let mut out_local = vec![0.0; my_cols.len() * rows];
+        let clo = my_cols.start;
+        {
+            let slice = UnsafeSlice::new(&mut out_local);
+            let stage1_ref = &stage1;
+            ctx.par_for(0..my_cols.len(), |cj| {
+                let c = clo + cj;
+                let mut cre: Vec<f64> =
+                    (0..rows).map(|r| stage1_ref[r * n * 2 + 2 * c]).collect();
+                let mut cim: Vec<f64> =
+                    (0..rows).map(|r| stage1_ref[r * n * 2 + 2 * c + 1]).collect();
+                fft_inplace(&mut cre, &mut cim, false);
+                for r in 0..rows {
+                    unsafe {
+                        slice.write(cj * rows + r, (cre[r] * cre[r] + cim[r] * cim[r]).sqrt())
+                    };
+                }
+            });
+        }
+        comm.gather(0, &out_local).map(|all| {
+            let mut out = vec![0.0; rows * n];
+            let mut cursor = 0usize;
+            for q in 0..comm.size() {
+                for c in block_range(n, comm.size(), q) {
+                    for r in 0..rows {
+                        out[r * n + c] = all[cursor];
+                        cursor += 1;
+                    }
+                }
+            }
+            Output::F64s(out)
+        })
+    }
+
+    fn solve_gpu(&self, input: &FftInput, gpu: &Gpu) -> Output {
+        let (rows, n) = (input.rows, input.n);
+        let re = GpuBuffer::from_slice(&input.re);
+        let im = GpuBuffer::from_slice(&input.im);
+        // Kernel 1: row FFTs.
+        gpu.launch_each(Launch::over(rows, 32), |t, ctx| {
+            let r = t.global_id();
+            if r < rows {
+                let mut lre: Vec<f64> = (0..n).map(|k| ctx.read(&re, r * n + k)).collect();
+                let mut lim: Vec<f64> = (0..n).map(|k| ctx.read(&im, r * n + k)).collect();
+                fft_inplace(&mut lre, &mut lim, false);
+                ctx.charge_flops(fft_flops(n));
+                for k in 0..n {
+                    ctx.write(&re, r * n + k, lre[k]);
+                    ctx.write(&im, r * n + k, lim[k]);
+                }
+            }
+        });
+        // Kernel 2: column FFTs + magnitude.
+        let out = GpuBuffer::<f64>::zeroed(rows * n);
+        gpu.launch_each(Launch::over(n, 32), |t, ctx| {
+            let c = t.global_id();
+            if c < n {
+                let mut cre: Vec<f64> = (0..rows).map(|r| ctx.read(&re, r * n + c)).collect();
+                let mut cim: Vec<f64> = (0..rows).map(|r| ctx.read(&im, r * n + c)).collect();
+                fft_inplace(&mut cre, &mut cim, false);
+                ctx.charge_flops(fft_flops(rows));
+                for r in 0..rows {
+                    ctx.write(&out, r * n + c, (cre[r] * cre[r] + cim[r] * cim[r]).sqrt());
+                }
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 4: direct sparse DFT
+// ----------------------------------------------------------------------
+
+struct SparseDft;
+
+impl SparseDft {
+    fn freq(input: &FftInput, k: usize) -> f64 {
+        let total = (input.rows * input.n) as f64;
+        let (pos, vals) = (&input.sparse.0, &input.sparse.1);
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (j, &p) in pos.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k as f64) * (p as f64) / total;
+            re += vals[j] * ang.cos();
+            im += vals[j] * ang.sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    /// Number of output frequencies (kept moderate: the direct method
+    /// is O(freqs x nnz)).
+    fn freqs(input: &FftInput) -> usize {
+        (input.rows * input.n).min(4096)
+    }
+}
+
+impl Spec for SparseDft {
+    type Input = FftInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::FourierTransform, 4)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: "sparseSignalDft".into(),
+            description: "Given a sparse time-domain signal (sample positions and values), compute the magnitude of its DFT at the first F frequencies directly.".into(),
+            examples: vec![("positions=[0], values=[1.0]".into(), "all-ones spectrum".into())],
+            signature: "positions: &[u32], values: &[f64], n: usize, out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 14
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> FftInput {
+        gen_input(4, seed, size)
+    }
+
+    fn input_bytes(&self, input: &FftInput) -> usize {
+        input.sparse.0.len() * 12
+    }
+
+    fn serial(&self, input: &FftInput) -> Output {
+        Output::F64s((0..SparseDft::freqs(input)).map(|k| SparseDft::freq(input, k)).collect())
+    }
+
+    fn solve_shmem(&self, input: &FftInput, pool: &Pool) -> Output {
+        let f = SparseDft::freqs(input);
+        let mut out = vec![0.0; f];
+        {
+            let slice = UnsafeSlice::new(&mut out);
+            pool.parallel_for(0..f, Schedule::Static { chunk: 0 }, |k| unsafe {
+                slice.write(k, SparseDft::freq(input, k));
+            });
+        }
+        Output::F64s(out)
+    }
+
+    fn solve_patterns(&self, input: &FftInput, space: &ExecSpace) -> Output {
+        let f = SparseDft::freqs(input);
+        let out: View<f64> = View::new("out", f);
+        let out2 = out.clone();
+        space.parallel_for(f, |k| unsafe { out2.set(k, SparseDft::freq(input, k)) });
+        Output::F64s(out.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &FftInput, comm: &Comm<'_>) -> Option<Output> {
+        // The sparse signal is tiny: broadcast it, split frequencies.
+        let mut pos = if comm.rank() == 0 { input.sparse.0.clone() } else { Vec::new() };
+        comm.bcast(0, &mut pos);
+        let mut vals = if comm.rank() == 0 { input.sparse.1.clone() } else { Vec::new() };
+        comm.bcast(0, &mut vals);
+        let local_input = FftInput {
+            rows: input.rows,
+            n: input.n,
+            re: vec![],
+            im: vec![],
+            sparse: (pos, vals),
+        };
+        let f = SparseDft::freqs(input);
+        let rg = block_range(f, comm.size(), comm.rank());
+        let local: Vec<f64> = rg.map(|k| SparseDft::freq(&local_input, k)).collect();
+        comm.gather(0, &local).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &FftInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let f = SparseDft::freqs(input);
+        let rg = block_range(f, comm.size(), comm.rank());
+        let mut local = vec![0.0; rg.len()];
+        let lo = rg.start;
+        {
+            let slice = UnsafeSlice::new(&mut local);
+            ctx.par_for(0..rg.len(), |j| unsafe {
+                slice.write(j, SparseDft::freq(input, lo + j));
+            });
+        }
+        comm.gather(0, &local).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &FftInput, gpu: &Gpu) -> Output {
+        let pos = GpuBuffer::from_slice(&input.sparse.0);
+        let vals = GpuBuffer::from_slice(&input.sparse.1);
+        let f = SparseDft::freqs(input);
+        let out = GpuBuffer::<f64>::zeroed(f);
+        let total = (input.rows * input.n) as f64;
+        let nnz = input.sparse.0.len();
+        gpu.launch_each(Launch::over(f, 256), |t, ctx| {
+            let k = t.global_id();
+            if k < f {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for j in 0..nnz {
+                    let p = ctx.read(&pos, j) as f64;
+                    let v = ctx.read(&vals, j);
+                    let ang = -2.0 * std::f64::consts::PI * (k as f64) * p / total;
+                    re += v * ang.cos();
+                    im += v * ang.sin();
+                }
+                ctx.charge_flops(8 * nnz as u64);
+                ctx.write(&out, k, (re * re + im * im).sqrt());
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+/// The five Fourier transform problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(RowFft {
+            variant: 0,
+            fn_name: "rowFftMagnitude",
+            description: "Compute the FFT of each row of a rows x n complex matrix and store the magnitudes.",
+            mode: RowMode::Magnitude,
+        }),
+        Box::new(RowFft {
+            variant: 1,
+            fn_name: "rowIfftReal",
+            description: "Compute the inverse FFT of each row of a rows x n complex matrix and store the real parts.",
+            mode: RowMode::InverseReal,
+        }),
+        Box::new(RowFft {
+            variant: 2,
+            fn_name: "averagePowerSpectrum",
+            description: "Compute the power spectrum |FFT(row)|^2 of each row and average the spectra over all rows.",
+            mode: RowMode::PowerAvg,
+        }),
+        Box::new(Fft2d),
+        Box::new(SparseDft),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn fft_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 31337, 2048);
+        }
+    }
+
+    #[test]
+    fn fft2_serial_matches_separable_definition() {
+        // FFT2 of an impulse at (0,0) is all ones.
+        let rows = 4;
+        let n = 8;
+        let mut re = vec![0.0; rows * n];
+        re[0] = 1.0;
+        let input = FftInput { rows, n, re, im: vec![0.0; rows * n], sparse: (vec![], vec![]) };
+        let (fre, fim) = Fft2d::fft2_serial(&input);
+        for k in 0..rows * n {
+            assert!((fre[k] - 1.0).abs() < 1e-9, "re[{k}]={}", fre[k]);
+            assert!(fim[k].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_dft_single_impulse_is_flat() {
+        let input = FftInput {
+            rows: 2,
+            n: 8,
+            re: vec![],
+            im: vec![],
+            sparse: (vec![0], vec![1.0]),
+        };
+        for k in 0..16 {
+            assert!((SparseDft::freq(&input, k) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Geometry problems (Table 1 "Geometry"): convex hull size, closest
+//! pair, point-in-polygon counting, bounding box, and distance to a
+//! segment set over 2-D point clouds.
+//!
+//! The convex hull parallelizes by chunk hulls + a hull-of-hulls merge
+//! (the hull of a union equals the hull of the union of chunk hulls);
+//! the closest pair is the exhaustive O(n^2/2) search parallelized over
+//! the first index (the baseline uses the same algorithm, so relative
+//! performance is meaningful).
+
+use crate::framework::{Problem, Spec};
+use crate::util::{self, convex_hull_size, Point};
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm, ReduceOp};
+use pcg_patterns::ExecSpace;
+use pcg_shmem::{Pool, Schedule};
+
+/// Fixed star-shaped test polygon (deterministic, non-convex).
+fn test_polygon() -> Vec<Point> {
+    (0..16)
+        .map(|k| {
+            let ang = 2.0 * std::f64::consts::PI * k as f64 / 16.0;
+            let r = if k % 2 == 0 { 0.45 } else { 0.2 };
+            Point { x: 0.5 + r * ang.cos(), y: 0.5 + r * ang.sin() }
+        })
+        .collect()
+}
+
+/// Fixed segment set for the distance problem.
+fn test_segments() -> Vec<(Point, Point)> {
+    (0..24)
+        .map(|k| {
+            let t = k as f64 / 24.0;
+            (
+                Point { x: t, y: (7.0 * t).sin() * 0.5 + 0.5 },
+                Point { x: t + 0.04, y: (7.0 * t + 0.6).cos() * 0.5 + 0.5 },
+            )
+        })
+        .collect()
+}
+
+/// Ray-casting point-in-polygon test.
+fn point_in_polygon(p: Point, poly: &[Point]) -> bool {
+    let mut inside = false;
+    let n = poly.len();
+    let mut j = n - 1;
+    for i in 0..n {
+        let (pi, pj) = (poly[i], poly[j]);
+        if ((pi.y > p.y) != (pj.y > p.y))
+            && (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Distance from point `p` to segment `(a, b)`.
+fn dist_to_segment(p: Point, a: Point, b: Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (a.x + t * dx, a.y + t * dy);
+    ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt()
+}
+
+/// The per-point-score problems (variants 1..=4) share a
+/// score-and-reduce shape; scores depend only on the point (and fixed
+/// scene data), combined with an associative operator on a 4-vector
+/// accumulator (so bounding boxes fit too).
+type Acc = [f64; 4];
+
+struct PointReduce {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    example_in: &'static str,
+    example_out: &'static str,
+    identity: Acc,
+    score: fn(Point) -> Acc,
+    combine: fn(Acc, Acc) -> Acc,
+    /// Component-wise MPI ops matching `combine`.
+    ops: [ReduceOp; 4],
+    finish: fn(Acc) -> Output,
+}
+
+impl PointReduce {
+    fn fold_slice(&self, pts: &[Point]) -> Acc {
+        pts.iter().fold(self.identity, |acc, &p| (self.combine)(acc, (self.score)(p)))
+    }
+}
+
+impl Spec for PointReduce {
+    type Input = Vec<Point>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Geometry, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(self.example_in.into(), self.example_out.into())],
+            signature: "xs: &[f64], ys: &[f64] -> f64".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 14
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<Point> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_points(&mut r, size.max(4))
+    }
+
+    fn input_bytes(&self, input: &Vec<Point>) -> usize {
+        input.len() * 16
+    }
+
+    fn serial(&self, input: &Vec<Point>) -> Output {
+        (self.finish)(self.fold_slice(input))
+    }
+
+    fn solve_shmem(&self, input: &Vec<Point>, pool: &Pool) -> Output {
+        let acc = pool.parallel_for_reduce(
+            0..input.len(),
+            self.identity,
+            |acc, i| (self.combine)(acc, (self.score)(input[i])),
+            |a, b| (self.combine)(a, b),
+        );
+        (self.finish)(acc)
+    }
+
+    fn solve_patterns(&self, input: &Vec<Point>, space: &ExecSpace) -> Output {
+        let acc = space.parallel_reduce(
+            input.len(),
+            self.identity,
+            |i| (self.score)(input[i]),
+            |a, b| (self.combine)(a, b),
+        );
+        (self.finish)(acc)
+    }
+
+    fn solve_mpi(&self, input: &Vec<Point>, comm: &Comm<'_>) -> Option<Output> {
+        // Scatter interleaved coordinates.
+        let flat: Vec<f64> = input.iter().flat_map(|p| [p.x, p.y]).collect();
+        let chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+            (0..comm.size())
+                .map(|r| {
+                    let rg = block_range(input.len(), comm.size(), r);
+                    flat[rg.start * 2..rg.end * 2].to_vec()
+                })
+                .collect()
+        });
+        let local_flat = comm.scatter(0, chunks.as_deref());
+        let local: Vec<Point> =
+            local_flat.chunks_exact(2).map(|c| Point { x: c[0], y: c[1] }).collect();
+        let acc = self.fold_slice(&local);
+        let mut out = self.identity;
+        let mut have_all = true;
+        for (k, slot) in out.iter_mut().enumerate() {
+            match comm.reduce_one(0, acc[k], self.ops[k]) {
+                Some(v) => *slot = v,
+                None => have_all = false,
+            }
+        }
+        (have_all && comm.rank() == 0).then(|| (self.finish)(out))
+    }
+
+    fn solve_hybrid(&self, input: &Vec<Point>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let rg = block_range(input.len(), comm.size(), comm.rank());
+        let score = self.score;
+        let combine = self.combine;
+        let acc = ctx.par_reduce(
+            rg,
+            self.identity,
+            move |acc, i| combine(acc, score(input[i])),
+            combine,
+        );
+        let mut out = self.identity;
+        let mut have_all = true;
+        for (k, slot) in out.iter_mut().enumerate() {
+            match comm.reduce_one(0, acc[k], self.ops[k]) {
+                Some(v) => *slot = v,
+                None => have_all = false,
+            }
+        }
+        (have_all && comm.rank() == 0).then(|| (self.finish)(out))
+    }
+
+    fn solve_gpu(&self, input: &Vec<Point>, gpu: &Gpu) -> Output {
+        let xs = GpuBuffer::from_slice(&input.iter().map(|p| p.x).collect::<Vec<_>>());
+        let ys = GpuBuffer::from_slice(&input.iter().map(|p| p.y).collect::<Vec<_>>());
+        let score = self.score;
+        let ops = self.ops;
+        let acc_buf = GpuBuffer::from_slice(&{
+            let mut seeds = [0.0; 4];
+            for k in 0..4 {
+                seeds[k] = gpu_seed(ops[k], self.identity[k]);
+            }
+            seeds
+        });
+        let identity = self.identity;
+        let combine = self.combine;
+        let n = input.len();
+        gpu.launch_each(Launch::over(n.min(1 << 13), 256), |t, ctx| {
+            let mut acc = identity;
+            let mut i = t.global_id();
+            while i < n {
+                let p = Point { x: ctx.read(&xs, i), y: ctx.read(&ys, i) };
+                acc = combine(acc, score(p));
+                i += t.grid_threads();
+            }
+            for (k, &op) in ops.iter().enumerate() {
+                gpu_fold(ctx, &acc_buf, k, op, acc[k]);
+            }
+        });
+        let mut out = [0.0; 4];
+        for k in 0..4 {
+            out[k] = gpu_unseed(ops[k], acc_buf.load(k));
+        }
+        (self.finish)(out)
+    }
+}
+
+fn gpu_seed(op: ReduceOp, v: f64) -> f64 {
+    match op {
+        ReduceOp::Min => -v,
+        _ => v,
+    }
+}
+
+fn gpu_unseed(op: ReduceOp, v: f64) -> f64 {
+    gpu_seed(op, v)
+}
+
+fn gpu_fold(ctx: &pcg_gpusim::BlockCtx, buf: &GpuBuffer<f64>, k: usize, op: ReduceOp, v: f64) {
+    match op {
+        ReduceOp::Sum => {
+            ctx.atomic_add(buf, k, v);
+        }
+        ReduceOp::Max => {
+            ctx.atomic_max(buf, k, v);
+        }
+        ReduceOp::Min => {
+            ctx.atomic_max(buf, k, -v);
+        }
+        ReduceOp::Prod => unreachable!("no products here"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 0: convex hull size (chunk hulls + merge)
+// ----------------------------------------------------------------------
+
+struct HullSize;
+
+impl HullSize {
+    /// Hull points (not just the count) of a chunk, for the merge step.
+    fn chunk_hull(points: &[Point]) -> Vec<Point> {
+        if points.len() < 3 {
+            return points.to_vec();
+        }
+        let mut pts = points.to_vec();
+        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+        pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+        let cross =
+            |o: Point, a: Point, b: Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+        let build = |iter: &mut dyn Iterator<Item = Point>| {
+            let mut chain: Vec<Point> = Vec::new();
+            for p in iter {
+                while chain.len() >= 2
+                    && cross(chain[chain.len() - 2], chain[chain.len() - 1], p) <= 0.0
+                {
+                    chain.pop();
+                }
+                chain.push(p);
+            }
+            chain
+        };
+        // Return both chains; duplicated endpoints are harmless because
+        // the merge step re-runs a hull over the union.
+        let mut hull = build(&mut pts.iter().copied());
+        hull.extend(build(&mut pts.iter().rev().copied()));
+        hull
+    }
+}
+
+impl Spec for HullSize {
+    type Input = Vec<Point>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Geometry, 0)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: "convexHullSize".into(),
+            description: "Return the number of vertices of the convex hull of the point set.".into(),
+            examples: vec![("unit square corners plus interior points".into(), "4".into())],
+            signature: "xs: &[f64], ys: &[f64] -> i64".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 14
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<Point> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_points(&mut r, size.max(8))
+    }
+
+    fn input_bytes(&self, input: &Vec<Point>) -> usize {
+        input.len() * 16
+    }
+
+    fn serial(&self, input: &Vec<Point>) -> Output {
+        Output::I64(convex_hull_size(input) as i64)
+    }
+
+    fn solve_shmem(&self, input: &Vec<Point>, pool: &Pool) -> Output {
+        let partial = parking_lot::Mutex::new(Vec::new());
+        pool.parallel_for_chunks(0..input.len(), Schedule::Static { chunk: 0 }, |chunk| {
+            let hull = HullSize::chunk_hull(&input[chunk]);
+            partial.lock().extend(hull);
+        });
+        Output::I64(convex_hull_size(&partial.into_inner()) as i64)
+    }
+
+    fn solve_patterns(&self, input: &Vec<Point>, space: &ExecSpace) -> Output {
+        let partial = parking_lot::Mutex::new(Vec::new());
+        let teams = space.concurrency();
+        space.parallel_for_teams(teams, |team| {
+            let rg = block_range(input.len(), team.league_size(), team.league_rank());
+            let hull = HullSize::chunk_hull(&input[rg]);
+            partial.lock().extend(hull);
+        });
+        Output::I64(convex_hull_size(&partial.into_inner()) as i64)
+    }
+
+    fn solve_mpi(&self, input: &Vec<Point>, comm: &Comm<'_>) -> Option<Output> {
+        let rg = block_range(input.len(), comm.size(), comm.rank());
+        let hull = HullSize::chunk_hull(&input[rg]);
+        let flat: Vec<f64> = hull.iter().flat_map(|p| [p.x, p.y]).collect();
+        comm.gather(0, &flat).map(|merged_flat| {
+            let merged: Vec<Point> =
+                merged_flat.chunks_exact(2).map(|c| Point { x: c[0], y: c[1] }).collect();
+            Output::I64(convex_hull_size(&merged) as i64)
+        })
+    }
+
+    fn solve_hybrid(&self, input: &Vec<Point>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let rg = block_range(input.len(), comm.size(), comm.rank());
+        let nb = ctx.threads_per_rank();
+        let rg_slice = &input[rg];
+        let hull = ctx.par_reduce(
+            0..nb,
+            Vec::new(),
+            move |mut acc: Vec<Point>, b| {
+                let sub = block_range(rg_slice.len(), nb, b);
+                acc.extend(HullSize::chunk_hull(&rg_slice[sub]));
+                acc
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        let flat: Vec<f64> = hull.iter().flat_map(|p| [p.x, p.y]).collect();
+        comm.gather(0, &flat).map(|merged_flat| {
+            let merged: Vec<Point> =
+                merged_flat.chunks_exact(2).map(|c| Point { x: c[0], y: c[1] }).collect();
+            Output::I64(convex_hull_size(&merged) as i64)
+        })
+    }
+
+    fn solve_gpu(&self, input: &Vec<Point>, gpu: &Gpu) -> Output {
+        // GPU hulls are typically computed by a filtering kernel (points
+        // on the hull must be extreme in some direction among a sampled
+        // set) followed by a host hull of the survivors. Here each block
+        // computes its chunk hull host-side after metering its reads,
+        // mirroring the chunk-hull strategy.
+        let xs = GpuBuffer::from_slice(&input.iter().map(|p| p.x).collect::<Vec<_>>());
+        let ys = GpuBuffer::from_slice(&input.iter().map(|p| p.y).collect::<Vec<_>>());
+        let n = input.len();
+        const CHUNK: usize = 1024;
+        let nchunks = n.div_ceil(CHUNK);
+        let partial = parking_lot::Mutex::new(Vec::new());
+        let input_ref = input;
+        gpu.launch_each(Launch::new(nchunks as u32, 32), |t, ctx| {
+            if t.thread_idx == 0 {
+                let lo = (t.block_idx as usize) * CHUNK;
+                let hi = (lo + CHUNK).min(n);
+                for i in lo..hi {
+                    let _ = ctx.read(&xs, i);
+                    let _ = ctx.read(&ys, i);
+                }
+                let hull = HullSize::chunk_hull(&input_ref[lo..hi]);
+                partial.lock().extend(hull);
+            }
+        });
+        Output::I64(convex_hull_size(&partial.into_inner()) as i64)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 1: closest pair distance (exhaustive, parallel over i)
+// ----------------------------------------------------------------------
+
+struct ClosestPair;
+
+impl ClosestPair {
+    fn row_min(pts: &[Point], i: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        let pi = pts[i];
+        for pj in &pts[i + 1..] {
+            let d2 = (pi.x - pj.x).powi(2) + (pi.y - pj.y).powi(2);
+            best = best.min(d2);
+        }
+        best
+    }
+}
+
+impl Spec for ClosestPair {
+    type Input = Vec<Point>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Geometry, 1)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: "closestPairDistance".into(),
+            description: "Return the smallest Euclidean distance between any two distinct points of the set.".into(),
+            examples: vec![("[(0,0), (3,4), (1,0)]".into(), "1.0".into())],
+            signature: "xs: &[f64], ys: &[f64] -> f64".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 11
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<Point> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_points(&mut r, size.clamp(4, 1 << 12))
+    }
+
+    fn input_bytes(&self, input: &Vec<Point>) -> usize {
+        input.len() * 16
+    }
+
+    fn serial(&self, input: &Vec<Point>) -> Output {
+        let mut best = f64::INFINITY;
+        for i in 0..input.len() {
+            best = best.min(ClosestPair::row_min(input, i));
+        }
+        Output::F64(best.sqrt())
+    }
+
+    fn solve_shmem(&self, input: &Vec<Point>, pool: &Pool) -> Output {
+        let best = pool.parallel_for_reduce(
+            0..input.len(),
+            f64::INFINITY,
+            |acc, i| acc.min(ClosestPair::row_min(input, i)),
+            f64::min,
+        );
+        Output::F64(best.sqrt())
+    }
+
+    fn solve_patterns(&self, input: &Vec<Point>, space: &ExecSpace) -> Output {
+        let best = space.parallel_reduce(
+            input.len(),
+            f64::INFINITY,
+            |i| ClosestPair::row_min(input, i),
+            f64::min,
+        );
+        Output::F64(best.sqrt())
+    }
+
+    fn solve_mpi(&self, input: &Vec<Point>, comm: &Comm<'_>) -> Option<Output> {
+        // Broadcast points; cyclic index distribution balances the
+        // triangular loop.
+        let flat: Vec<f64> = input.iter().flat_map(|p| [p.x, p.y]).collect();
+        let mut all = if comm.rank() == 0 { flat } else { Vec::new() };
+        comm.bcast(0, &mut all);
+        let pts: Vec<Point> = all.chunks_exact(2).map(|c| Point { x: c[0], y: c[1] }).collect();
+        let mut best = f64::INFINITY;
+        let mut i = comm.rank();
+        while i < pts.len() {
+            best = best.min(ClosestPair::row_min(&pts, i));
+            i += comm.size();
+        }
+        comm.reduce_one(0, best, ReduceOp::Min).map(|b| Output::F64(b.sqrt()))
+    }
+
+    fn solve_hybrid(&self, input: &Vec<Point>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let size = comm.size();
+        let rank = comm.rank();
+        let n = input.len();
+        let best = ctx.par_reduce(
+            0..n.div_ceil(size),
+            f64::INFINITY,
+            move |acc, k| {
+                let i = rank + k * size;
+                if i < n {
+                    acc.min(ClosestPair::row_min(input, i))
+                } else {
+                    acc
+                }
+            },
+            f64::min,
+        );
+        comm.reduce_one(0, best, ReduceOp::Min).map(|b| Output::F64(b.sqrt()))
+    }
+
+    fn solve_gpu(&self, input: &Vec<Point>, gpu: &Gpu) -> Output {
+        let xs = GpuBuffer::from_slice(&input.iter().map(|p| p.x).collect::<Vec<_>>());
+        let ys = GpuBuffer::from_slice(&input.iter().map(|p| p.y).collect::<Vec<_>>());
+        let best = GpuBuffer::from_slice(&[f64::NEG_INFINITY]);
+        let n = input.len();
+        gpu.launch_each(Launch::over(n, 128), |t, ctx| {
+            let i = t.global_id();
+            if i < n {
+                let (xi, yi) = (ctx.read(&xs, i), ctx.read(&ys, i));
+                let mut local = f64::INFINITY;
+                for j in i + 1..n {
+                    let d2 = (xi - ctx.read(&xs, j)).powi(2) + (yi - ctx.read(&ys, j)).powi(2);
+                    local = local.min(d2);
+                }
+                // atomicMin via negated atomicMax.
+                ctx.atomic_max(&best, 0, -local);
+            }
+        });
+        Output::F64((-best.load(0)).sqrt())
+    }
+}
+
+/// The five geometry problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(HullSize),
+        Box::new(ClosestPair),
+        Box::new(PointReduce {
+            variant: 2,
+            fn_name: "countInsidePolygon",
+            description: "Count how many points lie inside the fixed 16-vertex star polygon centered at (0.5, 0.5) (ray casting).",
+            example_in: "points near the center",
+            example_out: "count of interior points",
+            identity: [0.0; 4],
+            score: |p| [f64::from(point_in_polygon(p, &test_polygon())), 0.0, 0.0, 0.0],
+            combine: |a, b| [a[0] + b[0], 0.0, 0.0, 0.0],
+            ops: [ReduceOp::Sum; 4],
+            finish: |a| Output::I64(a[0] as i64),
+        }),
+        Box::new(PointReduce {
+            variant: 3,
+            fn_name: "boundingBox",
+            description: "Compute the axis-aligned bounding box of the point set, returned as [min_x, min_y, max_x, max_y].",
+            example_in: "[(0.1, 0.9), (0.5, 0.2)]",
+            example_out: "[0.1, 0.2, 0.5, 0.9]",
+            identity: [f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+            score: |p| [p.x, p.y, p.x, p.y],
+            combine: |a, b| [a[0].min(b[0]), a[1].min(b[1]), a[2].max(b[2]), a[3].max(b[3])],
+            ops: [ReduceOp::Min, ReduceOp::Min, ReduceOp::Max, ReduceOp::Max],
+            finish: |a| Output::F64s(a.to_vec()),
+        }),
+        Box::new(PointReduce {
+            variant: 4,
+            fn_name: "minDistanceToSegments",
+            description: "Return the minimum distance from any point of the set to the fixed set of 24 line segments.",
+            example_in: "points scattered around the segment chain",
+            example_out: "smallest point-to-segment distance",
+            identity: [f64::INFINITY, 0.0, 0.0, 0.0],
+            score: |p| {
+                let mut best = f64::INFINITY;
+                for (a, b) in test_segments() {
+                    best = best.min(dist_to_segment(p, a, b));
+                }
+                [best, 0.0, 0.0, 0.0]
+            },
+            combine: |a, b| [a[0].min(b[0]), 0.0, 0.0, 0.0],
+            ops: [ReduceOp::Min, ReduceOp::Sum, ReduceOp::Sum, ReduceOp::Sum],
+            finish: |a| Output::F64(a[0]),
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn geometry_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 2468, 300);
+        }
+    }
+
+    #[test]
+    fn point_in_polygon_center_inside() {
+        let poly = test_polygon();
+        assert!(point_in_polygon(Point { x: 0.5, y: 0.5 }, &poly));
+        assert!(!point_in_polygon(Point { x: 0.99, y: 0.99 }, &poly));
+    }
+
+    #[test]
+    fn dist_to_segment_known_cases() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 1.0, y: 0.0 };
+        assert!((dist_to_segment(Point { x: 0.5, y: 1.0 }, a, b) - 1.0).abs() < 1e-12);
+        assert!((dist_to_segment(Point { x: 2.0, y: 0.0 }, a, b) - 1.0).abs() < 1e-12);
+        assert!((dist_to_segment(Point { x: 0.3, y: 0.0 }, a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_hull_merge_matches_direct_hull() {
+        let mut r = util::rng(9, 1);
+        let pts = util::rand_points(&mut r, 500);
+        let direct = convex_hull_size(&pts) as i64;
+        let mut merged = Vec::new();
+        for chunk in pts.chunks(100) {
+            merged.extend(HullSize::chunk_hull(chunk));
+        }
+        assert_eq!(convex_hull_size(&merged) as i64, direct);
+    }
+}

@@ -1,0 +1,14 @@
+//! The twelve problem-type modules (paper Table 1), five problems each.
+
+pub mod dense;
+pub mod fft;
+pub mod geometry;
+pub mod graph;
+pub mod histogram;
+pub mod reduce;
+pub mod scan;
+pub mod search;
+pub mod sort;
+pub mod sparse;
+pub mod stencil;
+pub mod transform;

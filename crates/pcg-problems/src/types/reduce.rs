@@ -1,0 +1,466 @@
+//! Reduce problems: reductions over an array (Table 1 "Reduce").
+//!
+//! Four variants share a pair-accumulator shape `(f64, f64)` whose
+//! components reduce with standard operators (so the MPI path can use
+//! real collectives); the fifth is a two-pass reduction (max, then a
+//! count against the max), exercising reduce-then-reuse structure.
+
+use crate::framework::{Problem, Spec};
+use crate::util;
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{BlockCtx, BlockKernel, Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm, ReduceOp};
+use pcg_patterns::{ExecSpace, View};
+use pcg_shmem::Pool;
+
+type Pair = (f64, f64);
+
+struct PairReduceProblem {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    example_in: &'static str,
+    example_out: &'static str,
+    init: Pair,
+    fold: fn(Pair, f64) -> Pair,
+    combine: fn(Pair, Pair) -> Pair,
+    /// Per-component MPI reduction operators matching `combine`.
+    ops: (ReduceOp, ReduceOp),
+    finish: fn(Pair, usize) -> f64,
+}
+
+impl PairReduceProblem {
+    fn fold_slice(&self, xs: &[f64]) -> Pair {
+        xs.iter().fold(self.init, |acc, &x| (self.fold)(acc, x))
+    }
+}
+
+impl Spec for PairReduceProblem {
+    type Input = Vec<f64>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Reduce, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(self.example_in.into(), self.example_out.into())],
+            signature: "x: &[f64] -> f64".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<f64> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_f64s(&mut r, size, -8.0, 8.0)
+    }
+
+    fn input_bytes(&self, input: &Vec<f64>) -> usize {
+        input.len() * 8
+    }
+
+    fn serial(&self, input: &Vec<f64>) -> Output {
+        Output::F64((self.finish)(self.fold_slice(input), input.len()))
+    }
+
+    fn solve_shmem(&self, input: &Vec<f64>, pool: &Pool) -> Output {
+        let pair = pool.parallel_for_reduce(
+            0..input.len(),
+            self.init,
+            |acc, i| (self.fold)(acc, input[i]),
+            |a, b| (self.combine)(a, b),
+        );
+        Output::F64((self.finish)(pair, input.len()))
+    }
+
+    fn solve_patterns(&self, input: &Vec<f64>, space: &ExecSpace) -> Output {
+        let x = View::from_slice("x", input);
+        let pair = space.parallel_reduce(
+            input.len(),
+            self.init,
+            |i| (self.fold)(self.init, x.get(i)),
+            |a, b| (self.combine)(a, b),
+        );
+        Output::F64((self.finish)(pair, input.len()))
+    }
+
+    fn solve_mpi(&self, input: &Vec<f64>, comm: &Comm<'_>) -> Option<Output> {
+        let local = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(input.as_slice()),
+            input.len(),
+        );
+        let pair = self.fold_slice(&local);
+        let a = comm.reduce_one(0, pair.0, self.ops.0);
+        let b = comm.reduce_one(0, pair.1, self.ops.1);
+        match (a, b) {
+            (Some(a), Some(b)) => Some(Output::F64((self.finish)((a, b), input.len()))),
+            _ => None,
+        }
+    }
+
+    fn solve_hybrid(&self, input: &Vec<f64>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let range = block_range(input.len(), comm.size(), comm.rank());
+        let fold = self.fold;
+        let combine = self.combine;
+        let pair = ctx.par_reduce(
+            range,
+            self.init,
+            move |acc, i| fold(acc, input[i]),
+            combine,
+        );
+        let a = comm.reduce_one(0, pair.0, self.ops.0);
+        let b = comm.reduce_one(0, pair.1, self.ops.1);
+        match (a, b) {
+            (Some(a), Some(b)) => Some(Output::F64((self.finish)((a, b), input.len()))),
+            _ => None,
+        }
+    }
+
+    fn solve_gpu(&self, input: &Vec<f64>, gpu: &Gpu) -> Output {
+        let pair = gpu_pair_reduce(gpu, input, self.init, self.fold, self.combine, self.ops);
+        Output::F64((self.finish)(pair, input.len()))
+    }
+}
+
+/// The canonical efficient GPU reduction: a grid-stride per-thread fold
+/// into shared memory, a `__syncthreads`-separated tree reduction per
+/// block (phase machine), and one atomic per block and component.
+pub(crate) fn gpu_pair_reduce(
+    gpu: &Gpu,
+    input: &[f64],
+    init: Pair,
+    fold: fn(Pair, f64) -> Pair,
+    combine: fn(Pair, Pair) -> Pair,
+    ops: (ReduceOp, ReduceOp),
+) -> Pair {
+    const BLOCK: u32 = 256;
+    struct ReduceKernel {
+        x: GpuBuffer<f64>,
+        acc: GpuBuffer<f64>,
+        init: Pair,
+        fold: fn(Pair, f64) -> Pair,
+        combine: fn(Pair, Pair) -> Pair,
+        ops: (ReduceOp, ReduceOp),
+    }
+    impl ReduceKernel {
+        fn get(shared: &pcg_gpusim::SharedMem, tid: usize) -> Pair {
+            (shared.get(2 * tid), shared.get(2 * tid + 1))
+        }
+        fn set(shared: &pcg_gpusim::SharedMem, tid: usize, v: Pair) {
+            shared.set(2 * tid, v.0);
+            shared.set(2 * tid + 1, v.1);
+        }
+    }
+    impl BlockKernel for ReduceKernel {
+        fn phases(&self, _cfg: &Launch) -> usize {
+            1 + BLOCK.trailing_zeros() as usize + 1
+        }
+        fn phase(&self, phase: usize, blk: &BlockCtx) {
+            let bd = blk.block_dim() as usize;
+            let shared = blk.shared();
+            if phase == 0 {
+                // Grid-stride fold into this thread's shared slot.
+                blk.for_each_thread(|t| {
+                    let mut pair = self.init;
+                    let mut i = t.global_id();
+                    while i < self.x.len() {
+                        pair = (self.fold)(pair, blk.read(&self.x, i));
+                        i += t.grid_threads();
+                    }
+                    ReduceKernel::set(shared, t.thread_idx as usize, pair);
+                });
+            } else if (1usize << phase) <= bd {
+                // Tree step: threads below `step` combine with their
+                // partner slot (written in earlier phases only).
+                let step = bd >> phase;
+                blk.for_each_thread(|t| {
+                    let tid = t.thread_idx as usize;
+                    if tid < step {
+                        let merged = (self.combine)(
+                            ReduceKernel::get(shared, tid),
+                            ReduceKernel::get(shared, tid + step),
+                        );
+                        ReduceKernel::set(shared, tid, merged);
+                    }
+                });
+            } else {
+                // One atomic per block and component.
+                blk.for_each_thread(|t| {
+                    if t.thread_idx == 0 {
+                        let total = ReduceKernel::get(shared, 0);
+                        atomic_fold(blk, &self.acc, 0, self.ops.0, total.0);
+                        atomic_fold(blk, &self.acc, 1, self.ops.1, total.1);
+                    }
+                });
+            }
+        }
+    }
+    let kernel = ReduceKernel {
+        x: GpuBuffer::from_slice(input),
+        acc: GpuBuffer::from_slice(&[atomic_seed(ops.0, init.0), atomic_seed(ops.1, init.1)]),
+        init,
+        fold,
+        combine,
+        ops,
+    };
+    // Cap the grid so the grid-stride loop keeps blocks busy.
+    let cfg = Launch::over(input.len().min(1 << 15), BLOCK).with_shared(2 * BLOCK as usize);
+    gpu.launch(cfg, &kernel);
+    (
+        atomic_unseed(ops.0, kernel.acc.load(0)),
+        atomic_unseed(ops.1, kernel.acc.load(1)),
+    )
+}
+
+/// Encode an accumulator seed so min can ride on `atomicMax`.
+fn atomic_seed(op: ReduceOp, v: f64) -> f64 {
+    match op {
+        ReduceOp::Min => -v,
+        _ => v,
+    }
+}
+
+fn atomic_unseed(op: ReduceOp, v: f64) -> f64 {
+    match op {
+        ReduceOp::Min => -v,
+        _ => v,
+    }
+}
+
+fn atomic_fold(
+    ctx: &pcg_gpusim::BlockCtx,
+    acc: &GpuBuffer<f64>,
+    slot: usize,
+    op: ReduceOp,
+    v: f64,
+) {
+    match op {
+        ReduceOp::Sum => {
+            ctx.atomic_add(acc, slot, v);
+        }
+        ReduceOp::Max => {
+            ctx.atomic_max(acc, slot, v);
+        }
+        ReduceOp::Min => {
+            ctx.atomic_max(acc, slot, -v);
+        }
+        ReduceOp::Prod => unreachable!("no product reductions in this suite"),
+    }
+}
+
+/// Variant 4: count elements strictly above half the maximum — a
+/// two-pass reduction.
+struct CountAboveHalfMax;
+
+impl Spec for CountAboveHalfMax {
+    type Input = Vec<f64>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Reduce, 4)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: "countAboveHalfMax".into(),
+            description:
+                "Count how many elements of the array x are strictly greater than half of the maximum element of x."
+                    .into(),
+            examples: vec![("[1.0, 6.0, 4.0, 2.0, 5.0]".into(), "3".into())],
+            signature: "x: &[f64] -> i64".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<f64> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_f64s(&mut r, size, 0.0, 100.0)
+    }
+
+    fn input_bytes(&self, input: &Vec<f64>) -> usize {
+        input.len() * 8
+    }
+
+    fn serial(&self, input: &Vec<f64>) -> Output {
+        let max = input.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let half = max / 2.0;
+        Output::I64(input.iter().filter(|&&x| x > half).count() as i64)
+    }
+
+    fn solve_shmem(&self, input: &Vec<f64>, pool: &Pool) -> Output {
+        let max = pool.parallel_for_reduce(
+            0..input.len(),
+            f64::NEG_INFINITY,
+            |m, i| m.max(input[i]),
+            f64::max,
+        );
+        let half = max / 2.0;
+        let count = pool.parallel_for_reduce(
+            0..input.len(),
+            0i64,
+            |c, i| c + i64::from(input[i] > half),
+            |a, b| a + b,
+        );
+        Output::I64(count)
+    }
+
+    fn solve_patterns(&self, input: &Vec<f64>, space: &ExecSpace) -> Output {
+        let x = View::from_slice("x", input);
+        let max = space.parallel_reduce(input.len(), f64::NEG_INFINITY, |i| x.get(i), f64::max);
+        let half = max / 2.0;
+        let count = space.parallel_reduce(
+            input.len(),
+            0i64,
+            |i| i64::from(x.get(i) > half),
+            |a, b| a + b,
+        );
+        Output::I64(count)
+    }
+
+    fn solve_mpi(&self, input: &Vec<f64>, comm: &Comm<'_>) -> Option<Output> {
+        let local = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(input.as_slice()),
+            input.len(),
+        );
+        let lmax = local.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = comm.allreduce_one(lmax, ReduceOp::Max);
+        let half = max / 2.0;
+        let lcount = local.iter().filter(|&&x| x > half).count() as i64;
+        comm.reduce_one(0, lcount, ReduceOp::Sum).map(Output::I64)
+    }
+
+    fn solve_hybrid(&self, input: &Vec<f64>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let range = block_range(input.len(), comm.size(), comm.rank());
+        let lmax = ctx.par_reduce(
+            range.clone(),
+            f64::NEG_INFINITY,
+            |m, i| m.max(input[i]),
+            f64::max,
+        );
+        let max = comm.allreduce_one(lmax, ReduceOp::Max);
+        let half = max / 2.0;
+        let lcount =
+            ctx.par_reduce(range, 0i64, |c, i| c + i64::from(input[i] > half), |a, b| a + b);
+        comm.reduce_one(0, lcount, ReduceOp::Sum).map(Output::I64)
+    }
+
+    fn solve_gpu(&self, input: &Vec<f64>, gpu: &Gpu) -> Output {
+        // Two block-reduction kernels: max, then count above half-max.
+        // The threshold travels through the pair's second slot so the
+        // fold stays a plain fn pointer.
+        let (max, _) = gpu_pair_reduce(
+            gpu,
+            input,
+            (f64::NEG_INFINITY, 0.0),
+            |acc, x| (acc.0.max(x), 0.0),
+            |a, b| (a.0.max(b.0), 0.0),
+            (ReduceOp::Max, ReduceOp::Sum),
+        );
+        let half = max / 2.0;
+        // Fold counts x > acc.1 where the threshold rides in slot 1.
+        let shifted: Vec<f64> = input.iter().map(|&x| x - half).collect();
+        let (count, _) = gpu_pair_reduce(
+            gpu,
+            &shifted,
+            (0.0, 0.0),
+            |acc, x| (acc.0 + f64::from(x > 0.0), 0.0),
+            |a, b| (a.0 + b.0, 0.0),
+            (ReduceOp::Sum, ReduceOp::Sum),
+        );
+        Output::I64(count.round() as i64)
+    }
+}
+
+/// The five reduce problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(PairReduceProblem {
+            variant: 0,
+            fn_name: "sumOfAbsolutes",
+            description: "Compute the sum of the absolute values of the elements of the array x.",
+            example_in: "[1.0, -2.0, 3.0, -4.0]",
+            example_out: "10.0",
+            init: (0.0, 0.0),
+            fold: |acc, x| (acc.0 + x.abs(), 0.0),
+            combine: |a, b| (a.0 + b.0, 0.0),
+            ops: (ReduceOp::Sum, ReduceOp::Sum),
+            finish: |acc, _| acc.0,
+        }),
+        Box::new(PairReduceProblem {
+            variant: 1,
+            fn_name: "rangeOfValues",
+            description: "Compute the difference between the maximum and minimum elements of the array x.",
+            example_in: "[4.0, -1.0, 7.0, 2.0]",
+            example_out: "8.0",
+            init: (f64::NEG_INFINITY, f64::INFINITY),
+            fold: |acc, x| (acc.0.max(x), acc.1.min(x)),
+            combine: |a, b| (a.0.max(b.0), a.1.min(b.1)),
+            ops: (ReduceOp::Max, ReduceOp::Min),
+            finish: |acc, _| acc.0 - acc.1,
+        }),
+        Box::new(PairReduceProblem {
+            variant: 2,
+            fn_name: "logProductNonzero",
+            description: "Compute the sum of ln(|x|) over the nonzero elements of the array x (the log-domain product of magnitudes).",
+            example_in: "[1.0, -2.0, 0.0, 4.0]",
+            example_out: "2.0794",
+            init: (0.0, 0.0),
+            fold: |acc, x| {
+                if x != 0.0 {
+                    (acc.0 + x.abs().ln(), 0.0)
+                } else {
+                    acc
+                }
+            },
+            combine: |a, b| (a.0 + b.0, 0.0),
+            ops: (ReduceOp::Sum, ReduceOp::Sum),
+            finish: |acc, _| acc.0,
+        }),
+        Box::new(PairReduceProblem {
+            variant: 3,
+            fn_name: "meanOfSquares",
+            description: "Compute the mean of the squares of the elements of the array x.",
+            example_in: "[1.0, 2.0, 3.0]",
+            example_out: "4.6667",
+            init: (0.0, 0.0),
+            fold: |acc, x| (acc.0 + x * x, 0.0),
+            combine: |a, b| (a.0 + b.0, 0.0),
+            ops: (ReduceOp::Sum, ReduceOp::Sum),
+            finish: |acc, n| acc.0 / n.max(1) as f64,
+        }),
+        Box::new(CountAboveHalfMax),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn reduce_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 101, 700);
+        }
+    }
+
+    #[test]
+    fn count_above_half_max_known_case() {
+        let p = CountAboveHalfMax;
+        let out = Spec::serial(&p, &vec![1.0, 6.0, 4.0, 2.0, 5.0]);
+        assert!(out.approx_eq(&Output::I64(3)));
+    }
+}

@@ -1,0 +1,854 @@
+//! Sparse matrix algebra problems covering the three BLAS levels on CSR
+//! data (Table 1 "Sparse Matrix Algebra"): SpMV, transposed SpMV
+//! (scatter-adds), sparse vector axpy, row norms, and SpMM against a
+//! dense block.
+//!
+//! The paper finds sparse problems the hardest for LLMs to parallelize;
+//! the reference implementations here exhibit why: transposed products
+//! and sparse updates need atomics/`ScatterView`/reductions rather than
+//! plain loop splitting.
+
+use crate::framework::{Problem, Spec};
+use crate::util::{self, Csr};
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm, ReduceOp};
+use pcg_patterns::{ExecSpace, ScatterView};
+use pcg_shmem::{AtomicF64, Pool, Schedule};
+
+/// Scatter a CSR matrix by row blocks: every rank receives its rows
+/// with a rebased `row_ptr`. The canonical 1-D SpMV distribution.
+fn scatter_csr(comm: &Comm<'_>, m: &Csr) -> Csr {
+    let rows = comm.bcast_one(0, m.rows as i64) as usize;
+    let cols = comm.bcast_one(0, m.cols as i64) as usize;
+    let build = |extract: &dyn Fn(std::ops::Range<usize>) -> Vec<f64>| {
+        let chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+            (0..comm.size())
+                .map(|p| {
+                    let rg = block_range(rows, comm.size(), p);
+                    extract(m.row_ptr[rg.start]..m.row_ptr[rg.end])
+                })
+                .collect()
+        });
+        comm.scatter(0, chunks.as_deref())
+    };
+    let vals = build(&|nz| m.vals[nz].to_vec());
+    let cols_f = build(&|nz| m.col_idx[nz.start..nz.end].iter().map(|&c| c as f64).collect());
+    // Per-row counts for the local block.
+    let count_chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+        (0..comm.size())
+            .map(|p| {
+                let rg = block_range(rows, comm.size(), p);
+                rg.map(|r| (m.row_ptr[r + 1] - m.row_ptr[r]) as f64).collect()
+            })
+            .collect()
+    });
+    let counts = comm.scatter(0, count_chunks.as_deref());
+    let mut row_ptr = Vec::with_capacity(counts.len() + 1);
+    row_ptr.push(0usize);
+    for c in &counts {
+        row_ptr.push(row_ptr.last().unwrap() + *c as usize);
+    }
+    Csr {
+        rows: counts.len(),
+        cols,
+        row_ptr,
+        col_idx: cols_f.into_iter().map(|c| c as u32).collect(),
+        vals,
+    }
+}
+
+/// Input bundle shared by the five sparse problems.
+pub struct SparseInput {
+    m: Csr,
+    x: Vec<f64>,
+    /// Dense B operand for SpMM, row-major `m.cols x k`.
+    bk: Vec<f64>,
+    k: usize,
+    /// Sparse vector 1: sorted unique indices + values.
+    sx: (Vec<u32>, Vec<f64>),
+    /// Sparse vector 2.
+    sy: (Vec<u32>, Vec<f64>),
+    /// Dense length for the sparse-axpy output.
+    n: usize,
+}
+
+fn gen_input(variant: usize, seed: u64, size: usize) -> SparseInput {
+    use rand::Rng;
+    let mut r = util::rng(seed, 900 + variant as u64);
+    let rows = (size / 8).max(4);
+    let m = Csr::random(&mut r, rows, rows, 6);
+    let x = util::rand_f64s(&mut r, rows, -1.0, 1.0);
+    let k = 8;
+    let bk = util::rand_f64s(&mut r, rows * k, -1.0, 1.0);
+    let n = size.max(8);
+    let mut sparse_vec = |density: f64| {
+        let mut idx: Vec<u32> =
+            (0..n as u32).filter(|_| r.gen_bool(density)).collect();
+        if idx.is_empty() {
+            idx.push(0);
+        }
+        let vals = util::rand_f64s(&mut r, idx.len(), -1.0, 1.0);
+        (idx, vals)
+    };
+    let sx = sparse_vec(0.1);
+    let sy = sparse_vec(0.1);
+    SparseInput { m, x, bk, k, sx, sy, n }
+}
+
+fn input_bytes(input: &SparseInput) -> usize {
+    input.m.bytes() + (input.x.len() + input.bk.len()) * 8 + input.sx.0.len() * 12 + input.sy.0.len() * 12
+}
+
+/// Shared prompt scaffolding.
+fn mk_prompt(fn_name: &str, description: &str, ex_in: &str, ex_out: &str, sig: &str) -> PromptSpec {
+    PromptSpec {
+        fn_name: fn_name.into(),
+        description: description.into(),
+        examples: vec![(ex_in.into(), ex_out.into())],
+        signature: sig.into(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 0: SpMV
+// ----------------------------------------------------------------------
+
+struct SpMv;
+
+impl Spec for SpMv {
+    type Input = SparseInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::SparseLinearAlgebra, 0)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        mk_prompt(
+            "csrSpMV",
+            "Compute y = A*x for a CSR matrix A (row_ptr, col_idx, vals) and dense vector x.",
+            "A=[[2,0],[0,3]], x=[1,1]",
+            "[2.0, 3.0]",
+            "row_ptr: &[usize], col_idx: &[u32], vals: &[f64], x: &[f64], y: &mut [f64]",
+        )
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> SparseInput {
+        gen_input(0, seed, size)
+    }
+
+    fn input_bytes(&self, input: &SparseInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &SparseInput) -> Output {
+        Output::F64s(input.m.spmv(&input.x))
+    }
+
+    fn solve_shmem(&self, input: &SparseInput, pool: &Pool) -> Output {
+        let m = &input.m;
+        let mut y = vec![0.0; m.rows];
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut y);
+            // Dynamic schedule: CSR rows have irregular cost.
+            pool.parallel_for(0..m.rows, Schedule::Dynamic { chunk: 64 }, |i| {
+                let v: f64 =
+                    m.row(i).map(|nz| m.vals[nz] * input.x[m.col_idx[nz] as usize]).sum();
+                unsafe { slice.write(i, v) };
+            });
+        }
+        Output::F64s(y)
+    }
+
+    fn solve_patterns(&self, input: &SparseInput, space: &ExecSpace) -> Output {
+        let m = &input.m;
+        let y = pcg_patterns::View::<f64>::new("y", m.rows);
+        let y2 = y.clone();
+        // One team per row chunk, vector lanes over the row's nonzeros.
+        space.parallel_for_teams(m.rows, |team| {
+            let i = team.league_rank();
+            let nz = m.row(i);
+            let base = nz.start;
+            let v = team.team_reduce(nz.len(), 0.0, |acc, lane| {
+                acc + m.vals[base + lane] * input.x[m.col_idx[base + lane] as usize]
+            });
+            unsafe { y2.set(i, v) };
+        });
+        Output::F64s(y.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &SparseInput, comm: &Comm<'_>) -> Option<Output> {
+        let local = scatter_csr(comm, &input.m);
+        let mut x = if comm.rank() == 0 { input.x.clone() } else { Vec::new() };
+        comm.bcast(0, &mut x);
+        let y = local.spmv(&x);
+        comm.gather(0, &y).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &SparseInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let m = &input.m;
+        let rg = block_range(m.rows, comm.size(), comm.rank());
+        let mut y = vec![0.0; rg.len()];
+        let lo = rg.start;
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut y);
+            ctx.par_for(0..rg.len(), |j| {
+                let i = lo + j;
+                let v: f64 =
+                    m.row(i).map(|nz| m.vals[nz] * input.x[m.col_idx[nz] as usize]).sum();
+                unsafe { slice.write(j, v) };
+            });
+        }
+        comm.gather(0, &y).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &SparseInput, gpu: &Gpu) -> Output {
+        let m = &input.m;
+        let vals = GpuBuffer::from_slice(&m.vals);
+        let cols = GpuBuffer::from_slice(&m.col_idx);
+        let x = GpuBuffer::from_slice(&input.x);
+        let y = GpuBuffer::<f64>::zeroed(m.rows);
+        let row_ptr = m.row_ptr.clone();
+        gpu.launch_each(Launch::over(m.rows, 128), |t, ctx| {
+            let i = t.global_id();
+            if i < y.len() {
+                let mut acc = 0.0;
+                for nz in row_ptr[i]..row_ptr[i + 1] {
+                    let c = ctx.read(&cols, nz) as usize;
+                    acc += ctx.read(&vals, nz) * ctx.read(&x, c);
+                }
+                ctx.write(&y, i, acc);
+            }
+        });
+        Output::F64s(y.to_vec())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 1: transposed SpMV (scatter adds)
+// ----------------------------------------------------------------------
+
+struct SpMvT;
+
+impl SpMvT {
+    fn serial_vec(input: &SparseInput) -> Vec<f64> {
+        let m = &input.m;
+        let mut y = vec![0.0; m.cols];
+        for i in 0..m.rows {
+            for nz in m.row(i) {
+                y[m.col_idx[nz] as usize] += m.vals[nz] * input.x[i];
+            }
+        }
+        y
+    }
+}
+
+impl Spec for SpMvT {
+    type Input = SparseInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::SparseLinearAlgebra, 1)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        mk_prompt(
+            "csrSpMVTranspose",
+            "Compute y = A^T*x for a CSR matrix A and dense vector x (scatter the contribution of each nonzero).",
+            "A=[[2,0],[4,3]], x=[1,1]",
+            "[6.0, 3.0]",
+            "row_ptr: &[usize], col_idx: &[u32], vals: &[f64], x: &[f64], y: &mut [f64]",
+        )
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> SparseInput {
+        gen_input(1, seed, size)
+    }
+
+    fn input_bytes(&self, input: &SparseInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &SparseInput) -> Output {
+        Output::F64s(Self::serial_vec(input))
+    }
+
+    fn solve_shmem(&self, input: &SparseInput, pool: &Pool) -> Output {
+        let m = &input.m;
+        let y: Vec<AtomicF64> = (0..m.cols).map(|_| AtomicF64::new(0.0)).collect();
+        pool.parallel_for(0..m.rows, Schedule::Dynamic { chunk: 64 }, |i| {
+            for nz in m.row(i) {
+                y[m.col_idx[nz] as usize].fetch_add(m.vals[nz] * input.x[i]);
+            }
+        });
+        Output::F64s(y.iter().map(AtomicF64::load).collect())
+    }
+
+    fn solve_patterns(&self, input: &SparseInput, space: &ExecSpace) -> Output {
+        let m = &input.m;
+        let scatter: ScatterView<f64> = ScatterView::new(m.cols, space.concurrency());
+        let teams = 4 * space.concurrency();
+        space.parallel_for_teams(teams, |team| {
+            let rg = block_range(m.rows, team.league_size(), team.league_rank());
+            let mut acc = scatter.access();
+            for i in rg {
+                for nz in m.row(i) {
+                    acc.add(m.col_idx[nz] as usize, m.vals[nz] * input.x[i]);
+                }
+            }
+        });
+        let mut y = vec![0.0; m.cols];
+        scatter.contribute(&mut y);
+        Output::F64s(y)
+    }
+
+    fn solve_mpi(&self, input: &SparseInput, comm: &Comm<'_>) -> Option<Output> {
+        let local = scatter_csr(comm, &input.m);
+        let rg = block_range(input.m.rows, comm.size(), comm.rank());
+        let x_local =
+            comm.scatter_blocks(0, (comm.rank() == 0).then_some(&input.x[..]), input.x.len());
+        let mut y = vec![0.0; local.cols];
+        for (j, i) in rg.clone().enumerate() {
+            let _ = i;
+            for nz in local.row(j) {
+                y[local.col_idx[nz] as usize] += local.vals[nz] * x_local[j];
+            }
+        }
+        comm.reduce(0, &y, ReduceOp::Sum).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &SparseInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let m = &input.m;
+        let rg = block_range(m.rows, comm.size(), comm.rank());
+        let y: Vec<AtomicF64> = (0..m.cols).map(|_| AtomicF64::new(0.0)).collect();
+        let lo = rg.start;
+        ctx.par_for(0..rg.len(), |j| {
+            let i = lo + j;
+            for nz in m.row(i) {
+                y[m.col_idx[nz] as usize].fetch_add(m.vals[nz] * input.x[i]);
+            }
+        });
+        let dense: Vec<f64> = y.iter().map(AtomicF64::load).collect();
+        comm.reduce(0, &dense, ReduceOp::Sum).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &SparseInput, gpu: &Gpu) -> Output {
+        let m = &input.m;
+        let vals = GpuBuffer::from_slice(&m.vals);
+        let cols = GpuBuffer::from_slice(&m.col_idx);
+        let x = GpuBuffer::from_slice(&input.x);
+        let y = GpuBuffer::<f64>::zeroed(m.cols);
+        let row_ptr = m.row_ptr.clone();
+        let rows = m.rows;
+        gpu.launch_each(Launch::over(rows, 128), |t, ctx| {
+            let i = t.global_id();
+            if i < rows {
+                let xi = ctx.read(&x, i);
+                for nz in row_ptr[i]..row_ptr[i + 1] {
+                    let c = ctx.read(&cols, nz) as usize;
+                    ctx.atomic_add(&y, c, ctx.read(&vals, nz) * xi);
+                }
+            }
+        });
+        Output::F64s(y.to_vec())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 2: sparse axpy
+// ----------------------------------------------------------------------
+
+struct SparseAxpy;
+
+impl SparseAxpy {
+    fn serial_vec(input: &SparseInput) -> Vec<f64> {
+        let mut out = vec![0.0; input.n];
+        for (i, &ix) in input.sx.0.iter().enumerate() {
+            out[ix as usize] += input.sx.1[i];
+        }
+        for (j, &iy) in input.sy.0.iter().enumerate() {
+            out[iy as usize] += 2.0 * input.sy.1[j];
+        }
+        out
+    }
+}
+
+impl Spec for SparseAxpy {
+    type Input = SparseInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::SparseLinearAlgebra, 2)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        mk_prompt(
+            "sparseAxpy",
+            "Compute the dense vector out = x + 2*y where x and y are sparse vectors given as (indices, values) pairs with sorted unique indices.",
+            "x=({0}, {1.0}), y=({0,2}, {3.0, 1.0}), n=3",
+            "[7.0, 0.0, 2.0]",
+            "xi: &[u32], xv: &[f64], yi: &[u32], yv: &[f64], out: &mut [f64]",
+        )
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> SparseInput {
+        gen_input(2, seed, size)
+    }
+
+    fn input_bytes(&self, input: &SparseInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &SparseInput) -> Output {
+        Output::F64s(Self::serial_vec(input))
+    }
+
+    fn solve_shmem(&self, input: &SparseInput, pool: &Pool) -> Output {
+        let out: Vec<AtomicF64> = (0..input.n).map(|_| AtomicF64::new(0.0)).collect();
+        let nx = input.sx.0.len();
+        pool.parallel_for(0..nx + input.sy.0.len(), Schedule::Static { chunk: 0 }, |k| {
+            if k < nx {
+                out[input.sx.0[k] as usize].fetch_add(input.sx.1[k]);
+            } else {
+                let j = k - nx;
+                out[input.sy.0[j] as usize].fetch_add(2.0 * input.sy.1[j]);
+            }
+        });
+        Output::F64s(out.iter().map(AtomicF64::load).collect())
+    }
+
+    fn solve_patterns(&self, input: &SparseInput, space: &ExecSpace) -> Output {
+        let scatter: ScatterView<f64> = ScatterView::new(input.n, space.concurrency());
+        let nx = input.sx.0.len();
+        let total = nx + input.sy.0.len();
+        let teams = 4 * space.concurrency();
+        space.parallel_for_teams(teams, |team| {
+            let rg = block_range(total, team.league_size(), team.league_rank());
+            let mut acc = scatter.access();
+            for k in rg {
+                if k < nx {
+                    acc.add(input.sx.0[k] as usize, input.sx.1[k]);
+                } else {
+                    let j = k - nx;
+                    acc.add(input.sy.0[j] as usize, 2.0 * input.sy.1[j]);
+                }
+            }
+        });
+        let mut out = vec![0.0; input.n];
+        scatter.contribute(&mut out);
+        Output::F64s(out)
+    }
+
+    fn solve_mpi(&self, input: &SparseInput, comm: &Comm<'_>) -> Option<Output> {
+        // Scatter both sparse vectors' entries; each rank builds a dense
+        // partial; sum-reduce to the root.
+        let xi = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(&input.sx.0[..]),
+            input.sx.0.len(),
+        );
+        let xv = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(&input.sx.1[..]),
+            input.sx.1.len(),
+        );
+        let yi = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(&input.sy.0[..]),
+            input.sy.0.len(),
+        );
+        let yv = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(&input.sy.1[..]),
+            input.sy.1.len(),
+        );
+        let n = comm.bcast_one(0, input.n as i64) as usize;
+        let mut out = vec![0.0; n];
+        for (k, &i) in xi.iter().enumerate() {
+            out[i as usize] += xv[k];
+        }
+        for (k, &i) in yi.iter().enumerate() {
+            out[i as usize] += 2.0 * yv[k];
+        }
+        comm.reduce(0, &out, ReduceOp::Sum).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &SparseInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let out: Vec<AtomicF64> = (0..input.n).map(|_| AtomicF64::new(0.0)).collect();
+        let nx = input.sx.0.len();
+        let total = nx + input.sy.0.len();
+        let rg = block_range(total, comm.size(), comm.rank());
+        ctx.par_for(rg, |k| {
+            if k < nx {
+                out[input.sx.0[k] as usize].fetch_add(input.sx.1[k]);
+            } else {
+                let j = k - nx;
+                out[input.sy.0[j] as usize].fetch_add(2.0 * input.sy.1[j]);
+            }
+        });
+        let dense: Vec<f64> = out.iter().map(AtomicF64::load).collect();
+        comm.reduce(0, &dense, ReduceOp::Sum).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &SparseInput, gpu: &Gpu) -> Output {
+        let xi = GpuBuffer::from_slice(&input.sx.0);
+        let xv = GpuBuffer::from_slice(&input.sx.1);
+        let yi = GpuBuffer::from_slice(&input.sy.0);
+        let yv = GpuBuffer::from_slice(&input.sy.1);
+        let out = GpuBuffer::<f64>::zeroed(input.n);
+        let nx = input.sx.0.len();
+        let total = nx + input.sy.0.len();
+        gpu.launch_each(Launch::over(total, 256), |t, ctx| {
+            let k = t.global_id();
+            if k < nx {
+                let i = ctx.read(&xi, k) as usize;
+                ctx.atomic_add(&out, i, ctx.read(&xv, k));
+            } else if k < total {
+                let j = k - nx;
+                let i = ctx.read(&yi, j) as usize;
+                ctx.atomic_add(&out, i, 2.0 * ctx.read(&yv, j));
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 3: CSR row norms
+// ----------------------------------------------------------------------
+
+struct RowNorms;
+
+impl Spec for RowNorms {
+    type Input = SparseInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::SparseLinearAlgebra, 3)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        mk_prompt(
+            "csrRowNorms",
+            "Compute the Euclidean norm of every row of a CSR matrix A.",
+            "A=[[3,4],[0,1]]",
+            "[5.0, 1.0]",
+            "row_ptr: &[usize], vals: &[f64], norms: &mut [f64]",
+        )
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> SparseInput {
+        gen_input(3, seed, size)
+    }
+
+    fn input_bytes(&self, input: &SparseInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &SparseInput) -> Output {
+        let m = &input.m;
+        Output::F64s(
+            (0..m.rows)
+                .map(|i| m.row(i).map(|nz| m.vals[nz] * m.vals[nz]).sum::<f64>().sqrt())
+                .collect(),
+        )
+    }
+
+    fn solve_shmem(&self, input: &SparseInput, pool: &Pool) -> Output {
+        let m = &input.m;
+        let mut out = vec![0.0; m.rows];
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut out);
+            pool.parallel_for(0..m.rows, Schedule::Dynamic { chunk: 64 }, |i| {
+                let v = m.row(i).map(|nz| m.vals[nz] * m.vals[nz]).sum::<f64>().sqrt();
+                unsafe { slice.write(i, v) };
+            });
+        }
+        Output::F64s(out)
+    }
+
+    fn solve_patterns(&self, input: &SparseInput, space: &ExecSpace) -> Output {
+        let m = &input.m;
+        let out = pcg_patterns::View::<f64>::new("norms", m.rows);
+        let out2 = out.clone();
+        space.parallel_for_teams(m.rows, |team| {
+            let i = team.league_rank();
+            let nz = m.row(i);
+            let base = nz.start;
+            let ss = team.team_reduce(nz.len(), 0.0, |acc, lane| {
+                acc + m.vals[base + lane] * m.vals[base + lane]
+            });
+            unsafe { out2.set(i, ss.sqrt()) };
+        });
+        Output::F64s(out.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &SparseInput, comm: &Comm<'_>) -> Option<Output> {
+        let local = scatter_csr(comm, &input.m);
+        let norms: Vec<f64> = (0..local.rows)
+            .map(|i| local.row(i).map(|nz| local.vals[nz] * local.vals[nz]).sum::<f64>().sqrt())
+            .collect();
+        comm.gather(0, &norms).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &SparseInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let m = &input.m;
+        let rg = block_range(m.rows, comm.size(), comm.rank());
+        let mut out = vec![0.0; rg.len()];
+        let lo = rg.start;
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut out);
+            ctx.par_for(0..rg.len(), |j| {
+                let i = lo + j;
+                let v = m.row(i).map(|nz| m.vals[nz] * m.vals[nz]).sum::<f64>().sqrt();
+                unsafe { slice.write(j, v) };
+            });
+        }
+        comm.gather(0, &out).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &SparseInput, gpu: &Gpu) -> Output {
+        let m = &input.m;
+        let vals = GpuBuffer::from_slice(&m.vals);
+        let out = GpuBuffer::<f64>::zeroed(m.rows);
+        let row_ptr = m.row_ptr.clone();
+        gpu.launch_each(Launch::over(m.rows, 128), |t, ctx| {
+            let i = t.global_id();
+            if i < out.len() {
+                let mut ss = 0.0;
+                for nz in row_ptr[i]..row_ptr[i + 1] {
+                    let v = ctx.read(&vals, nz);
+                    ss += v * v;
+                }
+                ctx.write(&out, i, ss.sqrt());
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variant 4: SpMM against a dense block
+// ----------------------------------------------------------------------
+
+struct SpMm;
+
+impl SpMm {
+    fn serial_vec(input: &SparseInput) -> Vec<f64> {
+        let m = &input.m;
+        let k = input.k;
+        let mut y = vec![0.0; m.rows * k];
+        for i in 0..m.rows {
+            for nz in m.row(i) {
+                let c = m.col_idx[nz] as usize;
+                let v = m.vals[nz];
+                for j in 0..k {
+                    y[i * k + j] += v * input.bk[c * k + j];
+                }
+            }
+        }
+        y
+    }
+}
+
+impl Spec for SpMm {
+    type Input = SparseInput;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::SparseLinearAlgebra, 4)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        mk_prompt(
+            "csrSpMM",
+            "Compute Y = A*B for a CSR matrix A and a dense row-major matrix B with 8 columns.",
+            "A=[[2,0],[0,3]], B rows=[1..8],[10..80]",
+            "Y row 0 = 2*B row 0; Y row 1 = 3*B row 1",
+            "row_ptr: &[usize], col_idx: &[u32], vals: &[f64], b: &[f64], y: &mut [f64]",
+        )
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 15
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> SparseInput {
+        gen_input(4, seed, size)
+    }
+
+    fn input_bytes(&self, input: &SparseInput) -> usize {
+        input_bytes(input)
+    }
+
+    fn serial(&self, input: &SparseInput) -> Output {
+        Output::F64s(Self::serial_vec(input))
+    }
+
+    fn solve_shmem(&self, input: &SparseInput, pool: &Pool) -> Output {
+        let m = &input.m;
+        let k = input.k;
+        let mut y = vec![0.0; m.rows * k];
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut y);
+            pool.parallel_for(0..m.rows, Schedule::Dynamic { chunk: 32 }, |i| {
+                let mut row = vec![0.0; k];
+                for nz in m.row(i) {
+                    let c = m.col_idx[nz] as usize;
+                    let v = m.vals[nz];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot += v * input.bk[c * k + j];
+                    }
+                }
+                for (j, v) in row.into_iter().enumerate() {
+                    unsafe { slice.write(i * k + j, v) };
+                }
+            });
+        }
+        Output::F64s(y)
+    }
+
+    fn solve_patterns(&self, input: &SparseInput, space: &ExecSpace) -> Output {
+        let m = &input.m;
+        let k = input.k;
+        let y = pcg_patterns::View::<f64>::new("y", m.rows * k);
+        let y2 = y.clone();
+        space.parallel_for_2d(m.rows, k, |i, j| {
+            let mut acc = 0.0;
+            for nz in m.row(i) {
+                acc += m.vals[nz] * input.bk[m.col_idx[nz] as usize * k + j];
+            }
+            unsafe { y2.set(i * k + j, acc) };
+        });
+        Output::F64s(y.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &SparseInput, comm: &Comm<'_>) -> Option<Output> {
+        let local = scatter_csr(comm, &input.m);
+        let mut b = if comm.rank() == 0 { input.bk.clone() } else { Vec::new() };
+        comm.bcast(0, &mut b);
+        let k = comm.bcast_one(0, input.k as i64) as usize;
+        let mut y = vec![0.0; local.rows * k];
+        for i in 0..local.rows {
+            for nz in local.row(i) {
+                let c = local.col_idx[nz] as usize;
+                let v = local.vals[nz];
+                for j in 0..k {
+                    y[i * k + j] += v * b[c * k + j];
+                }
+            }
+        }
+        comm.gather(0, &y).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &SparseInput, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let m = &input.m;
+        let k = input.k;
+        let rg = block_range(m.rows, comm.size(), comm.rank());
+        let mut y = vec![0.0; rg.len() * k];
+        let lo = rg.start;
+        {
+            let slice = pcg_shmem::UnsafeSlice::new(&mut y);
+            ctx.par_for(0..rg.len(), |r_local| {
+                let i = lo + r_local;
+                let mut row = vec![0.0; k];
+                for nz in m.row(i) {
+                    let c = m.col_idx[nz] as usize;
+                    let v = m.vals[nz];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot += v * input.bk[c * k + j];
+                    }
+                }
+                for (j, v) in row.into_iter().enumerate() {
+                    unsafe { slice.write(r_local * k + j, v) };
+                }
+            });
+        }
+        comm.gather(0, &y).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &SparseInput, gpu: &Gpu) -> Output {
+        let m = &input.m;
+        let k = input.k;
+        let vals = GpuBuffer::from_slice(&m.vals);
+        let cols = GpuBuffer::from_slice(&m.col_idx);
+        let b = GpuBuffer::from_slice(&input.bk);
+        let y = GpuBuffer::<f64>::zeroed(m.rows * k);
+        let row_ptr = m.row_ptr.clone();
+        let total = m.rows * k;
+        gpu.launch_each(Launch::over(total, 128), |t, ctx| {
+            let idx = t.global_id();
+            if idx < total {
+                let (i, j) = (idx / k, idx % k);
+                let mut acc = 0.0;
+                for nz in row_ptr[i]..row_ptr[i + 1] {
+                    let c = ctx.read(&cols, nz) as usize;
+                    acc += ctx.read(&vals, nz) * ctx.read(&b, c * k + j);
+                }
+                ctx.write(&y, idx, acc);
+            }
+        });
+        Output::F64s(y.to_vec())
+    }
+}
+
+/// The five sparse linear algebra problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(SpMv),
+        Box::new(SpMvT),
+        Box::new(SparseAxpy),
+        Box::new(RowNorms),
+        Box::new(SpMm),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn sparse_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 808, 600);
+        }
+    }
+
+    #[test]
+    fn spmv_transpose_agrees_with_dense_transpose() {
+        let input = gen_input(1, 7, 128);
+        let y = SpMvT::serial_vec(&input);
+        // Check one random column against a direct computation.
+        let m = &input.m;
+        let col = m.col_idx[0] as usize;
+        let mut want = 0.0;
+        for i in 0..m.rows {
+            for nz in m.row(i) {
+                if m.col_idx[nz] as usize == col {
+                    want += m.vals[nz] * input.x[i];
+                }
+            }
+        }
+        assert!((y[col] - want).abs() < 1e-9);
+    }
+}

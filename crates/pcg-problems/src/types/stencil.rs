@@ -1,0 +1,600 @@
+//! Stencil problems: one iteration of 1-D and 2-D stencils (Table 1
+//! "Stencil"). Out-of-range reads are zero (zero padding), so every
+//! variant has uniform boundary semantics.
+//!
+//! The MPI implementations use the canonical block-distribution +
+//! halo-exchange pattern (`sendrecv` with both neighbors), which is the
+//! decomposition the paper's MPI stencil prompts are probing for.
+
+use crate::framework::{Problem, Spec};
+use crate::util;
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm};
+use pcg_patterns::{ExecSpace, View};
+use pcg_shmem::{Pool, UnsafeSlice};
+
+/// Accessors handed to a 1-D stencil formula: absolute-index reads with
+/// zero padding, over the main array and an auxiliary array.
+pub struct St1<'a> {
+    x: &'a dyn Fn(isize) -> f64,
+    aux: &'a dyn Fn(isize) -> f64,
+}
+
+impl St1<'_> {
+    /// Read `x[i]`, 0.0 outside `0..n`.
+    pub fn x(&self, i: isize) -> f64 {
+        (self.x)(i)
+    }
+
+    /// Read the auxiliary array, 0.0 outside `0..n`.
+    pub fn aux(&self, i: isize) -> f64 {
+        (self.aux)(i)
+    }
+}
+
+struct Stencil1D {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    example_in: &'static str,
+    example_out: &'static str,
+    halo: usize,
+    uses_aux: bool,
+    apply: fn(&St1<'_>, usize) -> f64,
+}
+
+/// 1-D stencil input: main array plus optional previous-timestep array.
+pub struct St1Input {
+    x: Vec<f64>,
+    aux: Vec<f64>,
+}
+
+impl Stencil1D {
+    fn apply_range(&self, x: &[f64], aux: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+        let n = x.len();
+        let getx = |i: isize| {
+            if i >= 0 && (i as usize) < n {
+                x[i as usize]
+            } else {
+                0.0
+            }
+        };
+        let getaux = |i: isize| {
+            if i >= 0 && (i as usize) < n {
+                aux.get(i as usize).copied().unwrap_or(0.0)
+            } else {
+                0.0
+            }
+        };
+        let ctx = St1 { x: &getx, aux: &getaux };
+        for (slot, i) in out.iter_mut().zip(lo..hi) {
+            *slot = (self.apply)(&ctx, i);
+        }
+    }
+}
+
+impl Spec for Stencil1D {
+    type Input = St1Input;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Stencil, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(self.example_in.into(), self.example_out.into())],
+            signature: "x: &[f64], out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> St1Input {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        let x = util::rand_f64s(&mut r, size, -1.0, 1.0);
+        let aux = if self.uses_aux { util::rand_f64s(&mut r, size, -1.0, 1.0) } else { vec![] };
+        St1Input { x, aux }
+    }
+
+    fn input_bytes(&self, input: &St1Input) -> usize {
+        (input.x.len() + input.aux.len()) * 8
+    }
+
+    fn serial(&self, input: &St1Input) -> Output {
+        let mut out = vec![0.0; input.x.len()];
+        self.apply_range(&input.x, &input.aux, 0, input.x.len(), &mut out);
+        Output::F64s(out)
+    }
+
+    fn solve_shmem(&self, input: &St1Input, pool: &Pool) -> Output {
+        let mut out = vec![0.0; input.x.len()];
+        pool.parallel_chunks_mut(&mut out, |_tid, start, chunk| {
+            let hi = start + chunk.len();
+            self.apply_range(&input.x, &input.aux, start, hi, chunk);
+        });
+        Output::F64s(out)
+    }
+
+    fn solve_patterns(&self, input: &St1Input, space: &ExecSpace) -> Output {
+        let n = input.x.len();
+        let x = View::from_slice("x", &input.x);
+        let aux = View::from_slice("aux", &input.aux);
+        let out: View<f64> = View::new("out", n);
+        let out2 = out.clone();
+        let apply = self.apply;
+        space.parallel_for(n, |i| {
+            let getx = |j: isize| {
+                if j >= 0 && (j as usize) < n {
+                    x.get(j as usize)
+                } else {
+                    0.0
+                }
+            };
+            let getaux = |j: isize| {
+                if j >= 0 && (j as usize) < aux.len() {
+                    aux.get(j as usize)
+                } else {
+                    0.0
+                }
+            };
+            let ctx = St1 { x: &getx, aux: &getaux };
+            unsafe { out2.set(i, apply(&ctx, i)) };
+        });
+        Output::F64s(out.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &St1Input, comm: &Comm<'_>) -> Option<Output> {
+        let n = input.x.len();
+        let h = self.halo as isize;
+        // Scatter the owned blocks, then exchange halos with neighbors.
+        let local_x = comm.scatter_blocks(0, (comm.rank() == 0).then_some(&input.x[..]), n);
+        let local_aux = if self.uses_aux {
+            comm.scatter_blocks(0, (comm.rank() == 0).then_some(&input.aux[..]), n)
+        } else {
+            Vec::new()
+        };
+        let range = block_range(n, comm.size(), comm.rank());
+        let padded_x = exchange_halo(comm, &local_x, self.halo, 10);
+        let padded_aux = if self.uses_aux {
+            exchange_halo(comm, &local_aux, self.halo, 20)
+        } else {
+            vec![0.0; local_x.len() + 2 * self.halo]
+        };
+        // Compute the owned range with absolute-index getters backed by
+        // the halo-padded local arrays.
+        let lo = range.start as isize;
+        let len = local_x.len() as isize;
+        let getx = |i: isize| {
+            let l = i - lo + h;
+            // The halo covers [lo-h, lo+len+h); absolute out-of-domain
+            // indices fall outside and read as padded zeros.
+            if i >= 0 && i < n as isize && l >= 0 && l < len + 2 * h {
+                padded_x[l as usize]
+            } else {
+                0.0
+            }
+        };
+        let getaux = |i: isize| {
+            let l = i - lo + h;
+            if i >= 0 && i < n as isize && l >= 0 && l < len + 2 * h {
+                padded_aux[l as usize]
+            } else {
+                0.0
+            }
+        };
+        let ctx = St1 { x: &getx, aux: &getaux };
+        let local_out: Vec<f64> = range.clone().map(|i| (self.apply)(&ctx, i)).collect();
+        comm.gather(0, &local_out).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &St1Input, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let n = input.x.len();
+        let range = block_range(n, comm.size(), comm.rank());
+        let mut local_out = vec![0.0; range.len()];
+        let lo = range.start;
+        ctx.par_chunks_mut(&mut local_out, |_tid, start, chunk| {
+            let hi = lo + start + chunk.len();
+            self.apply_range(&input.x, &input.aux, lo + start, hi, chunk);
+        });
+        comm.gather(0, &local_out).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &St1Input, gpu: &Gpu) -> Output {
+        let n = input.x.len();
+        let x = GpuBuffer::from_slice(&input.x);
+        let aux = GpuBuffer::from_slice(&input.aux);
+        let out = GpuBuffer::<f64>::zeroed(n);
+        let apply = self.apply;
+        gpu.launch_each(Launch::over(n, 256), |t, bctx| {
+            let i = t.global_id();
+            if i < n {
+                let getx = |j: isize| {
+                    if j >= 0 && (j as usize) < n {
+                        bctx.read(&x, j as usize)
+                    } else {
+                        0.0
+                    }
+                };
+                let getaux = |j: isize| {
+                    if j >= 0 && (j as usize) < aux.len() {
+                        bctx.read(&aux, j as usize)
+                    } else {
+                        0.0
+                    }
+                };
+                let ctx = St1 { x: &getx, aux: &getaux };
+                bctx.write(&out, i, apply(&ctx, i));
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+/// Exchange `halo` boundary elements with both neighbors; returns the
+/// local array padded with `halo` slots on each side (zeros at domain
+/// ends or when the neighbor sent fewer than `halo` elements).
+fn exchange_halo(comm: &Comm<'_>, local: &[f64], halo: usize, tag_base: u32) -> Vec<f64> {
+    let mut padded = vec![0.0; local.len() + 2 * halo];
+    padded[halo..halo + local.len()].copy_from_slice(local);
+    if halo == 0 || comm.size() == 1 {
+        return padded;
+    }
+    let rank = comm.rank();
+    let take = halo.min(local.len());
+    // Send right edge to the right neighbor, receive left halo.
+    if rank + 1 < comm.size() {
+        comm.send(rank + 1, tag_base, &local[local.len() - take..]);
+    }
+    if rank > 0 {
+        let left = comm.recv::<f64>(Some(rank - 1), tag_base);
+        padded[halo - left.len()..halo].copy_from_slice(&left);
+    }
+    // Send left edge to the left neighbor, receive right halo.
+    if rank > 0 {
+        comm.send(rank - 1, tag_base + 1, &local[..take]);
+    }
+    if rank + 1 < comm.size() {
+        let right = comm.recv::<f64>(Some(rank + 1), tag_base + 1);
+        padded[halo + local.len()..halo + local.len() + right.len()].copy_from_slice(&right);
+    }
+    padded
+}
+
+/// 2-D stencil accessors: absolute `(row, col)` reads, zero padded.
+pub struct St2<'a> {
+    get: &'a dyn Fn(isize, isize) -> f64,
+}
+
+impl St2<'_> {
+    /// Read `x[r][c]`, 0.0 outside the grid.
+    pub fn at(&self, r: isize, c: isize) -> f64 {
+        (self.get)(r, c)
+    }
+}
+
+struct Stencil2D {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    example_in: &'static str,
+    example_out: &'static str,
+    apply: fn(&St2<'_>, usize, usize) -> f64,
+}
+
+/// 2-D stencil input: a row-major grid.
+pub struct St2Input {
+    rows: usize,
+    cols: usize,
+    x: Vec<f64>,
+}
+
+impl Stencil2D {
+    fn apply_rows(&self, input: &St2Input, r_lo: usize, r_hi: usize, out: &mut [f64]) {
+        let (rows, cols) = (input.rows, input.cols);
+        let get = |r: isize, c: isize| {
+            if r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols {
+                input.x[r as usize * cols + c as usize]
+            } else {
+                0.0
+            }
+        };
+        let ctx = St2 { get: &get };
+        for r in r_lo..r_hi {
+            for c in 0..cols {
+                out[(r - r_lo) * cols + c] = (self.apply)(&ctx, r, c);
+            }
+        }
+    }
+}
+
+impl Spec for Stencil2D {
+    type Input = St2Input;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Stencil, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(self.example_in.into(), self.example_out.into())],
+            signature: "rows: usize, cols: usize, x: &[f64], out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> St2Input {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        let cols = (size as f64).sqrt().round() as usize;
+        let cols = cols.max(2);
+        let rows = (size / cols).max(2);
+        let x = util::rand_f64s(&mut r, rows * cols, -1.0, 1.0);
+        St2Input { rows, cols, x }
+    }
+
+    fn input_bytes(&self, input: &St2Input) -> usize {
+        input.x.len() * 8
+    }
+
+    fn serial(&self, input: &St2Input) -> Output {
+        let mut out = vec![0.0; input.rows * input.cols];
+        self.apply_rows(input, 0, input.rows, &mut out);
+        Output::F64s(out)
+    }
+
+    fn solve_shmem(&self, input: &St2Input, pool: &Pool) -> Output {
+        let mut out = vec![0.0; input.rows * input.cols];
+        let cols = input.cols;
+        {
+            let slice = UnsafeSlice::new(&mut out);
+            pool.parallel_for(0..input.rows, pcg_shmem::Schedule::Static { chunk: 0 }, |r| {
+                let mut row = vec![0.0; cols];
+                self.apply_rows(input, r, r + 1, &mut row);
+                for (c, v) in row.into_iter().enumerate() {
+                    unsafe { slice.write(r * cols + c, v) };
+                }
+            });
+        }
+        Output::F64s(out)
+    }
+
+    fn solve_patterns(&self, input: &St2Input, space: &ExecSpace) -> Output {
+        let (rows, cols) = (input.rows, input.cols);
+        let x = View::from_slice("x", &input.x);
+        let out: View<f64> = View::new("out", rows * cols);
+        let out2 = out.clone();
+        let apply = self.apply;
+        space.parallel_for_2d(rows, cols, |r, c| {
+            let get = |rr: isize, cc: isize| {
+                if rr >= 0 && cc >= 0 && (rr as usize) < rows && (cc as usize) < cols {
+                    x.get(rr as usize * cols + cc as usize)
+                } else {
+                    0.0
+                }
+            };
+            let ctx = St2 { get: &get };
+            unsafe { out2.set(r * cols + c, apply(&ctx, r, c)) };
+        });
+        Output::F64s(out.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &St2Input, comm: &Comm<'_>) -> Option<Output> {
+        // Row-block distribution with one halo row per side.
+        let (rows, cols) = (input.rows, input.cols);
+        let chunks: Option<Vec<Vec<f64>>> = (comm.rank() == 0).then(|| {
+            (0..comm.size())
+                .map(|r| {
+                    let rg = block_range(rows, comm.size(), r);
+                    input.x[rg.start * cols..rg.end * cols].to_vec()
+                })
+                .collect()
+        });
+        let local = comm.scatter(0, chunks.as_deref());
+        let my_rows = block_range(rows, comm.size(), comm.rank());
+        let padded = exchange_halo(comm, &local, cols, 30);
+        // `padded` holds rows [my_rows.start-1, my_rows.end+1) with zero
+        // rows at the domain boundary.
+        let lo = my_rows.start;
+        let get = |r: isize, c: isize| {
+            if r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols {
+                let l = r - lo as isize + 1;
+                if l >= 0 && (l as usize) < padded.len() / cols {
+                    padded[l as usize * cols + c as usize]
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            }
+        };
+        let ctx = St2 { get: &get };
+        let mut local_out = Vec::with_capacity(my_rows.len() * cols);
+        for r in my_rows.clone() {
+            for c in 0..cols {
+                local_out.push((self.apply)(&ctx, r, c));
+            }
+        }
+        comm.gather(0, &local_out).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &St2Input, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let my_rows = block_range(input.rows, comm.size(), comm.rank());
+        let cols = input.cols;
+        let mut local_out = vec![0.0; my_rows.len() * cols];
+        let lo = my_rows.start;
+        {
+            let slice = UnsafeSlice::new(&mut local_out);
+            let apply_row = |r_local: usize| {
+                let mut row = vec![0.0; cols];
+                self.apply_rows(input, lo + r_local, lo + r_local + 1, &mut row);
+                for (c, v) in row.into_iter().enumerate() {
+                    unsafe { slice.write(r_local * cols + c, v) };
+                }
+            };
+            ctx.par_for(0..my_rows.len(), apply_row);
+        }
+        comm.gather(0, &local_out).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &St2Input, gpu: &Gpu) -> Output {
+        let (rows, cols) = (input.rows, input.cols);
+        let x = GpuBuffer::from_slice(&input.x);
+        let out = GpuBuffer::<f64>::zeroed(rows * cols);
+        let apply = self.apply;
+        gpu.launch_each(Launch::over(rows * cols, 256), |t, bctx| {
+            let i = t.global_id();
+            if i < rows * cols {
+                let (r, c) = (i / cols, i % cols);
+                let get = |rr: isize, cc: isize| {
+                    if rr >= 0 && cc >= 0 && (rr as usize) < rows && (cc as usize) < cols {
+                        bctx.read(&x, rr as usize * cols + cc as usize)
+                    } else {
+                        0.0
+                    }
+                };
+                let ctx = St2 { get: &get };
+                bctx.write(&out, i, apply(&ctx, r, c));
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+/// The five stencil problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(Stencil1D {
+            variant: 0,
+            fn_name: "jacobi1d3Point",
+            description: "One Jacobi iteration on a 1-D array: out[i] = (x[i-1] + x[i] + x[i+1]) / 3, reading 0 outside the array.",
+            example_in: "[3.0, 3.0, 3.0]",
+            example_out: "[2.0, 3.0, 2.0]",
+            halo: 1,
+            uses_aux: false,
+            apply: |s, i| (s.x(i as isize - 1) + s.x(i as isize) + s.x(i as isize + 1)) / 3.0,
+        }),
+        Box::new(Stencil1D {
+            variant: 1,
+            fn_name: "weighted1d5Point",
+            description: "One weighted 5-point stencil: out[i] = 0.1*x[i-2] + 0.2*x[i-1] + 0.4*x[i] + 0.2*x[i+1] + 0.1*x[i+2], reading 0 outside the array.",
+            example_in: "[0.0, 10.0, 0.0, 0.0, 0.0]",
+            example_out: "[2.0, 4.0, 2.0, 1.0, 0.0]",
+            halo: 2,
+            uses_aux: false,
+            apply: |s, i| {
+                let i = i as isize;
+                0.1 * s.x(i - 2) + 0.2 * s.x(i - 1) + 0.4 * s.x(i) + 0.2 * s.x(i + 1) + 0.1 * s.x(i + 2)
+            },
+        }),
+        Box::new(Stencil2D {
+            variant: 2,
+            fn_name: "jacobi2d5Point",
+            description: "One 2-D Jacobi iteration: out[r][c] = (x[r][c] + x[r-1][c] + x[r+1][c] + x[r][c-1] + x[r][c+1]) / 5, reading 0 outside the grid.",
+            example_in: "rows=2, cols=2, x=[5,5,5,5]",
+            example_out: "[3, 3, 3, 3]",
+            apply: |s, r, c| {
+                let (r, c) = (r as isize, c as isize);
+                (s.at(r, c) + s.at(r - 1, c) + s.at(r + 1, c) + s.at(r, c - 1) + s.at(r, c + 1))
+                    / 5.0
+            },
+        }),
+        Box::new(Stencil2D {
+            variant: 3,
+            fn_name: "maxFilter3x3",
+            description: "3x3 maximum filter: out[r][c] is the maximum of x over the 3x3 window centered at (r, c), reading 0 outside the grid.",
+            example_in: "rows=2, cols=2, x=[1,2,3,4]",
+            example_out: "[4, 4, 4, 4]",
+            apply: |s, r, c| {
+                let (r, c) = (r as isize, c as isize);
+                let mut m = f64::NEG_INFINITY;
+                for dr in -1..=1 {
+                    for dc in -1..=1 {
+                        m = m.max(s.at(r + dr, c + dc));
+                    }
+                }
+                m
+            },
+        }),
+        Box::new(Stencil1D {
+            variant: 4,
+            fn_name: "waveStep1d",
+            description: "One step of the 1-D wave equation with c=0.25: out[i] = 2*u[i] - uprev[i] + 0.25*(u[i-1] - 2*u[i] + u[i+1]), where u is x and uprev is the auxiliary array; reads are 0 outside the arrays.",
+            example_in: "u=[0,1,0], uprev=[0,0,0]",
+            example_out: "[0.25, 1.5, 0.25]",
+            halo: 1,
+            uses_aux: true,
+            apply: |s, i| {
+                let i = i as isize;
+                2.0 * s.x(i) - s.aux(i) + 0.25 * (s.x(i - 1) - 2.0 * s.x(i) + s.x(i + 1))
+            },
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn stencil_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 2024, 600);
+        }
+    }
+
+    #[test]
+    fn jacobi1d_on_known_input() {
+        let p = Stencil1D {
+            variant: 0,
+            fn_name: "",
+            description: "",
+            example_in: "",
+            example_out: "",
+            halo: 1,
+            uses_aux: false,
+            apply: |s, i| (s.x(i as isize - 1) + s.x(i as isize) + s.x(i as isize + 1)) / 3.0,
+        };
+        let out = Spec::serial(&p, &St1Input { x: vec![3.0, 3.0, 3.0], aux: vec![] });
+        assert!(out.approx_eq(&Output::F64s(vec![2.0, 3.0, 2.0])));
+    }
+
+    #[test]
+    fn halo_exchange_roundtrip() {
+        use pcg_mpisim::{CostModel, World};
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let data_ref = &data;
+        let out = World::new(4)
+            .with_cost_model(CostModel::deterministic())
+            .run(|comm| {
+                let local =
+                    comm.scatter_blocks(0, (comm.rank() == 0).then_some(&data_ref[..]), 100);
+                let padded = exchange_halo(comm, &local, 2, 50);
+                let range = block_range(100, comm.size(), comm.rank());
+                // Interior halo slots must match the global array.
+                if range.start >= 2 {
+                    assert_eq!(padded[0], (range.start - 2) as f64);
+                    assert_eq!(padded[1], (range.start - 1) as f64);
+                }
+                if range.end + 2 <= 100 {
+                    assert_eq!(padded[padded.len() - 2], range.end as f64);
+                    assert_eq!(padded[padded.len() - 1], (range.end + 1) as f64);
+                }
+            })
+            .unwrap();
+        let _ = out;
+    }
+}

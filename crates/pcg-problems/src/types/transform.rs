@@ -1,0 +1,172 @@
+//! Transform problems: map a fixed elementwise function over an array
+//! (Table 1 "Transform"). Five variants differing in the mapped
+//! function, mirroring the paper's "slight variations of the usual
+//! problem" rule.
+
+use crate::framework::{Problem, Spec};
+use crate::util;
+use pcg_core::prompt::PromptSpec;
+use pcg_core::{Output, ProblemId, ProblemType};
+use pcg_gpusim::{Gpu, GpuBuffer, Launch};
+use pcg_hybrid::HybridCtx;
+use pcg_mpisim::{block_range, Comm};
+use pcg_patterns::{ExecSpace, View};
+use pcg_shmem::Pool;
+
+/// A transform problem: `out[i] = f(x[i])`.
+struct MapProblem {
+    variant: usize,
+    fn_name: &'static str,
+    description: &'static str,
+    example_in: &'static str,
+    example_out: &'static str,
+    f: fn(f64) -> f64,
+}
+
+impl Spec for MapProblem {
+    type Input = Vec<f64>;
+
+    fn id(&self) -> ProblemId {
+        ProblemId::new(ProblemType::Transform, self.variant)
+    }
+
+    fn prompt(&self) -> PromptSpec {
+        PromptSpec {
+            fn_name: self.fn_name.into(),
+            description: self.description.into(),
+            examples: vec![(self.example_in.into(), self.example_out.into())],
+            signature: "x: &[f64], out: &mut [f64]".into(),
+        }
+    }
+
+    fn default_size(&self) -> usize {
+        1 << 16
+    }
+
+    fn generate(&self, seed: u64, size: usize) -> Vec<f64> {
+        let mut r = util::rng(seed, Spec::id(self).index() as u64);
+        util::rand_f64s(&mut r, size, -10.0, 10.0)
+    }
+
+    fn input_bytes(&self, input: &Vec<f64>) -> usize {
+        input.len() * 8
+    }
+
+    fn serial(&self, input: &Vec<f64>) -> Output {
+        Output::F64s(input.iter().map(|&x| (self.f)(x)).collect())
+    }
+
+    fn solve_shmem(&self, input: &Vec<f64>, pool: &Pool) -> Output {
+        let mut out = vec![0.0f64; input.len()];
+        pool.parallel_chunks_mut(&mut out, |_tid, start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = (self.f)(input[start + k]);
+            }
+        });
+        Output::F64s(out)
+    }
+
+    fn solve_patterns(&self, input: &Vec<f64>, space: &ExecSpace) -> Output {
+        let x = View::from_slice("x", input);
+        let out: View<f64> = View::new("out", input.len());
+        let out2 = out.clone();
+        space.parallel_for(input.len(), |i| unsafe { out2.set(i, (self.f)(x.get(i))) });
+        Output::F64s(out.to_vec())
+    }
+
+    fn solve_mpi(&self, input: &Vec<f64>, comm: &Comm<'_>) -> Option<Output> {
+        let local = comm.scatter_blocks(
+            0,
+            (comm.rank() == 0).then_some(input.as_slice()),
+            input.len(),
+        );
+        let mapped: Vec<f64> = local.iter().map(|&x| (self.f)(x)).collect();
+        comm.gather(0, &mapped).map(Output::F64s)
+    }
+
+    fn solve_hybrid(&self, input: &Vec<f64>, ctx: &HybridCtx<'_>) -> Option<Output> {
+        let comm = ctx.comm();
+        let range = block_range(input.len(), comm.size(), comm.rank());
+        let mut local = vec![0.0f64; range.len()];
+        let lo = range.start;
+        let f = self.f;
+        ctx.par_chunks_mut(&mut local, |_tid, start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = f(input[lo + start + k]);
+            }
+        });
+        comm.gather(0, &local).map(Output::F64s)
+    }
+
+    fn solve_gpu(&self, input: &Vec<f64>, gpu: &Gpu) -> Output {
+        let x = GpuBuffer::from_slice(input);
+        let out = GpuBuffer::<f64>::zeroed(input.len());
+        let f = self.f;
+        gpu.launch_each(Launch::over(input.len(), 256), |t, ctx| {
+            let i = t.global_id();
+            if i < x.len() {
+                ctx.write(&out, i, f(ctx.read(&x, i)));
+            }
+        });
+        Output::F64s(out.to_vec())
+    }
+}
+
+/// The five transform problems.
+pub fn problems() -> Vec<Box<dyn Problem>> {
+    vec![
+        Box::new(MapProblem {
+            variant: 0,
+            fn_name: "reluMap",
+            description: "Replace every element of the array x with max(x, 0) and store the result in out.",
+            example_in: "[-1.5, 2.0, -0.25, 4.0]",
+            example_out: "[0.0, 2.0, 0.0, 4.0]",
+            f: |x| x.max(0.0),
+        }),
+        Box::new(MapProblem {
+            variant: 1,
+            fn_name: "standardizeFixed",
+            description: "Standardize every element of the array x as (x - 2.5) / 1.5 and store the result in out.",
+            example_in: "[2.5, 4.0, 1.0]",
+            example_out: "[0.0, 1.0, -1.0]",
+            f: |x| (x - 2.5) / 1.5,
+        }),
+        Box::new(MapProblem {
+            variant: 2,
+            fn_name: "scaleShift",
+            description: "Compute 3*x + 1 for every element of the array x and store the result in out.",
+            example_in: "[0.0, 1.0, -2.0]",
+            example_out: "[1.0, 4.0, -5.0]",
+            f: |x| 3.0 * x + 1.0,
+        }),
+        Box::new(MapProblem {
+            variant: 3,
+            fn_name: "clipAndHalve",
+            description: "Clip every element of the array x to the range [-5, 5], divide it by 2, and store the result in out.",
+            example_in: "[12.0, -8.0, 3.0]",
+            example_out: "[2.5, -2.5, 1.5]",
+            f: |x| x.clamp(-5.0, 5.0) / 2.0,
+        }),
+        Box::new(MapProblem {
+            variant: 4,
+            fn_name: "evalQuadratic",
+            description: "Evaluate the polynomial 2*x^2 - 3*x + 1 at every element of the array x and store the result in out.",
+            example_in: "[0.0, 1.0, 2.0]",
+            example_out: "[1.0, 0.0, 3.0]",
+            f: |x| 2.0 * x * x - 3.0 * x + 1.0,
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::tests_support::check_problem_all_models;
+
+    #[test]
+    fn transform_problems_agree_across_models() {
+        for p in problems() {
+            check_problem_all_models(&*p, 777, 512);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Shared workload structures and helpers for the problem suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a (seed, stream) pair.
+pub fn rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(pcg_core::rng::splitmix64(seed ^ stream.wrapping_mul(0x9E37_79B9)))
+}
+
+/// `n` uniform f64 values in `[lo, hi)`.
+pub fn rand_f64s(r: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// `n` uniform i64 values in `[lo, hi)`.
+pub fn rand_i64s(r: &mut StdRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// A compressed-sparse-row matrix with f64 values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row start offsets, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, one per nonzero.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Random sparse matrix with ~`nnz_per_row` nonzeros per row
+    /// (sorted, unique column indices per row).
+    pub fn random(r: &mut StdRng, rows: usize, cols: usize, nnz_per_row: usize) -> Csr {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for _ in 0..rows {
+            let k = r.gen_range(1..=(2 * nnz_per_row).min(cols.max(1)));
+            let mut cols_here: Vec<u32> = (0..k).map(|_| r.gen_range(0..cols as u32)).collect();
+            cols_here.sort_unstable();
+            cols_here.dedup();
+            for c in cols_here {
+                col_idx.push(c);
+                vals.push(r.gen_range(-1.0..1.0));
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows, cols, row_ptr, col_idx, vals }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The nonzero range of row `i`.
+    pub fn row(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Serial sparse matrix-vector product.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row(i).map(|k| self.vals[k] * x[self.col_idx[k] as usize]).sum())
+            .collect()
+    }
+
+    /// Approximate byte footprint.
+    pub fn bytes(&self) -> usize {
+        self.row_ptr.len() * 8 + self.col_idx.len() * 4 + self.vals.len() * 8
+    }
+}
+
+/// An undirected graph in CSR adjacency form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Neighbor list offsets, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Flattened neighbor lists.
+    pub neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Random undirected graph with ~`avg_degree` edges per vertex,
+    /// organized as a union of small communities plus random long
+    /// edges (so component structure is interesting but bounded).
+    pub fn random(r: &mut StdRng, n: usize, avg_degree: usize) -> Graph {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let m = n * avg_degree / 2;
+        // Community-local edges keep several components likely.
+        let communities = (n / 64).max(1);
+        let csize = n.div_ceil(communities);
+        for _ in 0..m {
+            let c = r.gen_range(0..communities);
+            let lo = c * csize;
+            let hi = ((c + 1) * csize).min(n);
+            if hi - lo < 2 {
+                continue;
+            }
+            let a = r.gen_range(lo..hi);
+            let b = r.gen_range(lo..hi);
+            if a != b {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        }
+        // A sprinkle of long-range edges bridges some communities, so
+        // BFS distances and component structure stay interesting.
+        for _ in 0..(m / 8).max(1) {
+            let a = r.gen_range(0..n);
+            let b = r.gen_range(0..n);
+            if a != b {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Graph { n, offsets, neighbors }
+    }
+
+    /// Neighbors of vertex `v`.
+    pub fn neighbors_of(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Approximate byte footprint.
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.neighbors.len() * 4
+    }
+
+    /// Serial connected-component count (iterative BFS).
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut components = 0;
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            queue.push_back(start as u32);
+            while let Some(v) = queue.pop_front() {
+                for &w in self.neighbors_of(v as usize) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// `n` uniform points in the unit square.
+pub fn rand_points(r: &mut StdRng, n: usize) -> Vec<Point> {
+    (0..n).map(|_| Point { x: r.gen_range(0.0..1.0), y: r.gen_range(0.0..1.0) }).collect()
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (`inverse` for IFFT,
+/// including the 1/n normalization). `re.len()` must be a power of two.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    assert_eq!(re.len(), im.len());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for j in 0..len / 2 {
+                let (ur, ui) = (re[i + j], im[i + j]);
+                let (vr, vi) = (
+                    re[i + j + len / 2] * cr - im[i + j + len / 2] * ci,
+                    re[i + j + len / 2] * ci + im[i + j + len / 2] * cr,
+                );
+                re[i + j] = ur + vr;
+                im[i + j] = ui + vi;
+                re[i + j + len / 2] = ur - vr;
+                im[i + j + len / 2] = ui - vi;
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for x in re.iter_mut() {
+            *x *= inv;
+        }
+        for x in im.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Monotone-chain convex hull; returns hull vertex count.
+pub fn convex_hull_size(points: &[Point]) -> usize {
+    if points.len() < 3 {
+        return points.len();
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if pts.len() < 3 {
+        return pts.len();
+    }
+    let cross = |o: Point, a: Point, b: Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    // Standard monotone chain: build lower and upper hulls separately.
+    let mut lower: Vec<Point> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    // Each chain's endpoints repeat the other's.
+    lower.len() + upper.len() - 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_spmv_identity_like() {
+        let mut r = rng(1, 0);
+        let m = Csr::random(&mut r, 50, 50, 4);
+        assert_eq!(m.row_ptr.len(), 51);
+        assert_eq!(m.nnz(), m.col_idx.len());
+        let x = vec![1.0; 50];
+        let y = m.spmv(&x);
+        // Row sums match manual accumulation.
+        for (i, yi) in y.iter().enumerate() {
+            let want: f64 = m.row(i).map(|k| m.vals[k]).sum();
+            assert!((yi - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn graph_is_symmetric_and_deduped() {
+        let mut r = rng(2, 0);
+        let g = Graph::random(&mut r, 300, 6);
+        for v in 0..g.n {
+            let ns = g.neighbors_of(v);
+            for w in ns.windows(2) {
+                assert!(w[0] < w[1], "sorted+deduped");
+            }
+            for &w in ns {
+                assert!(g.neighbors_of(w as usize).contains(&(v as u32)), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn component_count_on_known_graph() {
+        // Two triangles, one isolated vertex.
+        let g = Graph {
+            n: 7,
+            offsets: vec![0, 2, 4, 6, 8, 10, 12, 12],
+            neighbors: vec![1, 2, 0, 2, 0, 1, 4, 5, 3, 5, 3, 4],
+        };
+        assert_eq!(g.component_count(), 3);
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let mut r = rng(3, 0);
+        let n = 256;
+        let re0 = rand_f64s(&mut r, n, -1.0, 1.0);
+        let im0 = rand_f64s(&mut r, n, -1.0, 1.0);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - re0[i]).abs() < 1e-9);
+            assert!((im[i] - im0[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let n = 64;
+        let mut re = vec![1.0; n];
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        assert!((re[0] - n as f64).abs() < 1e-9);
+        assert!(re[1..].iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn hull_of_square_plus_interior() {
+        let mut pts = vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 1.0, y: 0.0 },
+            Point { x: 1.0, y: 1.0 },
+            Point { x: 0.0, y: 1.0 },
+        ];
+        for k in 0..10 {
+            pts.push(Point { x: 0.3 + 0.01 * k as f64, y: 0.5 });
+        }
+        assert_eq!(convex_hull_size(&pts), 4);
+    }
+
+    #[test]
+    fn hull_degenerate_cases() {
+        assert_eq!(convex_hull_size(&[]), 0);
+        assert_eq!(convex_hull_size(&[Point { x: 0.0, y: 0.0 }]), 1);
+        let two = [Point { x: 0.0, y: 0.0 }, Point { x: 1.0, y: 1.0 }];
+        assert_eq!(convex_hull_size(&two), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Determinism and footprint invariants over the whole problem suite.
+
+use pcg_core::{CandidateKind, ExecutionModel, Quality};
+use pcg_problems::registry;
+
+#[test]
+fn baselines_are_deterministic_in_seed() {
+    for p in registry::all_problems() {
+        let a = p.run_baseline(99, 256);
+        let b = p.run_baseline(99, 256);
+        assert!(a.output.approx_eq(&b.output), "{} baseline not deterministic", p.id());
+        let c = p.run_baseline(100, 256);
+        // Different seeds *usually* give different outputs; at minimum
+        // they must be well-formed.
+        let _ = c;
+    }
+}
+
+#[test]
+fn candidates_are_deterministic_given_seed_and_kind() {
+    for p in registry::all_problems().iter().step_by(7) {
+        let run = |_: ()| {
+            p.run_candidate(
+                ExecutionModel::Kokkos,
+                CandidateKind::Correct(Quality::Efficient),
+                3,
+                7,
+                200,
+            )
+            .unwrap()
+            .output
+        };
+        assert!(run(()).approx_eq(&run(())), "{}", p.id());
+    }
+}
+
+#[test]
+fn every_problem_reports_positive_default_size() {
+    for p in registry::all_problems() {
+        assert!(p.default_size() >= 64, "{}", p.id());
+    }
+}
+
+#[test]
+fn wrong_output_candidates_always_fail_validation() {
+    // Over the whole suite: a corrupted output must never validate.
+    for p in registry::all_problems() {
+        let base = p.run_baseline(5, 200);
+        for mode in pcg_core::Corruption::ALL {
+            let run = p
+                .run_candidate(
+                    ExecutionModel::OpenMp,
+                    CandidateKind::WrongOutput(mode),
+                    2,
+                    5,
+                    200,
+                )
+                .unwrap();
+            assert!(
+                !run.output.approx_eq(&base.output),
+                "{} corruption {mode:?} validated",
+                p.id()
+            );
+        }
+    }
+}

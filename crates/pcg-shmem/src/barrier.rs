@@ -1,0 +1,124 @@
+//! A reusable sense-reversing barrier.
+//!
+//! Built from scratch (no `std::sync::Barrier`) so the team barrier used by
+//! parallel regions is cheap to reuse across phases and can be benchmarked
+//! as an ablation. The classic centralized sense-reversing design: each
+//! arrival decrements a counter; the last arrival resets the counter and
+//! flips the global sense, releasing spinners/waiters of the old sense.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed team size.
+pub struct Barrier {
+    team: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl Barrier {
+    /// Barrier for `team` participants. `team` must be nonzero.
+    pub fn new(team: usize) -> Barrier {
+        assert!(team > 0, "barrier team must be nonzero");
+        Barrier {
+            team,
+            remaining: AtomicUsize::new(team),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Team size this barrier synchronizes.
+    pub fn team(&self) -> usize {
+        self.team
+    }
+
+    /// Block until all `team` participants have arrived. Returns `true`
+    /// for exactly one participant per phase (the last arrival), matching
+    /// `std::sync::Barrier`'s leader convention.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival: reset and release the phase.
+            self.remaining.store(self.team, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            // Spin with exponential backoff, then yield. Team sizes are
+            // small (<= physical cores) and phases are short, so spinning
+            // briefly before yielding is the right trade.
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                if spins < 6 {
+                    for _ in 0..(1 << spins) {
+                        std::hint::spin_loop();
+                    }
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_thread_always_leader() {
+        let b = Barrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn phases_are_ordered() {
+        const TEAM: usize = 4;
+        const PHASES: usize = 50;
+        let b = Barrier::new(TEAM);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..TEAM {
+                s.spawn(|| {
+                    for phase in 0..PHASES {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, all TEAM increments of this
+                        // phase must be visible.
+                        let seen = counter.load(Ordering::SeqCst) as usize;
+                        assert!(seen >= (phase + 1) * TEAM);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst) as usize, TEAM * PHASES);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        const TEAM: usize = 8;
+        let b = Barrier::new(TEAM);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..TEAM {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_team_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # pcg-shmem
+//!
+//! OpenMP-analog shared-memory substrate for PCGBench-rs, built from
+//! scratch on `std::thread` + `parking_lot`/`crossbeam` primitives.
+//!
+//! The paper's OpenMP prompts exercise fork-join loop parallelism:
+//! `#pragma omp parallel for` with optional `schedule(...)` and
+//! `reduction(...)` clauses, plus `critical`/`atomic` for irregular
+//! updates. This crate provides the same constructs:
+//!
+//! * [`Pool`] — a persistent team of worker threads (the OpenMP thread
+//!   team); regions fork onto the team and join at the end,
+//! * [`Pool::parallel_for`] — work-sharing loops with
+//!   [`Schedule::Static`], [`Schedule::Dynamic`], and [`Schedule::Guided`],
+//! * [`Pool::parallel_for_reduce`] — the reduction clause,
+//! * [`ThreadCtx::barrier`] / [`ThreadCtx::critical`] — team barrier and
+//!   critical sections inside an explicit [`Pool::parallel`] region,
+//! * [`AtomicF64`] — `#pragma omp atomic` analog for floating point,
+//! * [`UnsafeSlice`] — disjoint-index shared writes, the implicit idiom of
+//!   every OpenMP loop that fills an output array.
+//!
+//! Every public entry point records usage via `pcg_core::usage`, which the
+//! harness uses to detect candidates that silently fall back to sequential
+//! code (the paper's "did it really use OpenMP" check).
+//!
+//! ```
+//! use pcg_shmem::prelude::*;
+//!
+//! let pool = Pool::new(4);
+//! let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let sum = pool.parallel_for_reduce(0..xs.len(), 0.0, |acc, i| acc + xs[i], |a, b| a + b);
+//! assert_eq!(sum, 499_500.0);
+//! ```
+
+mod atomicf64;
+mod barrier;
+mod pool;
+mod schedule;
+pub mod timing;
+mod unsafe_slice;
+
+pub use atomicf64::AtomicF64;
+pub use barrier::Barrier;
+pub use pool::{Pool, ThreadCtx};
+pub use schedule::Schedule;
+pub use timing::ThreadCostModel;
+pub use unsafe_slice::UnsafeSlice;
+
+/// Convenient glob import for candidate implementations.
+pub mod prelude {
+    pub use crate::{AtomicF64, Pool, Schedule, ThreadCtx, UnsafeSlice};
+}

@@ -1,0 +1,644 @@
+//! The fork-join thread team.
+//!
+//! A [`Pool`] owns `nthreads - 1` persistent worker threads; the caller's
+//! thread participates as team member 0, exactly like an OpenMP master
+//! thread entering a `parallel` region. Launching a region publishes a
+//! lifetime-erased closure under a mutex/condvar, runs it on every team
+//! member, and joins on a countdown — the caller does not return until all
+//! workers have finished with the borrowed closure, which is what makes
+//! the lifetime erasure sound.
+
+use crate::barrier::Barrier;
+use crate::schedule::{LoopState, Schedule, StaticCursor};
+use crate::timing::{ThreadCostModel, TimedState};
+use parking_lot::{Condvar, Mutex};
+use pcg_core::{usage, ExecutionModel};
+use std::ops::Range;
+use std::time::Instant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type RegionFn<'a> = dyn Fn(&ThreadCtx<'_>) + Sync + 'a;
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A lifetime-erased pointer to the caller's region closure plus the
+/// region's join state. Only ever dereferenced between region start and
+/// the countdown the caller blocks on.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const RegionFn<'static>,
+    region: *const RegionState,
+}
+// SAFETY: the pointers target data the launching thread keeps alive until
+// every worker has decremented the region countdown; workers never touch
+// them afterwards.
+unsafe impl Send for Job {}
+
+struct RegionState {
+    barrier: Barrier,
+    remaining: AtomicUsize,
+}
+
+struct Slot {
+    generation: u64,
+    job: Option<Job>,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work_ready: Condvar,
+    finish_lock: Mutex<()>,
+    finished: Condvar,
+    critical: Mutex<()>,
+    panic_payload: Mutex<Option<PanicPayload>>,
+    shutdown: AtomicBool,
+}
+
+/// A persistent team of threads supporting fork-join parallel regions and
+/// OpenMP-style work-sharing loops.
+pub struct Pool {
+    shared: Arc<Shared>,
+    nthreads: usize,
+    workers: Vec<JoinHandle<()>>,
+    timed: Option<TimedState>,
+}
+
+/// Per-team-member context available inside a [`Pool::parallel`] region.
+pub struct ThreadCtx<'a> {
+    tid: usize,
+    nthreads: usize,
+    region: &'a RegionState,
+    shared: &'a Shared,
+}
+
+impl ThreadCtx<'_> {
+    /// This member's id in `0..num_threads()`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Team size of the enclosing region.
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Team-wide barrier (`#pragma omp barrier`).
+    pub fn barrier(&self) {
+        self.region.barrier.wait();
+    }
+
+    /// Run `f` under the team's critical-section lock
+    /// (`#pragma omp critical`).
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.shared.critical.lock();
+        f()
+    }
+
+    /// The contiguous static sub-range of `range` owned by this member
+    /// (the `schedule(static)` block), handy for manual loop splitting.
+    pub fn static_block(&self, range: Range<usize>) -> Range<usize> {
+        let n = range.end.saturating_sub(range.start);
+        let per = n.div_ceil(self.nthreads.max(1));
+        let lo = range.start + (per * self.tid).min(n);
+        let hi = range.start + (per * (self.tid + 1)).min(n);
+        lo..hi
+    }
+}
+
+impl Pool {
+    /// Create a team of `nthreads` members (the calling thread plus
+    /// `nthreads - 1` workers). Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Pool {
+        assert!(nthreads > 0, "pool requires at least one thread");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot { generation: 0, job: None }),
+            work_ready: Condvar::new(),
+            finish_lock: Mutex::new(()),
+            finished: Condvar::new(),
+            critical: Mutex::new(()),
+            panic_payload: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pcg-shmem-{tid}"))
+                    .spawn(move || worker_loop(shared, tid, nthreads))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, nthreads, workers, timed: None }
+    }
+
+    /// Create a team whose work-sharing loops run in **timed mode**:
+    /// chunks execute one at a time behind a gate and are wall-timed, and
+    /// each region adds `max-thread-work + fork/join overhead` to the
+    /// pool's virtual clock (see [`crate::timing`]). Use this for
+    /// performance measurements on machines with fewer cores than the
+    /// simulated team; correctness behavior is identical to [`Pool::new`].
+    pub fn new_timed(nthreads: usize, model: ThreadCostModel) -> Pool {
+        let mut pool = Pool::new(nthreads);
+        pool.timed = Some(TimedState::new(model));
+        pool
+    }
+
+    /// Whether this pool accounts virtual time.
+    pub fn is_timed(&self) -> bool {
+        self.timed.is_some()
+    }
+
+    /// Accumulated virtual time of all timed regions (0 for untimed
+    /// pools).
+    pub fn virtual_elapsed(&self) -> f64 {
+        self.timed.as_ref().map(|t| t.clock.load()).unwrap_or(0.0)
+    }
+
+    /// Reset the virtual clock.
+    pub fn reset_virtual_clock(&self) {
+        if let Some(t) = &self.timed {
+            t.clock.store(0.0);
+        }
+    }
+
+    /// Shared work-sharing driver: distributes `range` per `schedule`
+    /// and hands `(tid, chunk)` pairs to `chunk_fn`, with per-chunk
+    /// timing in timed mode.
+    fn worksharing<F>(&self, range: Range<usize>, schedule: Schedule, chunk_fn: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let state = LoopState::new(range.start, range.end, schedule, self.nthreads);
+        match &self.timed {
+            None => self.parallel(|ctx| {
+                let mut cursor = StaticCursor::default();
+                while let Some((lo, hi)) = state.next_chunk(ctx.tid(), &mut cursor) {
+                    chunk_fn(ctx.tid(), lo..hi);
+                }
+            }),
+            Some(st) => {
+                let clocks = Mutex::new(vec![0.0f64; self.nthreads]);
+                self.parallel(|ctx| {
+                    let mut cursor = StaticCursor::default();
+                    let mut local = 0.0f64;
+                    while let Some((lo, hi)) = state.next_chunk(ctx.tid(), &mut cursor) {
+                        let _gate = st.gate.lock();
+                        let t0 = Instant::now();
+                        chunk_fn(ctx.tid(), lo..hi);
+                        local += t0.elapsed().as_secs_f64() + st.model.chunk_dispatch;
+                    }
+                    clocks.lock()[ctx.tid()] = local;
+                });
+                st.charge_region(&clocks.into_inner());
+            }
+        }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute a parallel region: `f` runs once on every team member.
+    /// Panics in any member are joined and re-thrown on the caller.
+    pub fn parallel<'a, F>(&self, f: F)
+    where
+        F: Fn(&ThreadCtx<'_>) + Sync + 'a,
+    {
+        usage::record(ExecutionModel::OpenMp);
+        if let Some(st) = &self.timed {
+            // Every region (work-sharing drivers included) passes through
+            // here exactly once: charge the fork/join overhead.
+            st.clock.fetch_add(st.model.fork_join(self.nthreads));
+        }
+        let region = RegionState {
+            barrier: Barrier::new(self.nthreads),
+            remaining: AtomicUsize::new(self.nthreads - 1),
+        };
+        let f_ref: &RegionFn<'a> = &f;
+        // SAFETY: we erase the lifetime; `parallel` does not return until
+        // `region.remaining` hits zero, i.e. every worker is done with
+        // both pointers. See `Job` safety comment.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<*const RegionFn<'a>, *const RegionFn<'static>>(
+                    f_ref as *const RegionFn<'a>,
+                )
+            },
+            region: &region as *const RegionState,
+        };
+
+        if self.nthreads > 1 {
+            let mut slot = self.shared.slot.lock();
+            slot.generation += 1;
+            slot.job = Some(job);
+            drop(slot);
+            self.shared.work_ready.notify_all();
+        }
+
+        // The caller participates as tid 0.
+        let ctx = ThreadCtx { tid: 0, nthreads: self.nthreads, region: &region, shared: &self.shared };
+        let my_result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+
+        // Join: wait for every worker to finish this region.
+        if self.nthreads > 1 {
+            let mut guard = self.shared.finish_lock.lock();
+            while region.remaining.load(Ordering::Acquire) != 0 {
+                self.shared.finished.wait(&mut guard);
+            }
+        }
+
+        // Propagate worker panics first, then our own.
+        if let Some(payload) = self.shared.panic_payload.lock().take() {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = my_result {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Work-sharing loop (`#pragma omp parallel for schedule(...)`):
+    /// `body(i)` runs once for each `i` in `range`.
+    pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        usage::record(ExecutionModel::OpenMp);
+        self.worksharing(range, schedule, |_tid, chunk| {
+            for i in chunk {
+                body(i);
+            }
+        });
+    }
+
+    /// Chunk-granular work-sharing loop: `body(lo..hi)` per chunk. Useful
+    /// when the body can vectorize over a contiguous block.
+    pub fn parallel_for_chunks<F>(&self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        usage::record(ExecutionModel::OpenMp);
+        self.worksharing(range, schedule, |_tid, chunk| body(chunk));
+    }
+
+    /// Reduction loop (`reduction(op: acc)`): every thread folds its
+    /// iterations into a private accumulator seeded with `identity`, and
+    /// the partials are combined in thread-id order (deterministic for a
+    /// fixed team size).
+    pub fn parallel_for_reduce<T, FM, FR>(
+        &self,
+        range: Range<usize>,
+        identity: T,
+        fold: FM,
+        combine: FR,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        FM: Fn(T, usize) -> T + Sync,
+        FR: Fn(T, T) -> T + Sync,
+    {
+        usage::record(ExecutionModel::OpenMp);
+        let partials: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; self.nthreads]);
+        self.worksharing(range, Schedule::Static { chunk: 0 }, |tid, chunk| {
+            let mut acc = partials.lock()[tid].take().unwrap_or_else(|| identity.clone());
+            for i in chunk {
+                acc = fold(acc, i);
+            }
+            partials.lock()[tid] = Some(acc);
+        });
+        let mut result = identity;
+        for p in partials.into_inner().into_iter().flatten() {
+            result = combine(result, p);
+        }
+        result
+    }
+
+    /// Split `data` into one contiguous mutable chunk per thread and run
+    /// `body(tid, chunk_start, chunk)` — the safe idiom for loops that
+    /// fill an output array with static scheduling.
+    pub fn parallel_chunks_mut<T, F>(&self, data: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        usage::record(ExecutionModel::OpenMp);
+        let n = data.len();
+        let per = n.div_ceil(self.nthreads).max(1);
+        let chunks: Vec<(usize, &mut [T])> = {
+            let mut rest = data;
+            let mut out = Vec::with_capacity(self.nthreads);
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            out
+        };
+        let chunks = Mutex::new(chunks.into_iter().map(Some).collect::<Vec<_>>());
+        match &self.timed {
+            None => self.parallel(|ctx| {
+                let taken = {
+                    let mut guard = chunks.lock();
+                    guard.get_mut(ctx.tid()).and_then(Option::take)
+                };
+                if let Some((start, chunk)) = taken {
+                    body(ctx.tid(), start, chunk);
+                }
+            }),
+            Some(st) => {
+                let clocks = Mutex::new(vec![0.0f64; self.nthreads]);
+                self.parallel(|ctx| {
+                    let taken = {
+                        let mut guard = chunks.lock();
+                        guard.get_mut(ctx.tid()).and_then(Option::take)
+                    };
+                    if let Some((start, chunk)) = taken {
+                        let _gate = st.gate.lock();
+                        let t0 = Instant::now();
+                        body(ctx.tid(), start, chunk);
+                        clocks.lock()[ctx.tid()] =
+                            t0.elapsed().as_secs_f64() + st.model.chunk_dispatch;
+                    }
+                });
+                st.charge_region(&clocks.into_inner());
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.generation += 1;
+            slot.job = None;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, tid: usize, nthreads: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            while slot.generation == last_generation {
+                shared.work_ready.wait(&mut slot);
+            }
+            last_generation = slot.generation;
+            slot.job
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(job) = job else { continue };
+        // SAFETY: the launching thread blocks until we decrement
+        // `remaining`, keeping both pointers alive for this scope.
+        let (f, region) = unsafe { (&*job.f, &*job.region) };
+        let ctx = ThreadCtx { tid, nthreads, region, shared: &shared };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+            let mut slot = shared.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // Signal completion; after this we must not touch `f`/`region`.
+        let was = region.remaining.fetch_sub(1, Ordering::AcqRel);
+        if was == 1 {
+            let _guard = shared.finish_lock.lock();
+            shared.finished.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn region_runs_on_every_member() {
+        let pool = Pool::new(4);
+        let hits = AtomicU64::new(0);
+        let mask = AtomicU64::new(0);
+        pool.parallel(|ctx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            mask.fetch_or(1 << ctx.tid(), Ordering::SeqCst);
+            assert_eq!(ctx.num_threads(), 4);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        let mut touched = vec![false; 100];
+        let cell = crate::UnsafeSlice::new(&mut touched);
+        pool.parallel_for(0..100, Schedule::default(), |i| unsafe { cell.write(i, true) });
+        assert!(touched.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let pool = Pool::new(4);
+        for sched in [
+            Schedule::Static { chunk: 0 },
+            Schedule::Static { chunk: 3 },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let counts: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+            pool.parallel_for(0..1000, sched, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let pool = Pool::new(8);
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let got = pool.parallel_for_reduce(0..xs.len(), 0.0, |a, i| a + xs[i], |a, b| a + b);
+        let want: f64 = xs.iter().sum();
+        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn reduce_empty_range_is_identity() {
+        let pool = Pool::new(4);
+        let got = pool.parallel_for_reduce(10..10, 7i64, |a, _| a + 1, |a, b| a + b);
+        // No chunks are dispatched for an empty range, so no thread
+        // contributes a partial and the seed comes back unchanged.
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn barrier_inside_region_synchronizes_phases() {
+        let pool = Pool::new(4);
+        let phase1 = AtomicU64::new(0);
+        pool.parallel(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            assert_eq!(phase1.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn critical_excludes() {
+        let pool = Pool::new(8);
+        // A plain `u64` mutated only inside the critical section: if the
+        // lock failed to exclude, this would be UB the sanitizer of last
+        // resort (miscounting) would surface.
+        let total = std::cell::UnsafeCell::new(0u64);
+        struct Wrap(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Wrap {}
+        let w = Wrap(total);
+        // Borrow the whole wrapper: edition-2021 closures would otherwise
+        // capture the `UnsafeCell` field directly and bypass `Wrap: Sync`.
+        let w = &w;
+        pool.parallel(|ctx| {
+            for _ in 0..100 {
+                ctx.critical(|| unsafe {
+                    *w.0.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *w.0.get() }, 800);
+    }
+
+    #[test]
+    fn static_block_partitions() {
+        let pool = Pool::new(3);
+        let seen = Mutex::new(vec![0u8; 10]);
+        pool.parallel(|ctx| {
+            let block = ctx.static_block(0..10);
+            let mut guard = seen.lock();
+            for i in block {
+                guard[i] += 1;
+            }
+        });
+        assert!(seen.into_inner().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn chunks_mut_covers_slice() {
+        let pool = Pool::new(4);
+        let mut data = vec![0usize; 103];
+        pool.parallel_chunks_mut(&mut data, |_tid, start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = start + k;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|ctx| {
+                if ctx.tid() == 2 {
+                    panic!("boom from worker");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool remains usable after a panic.
+        let hits = AtomicU64::new(0);
+        pool.parallel(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn sequential_regions_reuse_team() {
+        let pool = Pool::new(4);
+        for round in 0..50 {
+            let sum = pool.parallel_for_reduce(0..100, 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, 4950, "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn timed_pool_is_correct_and_charges_time() {
+        let pool = Pool::new_timed(4, crate::ThreadCostModel::default());
+        assert!(pool.is_timed());
+        let xs: Vec<f64> = (0..40_000).map(|i| i as f64).collect();
+        let sum = pool.parallel_for_reduce(0..xs.len(), 0.0, |a, i| a + xs[i], |a, b| a + b);
+        assert_eq!(sum, (40_000.0f64 * 39_999.0) / 2.0);
+        assert!(pool.virtual_elapsed() > 0.0);
+        pool.reset_virtual_clock();
+        assert_eq!(pool.virtual_elapsed(), 0.0);
+    }
+
+    #[test]
+    fn timed_mode_models_imbalance() {
+        // All the work lands on one thread (range 0..1): the modeled
+        // region time must be close to the full serial work, i.e. more
+        // threads cannot shrink a single chunk.
+        let work = |pool: &Pool| {
+            pool.reset_virtual_clock();
+            pool.parallel_for(0..1, Schedule::Static { chunk: 0 }, |_| {
+                let mut acc = 0u64;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(i * i));
+                }
+                std::hint::black_box(acc);
+            });
+            pool.virtual_elapsed()
+        };
+        let p1 = Pool::new_timed(1, crate::ThreadCostModel::default());
+        let p8 = Pool::new_timed(8, crate::ThreadCostModel::default());
+        let t1 = work(&p1);
+        let t8 = work(&p8);
+        // The single chunk dominates both; allow wide noise margins but
+        // reject any model that divides the chunk across threads.
+        assert!(t8 > t1 * 0.2, "t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn timed_mode_balanced_work_scales() {
+        // Balanced loops split across logical threads: modeled time with
+        // 8 threads should be well under the 1-thread time.
+        let work = |pool: &Pool| {
+            pool.reset_virtual_clock();
+            let n = 400_000;
+            pool.parallel_for(0..n, Schedule::Static { chunk: 0 }, |i| {
+                std::hint::black_box(i * i);
+            });
+            pool.virtual_elapsed()
+        };
+        let p1 = Pool::new_timed(1, crate::ThreadCostModel::default());
+        let p8 = Pool::new_timed(8, crate::ThreadCostModel::default());
+        // Warm up and take the best of 3 to reduce timing noise.
+        let t1 = (0..3).map(|_| work(&p1)).fold(f64::MAX, f64::min);
+        let t8 = (0..3).map(|_| work(&p8)).fold(f64::MAX, f64::min);
+        assert!(t8 < t1 * 0.7, "expected modeled speedup, t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn untimed_pool_reports_zero_virtual_time() {
+        let pool = Pool::new(2);
+        pool.parallel_for(0..100, Schedule::default(), |_| {});
+        assert!(!pool.is_timed());
+        assert_eq!(pool.virtual_elapsed(), 0.0);
+    }
+}

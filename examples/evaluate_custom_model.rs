@@ -1,0 +1,58 @@
+//! Evaluate a hypothetical "HPC-tuned" model against the paper's zoo.
+//!
+//! PCGBench's point is comparative: plug a new model into the same
+//! harness and see where it lands. Here we define a custom synthetic
+//! model whose calibration represents a model fine-tuned on MPI code
+//! (strong distributed-memory rates) and compare it with GPT-3.5 on the
+//! MPI tasks.
+//!
+//! ```sh
+//! cargo run --release --example evaluate_custom_model
+//! ```
+
+use pcgbench::core::{ExecutionModel, ProblemId, ProblemType};
+use pcgbench::harness::{eval, report, EvalConfig};
+use pcgbench::models::{Calibration, ModelCard, SyntheticModel};
+
+fn main() {
+    let card = ModelCard {
+        name: "MPI-Tuned-13B",
+        params_b: Some(13.0),
+        weights_available: true,
+        license: Some("apache-2.0"),
+        humaneval_pass1: 40.0,
+        mbpp_pass1: None,
+    };
+    // Hand-written exec rates: unusually strong on MPI and hybrid.
+    let calib = Calibration {
+        exec_rate: [0.55, 0.45, 0.30, 0.50, 0.45, 0.30, 0.28],
+        efficient_share: 0.75,
+        collapse_prob: 0.10,
+        failure_mix: [0.20, 0.40, 0.15, 0.15, 0.10],
+    };
+    let tuned = SyntheticModel::custom(card, calib, false);
+    let gpt = SyntheticModel::by_name("GPT-3.5").expect("zoo model");
+
+    // One MPI task per problem type.
+    let tasks: Vec<_> = ProblemType::ALL
+        .into_iter()
+        .map(|pt| ProblemId::new(pt, 0).task(ExecutionModel::Mpi))
+        .collect();
+
+    let cfg = EvalConfig::smoke();
+    let record = eval::evaluate(&cfg, &[tuned, gpt], Some(&tasks));
+
+    println!("{:<16} {:>14} {:>14}", "problem type", "MPI-Tuned-13B", "GPT-3.5");
+    for pt in ProblemType::ALL {
+        let v: Vec<f64> = record
+            .models
+            .iter()
+            .map(|m| report::mean_pass_at_k(m, |t| t.problem.ptype == pt, 1, false))
+            .collect();
+        println!("{:<16} {:>14.3} {:>14.3}", pt.label(), v[0], v[1]);
+    }
+    for m in &record.models {
+        let all = report::mean_pass_at_k(m, |_| true, 1, false);
+        println!("{:<16} overall MPI pass@1 = {all:.3}", m.model);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: evaluate one model on a handful of PCGBench tasks and
+//! print `pass@1` plus headline speedups.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pcgbench::core::{ExecutionModel, ProblemId, ProblemType};
+use pcgbench::harness::{eval, report, EvalConfig};
+use pcgbench::models::SyntheticModel;
+
+fn main() {
+    // A fast configuration: small workloads, few samples.
+    let cfg = EvalConfig::smoke();
+
+    // Pick a model from the paper's zoo (Table 2).
+    let model = SyntheticModel::by_name("GPT-3.5").expect("zoo model");
+    println!(
+        "model: {} (HumanEval pass@1 {:.1})",
+        model.card().name,
+        model.card().humaneval_pass1
+    );
+
+    // Evaluate the scan problems under every execution model.
+    let tasks: Vec<_> = ExecutionModel::ALL
+        .into_iter()
+        .map(|m| ProblemId::new(ProblemType::Scan, 1).task(m))
+        .collect();
+    let record = eval::evaluate(&cfg, &[model], Some(&tasks));
+
+    let m = &record.models[0];
+    println!("\n{:<10} {:>8} {:>10}", "exec", "pass@1", "speedup@1");
+    for exec in ExecutionModel::ALL {
+        let pass = report::mean_pass_at_k(m, |t| t.model == exec, 1, false);
+        let speedup = report::mean_speedup(m, |t| t.model == exec);
+        println!("{:<10} {:>8.3} {:>10.2}", exec.label(), pass, speedup);
+    }
+
+    let serial = report::mean_pass_at_k(m, |t| !t.model.is_parallel(), 1, false);
+    let parallel = report::mean_pass_at_k(m, |t| t.model.is_parallel(), 1, false);
+    println!("\nserial pass@1 = {serial:.3}, parallel pass@1 = {parallel:.3}");
+    println!("(the paper's headline finding: parallel code generation is much harder)");
+}

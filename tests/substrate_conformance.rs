@@ -1,0 +1,144 @@
+//! Property-based cross-substrate conformance: for randomized seeds,
+//! sizes, and resource counts, every execution model's reference
+//! implementation must reproduce the sequential oracle — the invariant
+//! the whole benchmark rests on.
+
+use pcgbench::core::{CandidateKind, ExecutionModel, ProblemId, ProblemType, Quality};
+use pcgbench::problems::registry;
+use proptest::prelude::*;
+
+fn check(ptype: ProblemType, variant: usize, model: ExecutionModel, n: u32, seed: u64, size: usize) {
+    let problem = registry::problem(ProblemId::new(ptype, variant));
+    let base = problem.run_baseline(seed, size);
+    let run = problem
+        .run_candidate(model, CandidateKind::Correct(Quality::Efficient), n, seed, size)
+        .unwrap_or_else(|e| panic!("{ptype:?}#{variant} on {model}: {e}"));
+    assert!(
+        run.output.approx_eq(&base.output),
+        "{ptype:?}#{variant} on {model} n={n} seed={seed} size={size}: {} vs {}",
+        run.output.summary(),
+        base.output.summary()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn transform_conforms_over_random_shapes(
+        seed in 0u64..1000,
+        size in 64usize..1500,
+        variant in 0usize..5,
+        n in 1u32..9,
+    ) {
+        for model in [ExecutionModel::OpenMp, ExecutionModel::Mpi, ExecutionModel::Cuda] {
+            check(ProblemType::Transform, variant, model, n, seed, size);
+        }
+    }
+
+    #[test]
+    fn scan_conforms_over_random_shapes(
+        seed in 0u64..1000,
+        size in 64usize..1200,
+        variant in 0usize..5,
+        n in 1u32..7,
+    ) {
+        for model in [ExecutionModel::Kokkos, ExecutionModel::Mpi, ExecutionModel::Hip] {
+            check(ProblemType::Scan, variant, model, n, seed, size);
+        }
+    }
+
+    #[test]
+    fn stencil_conforms_with_halo_exchange(
+        seed in 0u64..1000,
+        size in 128usize..1200,
+        variant in 0usize..5,
+        n in 1u32..7,
+    ) {
+        // MPI is the interesting one: block distribution + halo exchange.
+        check(ProblemType::Stencil, variant, ExecutionModel::Mpi, n, seed, size);
+        check(ProblemType::Stencil, variant, ExecutionModel::MpiOpenMp, n.min(4), seed, size);
+    }
+
+    #[test]
+    fn sort_conforms_across_rank_counts(
+        seed in 0u64..1000,
+        size in 64usize..1000,
+        variant in 0usize..5,
+        n in 1u32..10,
+    ) {
+        check(ProblemType::Sort, variant, ExecutionModel::Mpi, n, seed, size);
+        check(ProblemType::Sort, variant, ExecutionModel::OpenMp, n, seed, size);
+    }
+
+    #[test]
+    fn reductions_conform_on_gpu(
+        seed in 0u64..1000,
+        size in 64usize..2000,
+        variant in 0usize..5,
+    ) {
+        check(ProblemType::Reduce, variant, ExecutionModel::Cuda, 0, seed, size);
+        check(ProblemType::Reduce, variant, ExecutionModel::Hip, 0, seed, size);
+    }
+
+    #[test]
+    fn sparse_and_graph_conform(
+        seed in 0u64..1000,
+        size in 128usize..800,
+        variant in 0usize..5,
+        n in 1u32..6,
+    ) {
+        check(ProblemType::SparseLinearAlgebra, variant, ExecutionModel::Mpi, n, seed, size);
+        check(ProblemType::Graph, variant, ExecutionModel::OpenMp, n, seed, size);
+    }
+}
+
+#[test]
+fn every_problem_conforms_at_odd_rank_counts() {
+    // Non-power-of-two rank counts exercise the collective fallbacks
+    // (reduce+bcast allreduce, remainder-carrying block distribution).
+    for ptype in ProblemType::ALL {
+        let problem = registry::problem(ProblemId::new(ptype, 0));
+        let base = problem.run_baseline(7, 300);
+        for n in [3u32, 5, 7] {
+            let run = problem
+                .run_candidate(
+                    ExecutionModel::Mpi,
+                    CandidateKind::Correct(Quality::Efficient),
+                    n,
+                    7,
+                    300,
+                )
+                .unwrap_or_else(|e| panic!("{ptype:?} mpi n={n}: {e}"));
+            assert!(
+                run.output.approx_eq(&base.output),
+                "{ptype:?} at {n} ranks: {} vs {}",
+                run.output.summary(),
+                base.output.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn rank_counts_beyond_physical_cores_stay_correct() {
+    // 96 simulated ranks on a small host: the virtual-time design must
+    // not affect answers.
+    for (ptype, variant) in
+        [(ProblemType::Transform, 2), (ProblemType::Reduce, 0), (ProblemType::Histogram, 0)]
+    {
+        let problem = registry::problem(ProblemId::new(ptype, variant));
+        let base = problem.run_baseline(11, 512);
+        let run = problem
+            .run_candidate(
+                ExecutionModel::Mpi,
+                CandidateKind::Correct(Quality::Efficient),
+                96,
+                11,
+                512,
+            )
+            .unwrap();
+        assert!(run.output.approx_eq(&base.output), "{ptype:?}#{variant}");
+        assert!(run.seconds > 0.0);
+    }
+}
