@@ -1,0 +1,98 @@
+//! Scheduler A/B: the same evaluation grid at `--jobs 1` vs `--jobs 8`.
+//!
+//! Two workloads, because the speedup story has two parts:
+//!
+//! * **compute** — a smoke-scale evaluation grid (1 model × 12 tasks).
+//!   Parallel gains here require physical cores; on a single-core host
+//!   the two sides tie (the scheduler adds no overhead worth seeing).
+//! * **timeout overlap** — a grid of hanging candidates, each abandoned
+//!   at the time limit. This is the latency component of the paper's
+//!   harness: a 3-minute kill serializes badly, and overlapping the
+//!   waits is a pure scheduler win that needs *no* extra cores (the
+//!   blocked watchers sleep, they don't compute). Eight 150 ms hangs
+//!   cost ~1.2 s serially and ~150 ms at 8 workers.
+//!
+//! Besides the criterion groups, the bench prints an explicit measured
+//! `speedup at 8 workers` line for the timeout grid and asserts the
+//! ≥4× acceptance bar from the scheduler work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcg_core::PcgError;
+use pcg_harness::{eval, scheduler, EvalConfig, SharedRunner};
+use pcg_models::SyntheticModel;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const HANG_CELLS: usize = 8;
+const HANG_TIMEOUT: Duration = Duration::from_millis(150);
+
+fn hang_cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.timeout = HANG_TIMEOUT;
+    cfg
+}
+
+/// Wall-clock for a grid of `HANG_CELLS` hanging candidates at `jobs`
+/// workers. Every cell is abandoned at the time limit; the question is
+/// whether the waits overlap.
+fn hang_grid_seconds(jobs: usize) -> f64 {
+    let runner = SharedRunner::new(hang_cfg());
+    let t0 = Instant::now();
+    let cells = scheduler::run_grid(vec![(); HANG_CELLS], jobs, |_, _| {
+        runner.run_isolated(|| {
+            // Far past the limit; the watcher abandons us at 150 ms.
+            std::thread::sleep(Duration::from_secs(600));
+            Ok::<_, PcgError>(())
+        })
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    for c in &cells {
+        let out = c.value.as_ref().expect("cell must not panic");
+        assert_eq!(out.error.as_deref(), Some("timeout"));
+    }
+    wall
+}
+
+fn bench_timeout_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_sweep_timeouts");
+    g.sample_size(2);
+    for jobs in [1usize, 8] {
+        g.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| black_box(hang_grid_seconds(jobs)));
+        });
+    }
+    g.finish();
+
+    // The headline number, measured directly (best of 2 to shed noise).
+    let serial = hang_grid_seconds(1).min(hang_grid_seconds(1));
+    let parallel = hang_grid_seconds(8).min(hang_grid_seconds(8));
+    let speedup = serial / parallel;
+    println!(
+        "grid_sweep: {HANG_CELLS} hanging candidates ({:?} limit): \
+         jobs1 {serial:.3}s, jobs8 {parallel:.3}s, speedup at 8 workers: {speedup:.1}x",
+        HANG_TIMEOUT,
+    );
+    assert!(
+        speedup >= 4.0,
+        "timeout-abandonment grid must overlap: expected >=4x at 8 workers, got {speedup:.2}x"
+    );
+}
+
+fn bench_compute_grid(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let model = vec![SyntheticModel::by_name("CodeLlama-13B").expect("zoo model")];
+    let tasks = eval::smoke_tasks();
+    let tasks = &tasks[..12];
+
+    let mut g = c.benchmark_group("grid_sweep_compute");
+    g.sample_size(5);
+    for jobs in [1usize, 8] {
+        g.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| black_box(eval::evaluate_jobs(&cfg, &model, Some(tasks), jobs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(grid_sweep, bench_timeout_overlap, bench_compute_grid);
+criterion_main!(grid_sweep);

@@ -29,6 +29,7 @@ pub mod output;
 pub mod problem_type;
 pub mod prompt;
 pub mod rng;
+pub mod stage;
 pub mod task;
 pub mod usage;
 
@@ -37,6 +38,7 @@ pub use error::PcgError;
 pub use exec::ExecutionModel;
 pub use output::Output;
 pub use problem_type::ProblemType;
+pub use stage::Stage;
 pub use task::{ProblemId, TaskId};
 
 /// Number of problem types in the benchmark (Table 1).

@@ -122,3 +122,32 @@ proptest! {
         prop_assert_eq!(report.atomics, total as u64);
     }
 }
+
+/// The historical regression seed from `emulator_prop.proptest-regressions`
+/// (`a = 63, b = 64`), pinned as a deterministic test: the vendored
+/// proptest stub generates from name-keyed streams and does not replay
+/// regression files, so the interesting boundary — a workload one
+/// element past a full 8×64 grid pass — is encoded here explicitly.
+#[test]
+fn model_time_monotone_at_the_grid_boundary() {
+    let gpu = cuda::device();
+    let run = |n: usize| {
+        let x = GpuBuffer::<f64>::zeroed(n);
+        gpu.launch_each(Launch::new(8, 64), |t, ctx| {
+            let mut i = t.global_id();
+            while i < n {
+                ctx.write(&x, i, 1.0);
+                i += t.grid_threads();
+            }
+        })
+        .time
+    };
+    // The shrunk pair (63, 65) plus its neighbors across the 512-thread
+    // grid boundary.
+    for (small, big) in [(63, 65), (63, 64), (511, 512), (512, 513)] {
+        assert!(
+            run(big) >= run(small),
+            "model time must be monotone in bytes at a fixed shape ({small} vs {big})"
+        );
+    }
+}

@@ -1,10 +1,11 @@
 //! Extension: build@k per execution model (computed by the paper's
 //! harness in §7.3 but not shown as a figure).
 
-use pcg_harness::{pipeline, report, EvalConfig};
+use pcg_harness::{pipeline, report, scheduler, EvalConfig};
 
 fn main() {
     let cfg = EvalConfig::from_env();
-    let record = pipeline::load_or_run(None, &cfg);
+    let jobs = scheduler::jobs_from_cli();
+    let record = pipeline::load_or_run_jobs(None, &cfg, jobs);
     print!("{}", report::build_at_k_table(&record, 1));
 }

@@ -1,9 +1,10 @@
 //! Regenerate Figure 2. Set PCG_FULL=1 for paper-scale settings.
 
-use pcg_harness::{pipeline, report, EvalConfig};
+use pcg_harness::{pipeline, report, scheduler, EvalConfig};
 
 fn main() {
     let cfg = EvalConfig::from_env();
-    let record = pipeline::load_or_run(None, &cfg);
+    let jobs = scheduler::jobs_from_cli();
+    let record = pipeline::load_or_run_jobs(None, &cfg, jobs);
     print!("{}", report::figure2(&record));
 }

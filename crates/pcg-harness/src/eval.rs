@@ -1,42 +1,129 @@
 //! The evaluation orchestrator: models x tasks -> [`EvalRecord`].
+//!
+//! The (model × task) grid is fanned over the work-stealing scheduler
+//! (`scheduler::run_grid`); every cell draws its sample stream from the
+//! model keyed by `(seed, task, model)` — never by worker identity — so
+//! the resulting record is byte-identical at any `--jobs` count. One
+//! [`SharedRunner`] backs the whole grid: executions are deduplicated
+//! across concurrent cells, and per-stage times are collected into an
+//! [`EvalStats`].
 
 use crate::config::EvalConfig;
-use crate::record::{EvalRecord, ModelRecord, TaskRecord};
-use crate::runner::Runner;
+use crate::record::{EvalRecord, EvalStats, ModelRecord, TaskRecord};
+use crate::runner::SharedRunner;
+use crate::scheduler;
 use pcg_core::task::all_tasks;
-use pcg_core::{CandidateKind, ExecutionModel, TaskId};
+use pcg_core::{CandidateKind, ExecutionModel, Stage, TaskId};
 use pcg_metrics::TaskSamples;
 use pcg_models::SyntheticModel;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-/// Evaluate `models` over `tasks` (pass `None` for the full 420).
+/// Evaluate `models` over `tasks` (pass `None` for the full 420),
+/// serially. Identical results to [`evaluate_jobs`] at any worker
+/// count.
 pub fn evaluate(
     cfg: &EvalConfig,
     models: &[SyntheticModel],
     tasks: Option<&[TaskId]>,
 ) -> EvalRecord {
+    evaluate_jobs(cfg, models, tasks, 1)
+}
+
+/// Evaluate `models` over `tasks` on `jobs` parallel workers.
+pub fn evaluate_jobs(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    tasks: Option<&[TaskId]>,
+    jobs: usize,
+) -> EvalRecord {
+    let runner = SharedRunner::new(cfg.clone());
+    evaluate_with(cfg, models, tasks, jobs, &runner).0
+}
+
+/// Evaluate against a caller-provided [`SharedRunner`] (so tests can
+/// share one execution cache across runs), returning the record plus
+/// scheduler statistics.
+///
+/// Panics if an evaluation cell itself panics (candidate panics are
+/// captured one layer down and become `error: Some("panic")`; a cell
+/// panic means the harness is broken) — but only after the whole grid
+/// has drained, so no in-flight work is lost.
+pub fn evaluate_with(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    tasks: Option<&[TaskId]>,
+    jobs: usize,
+    runner: &SharedRunner,
+) -> (EvalRecord, EvalStats) {
     let task_list: Vec<TaskId> = match tasks {
         Some(t) => t.to_vec(),
         None => all_tasks().collect(),
     };
-    let mut runner = Runner::new(cfg.clone());
-    let mut model_records = Vec::with_capacity(models.len());
-    for model in models {
-        let mut task_records = Vec::with_capacity(task_list.len());
-        for &task in &task_list {
-            task_records.push(evaluate_task(cfg, &mut runner, model, task));
+
+    // Model-major grid: slot = model_idx * tasks + task_idx, so results
+    // regroup into records by simple slicing.
+    let cells: Vec<(usize, TaskId)> = (0..models.len())
+        .flat_map(|mi| task_list.iter().map(move |&t| (mi, t)))
+        .collect();
+    let n_cells = cells.len();
+
+    let t0 = Instant::now();
+    let results = scheduler::run_grid(cells, jobs, |_, &(mi, task)| {
+        evaluate_task(cfg, runner, &models[mi], task)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut queue_wait_s = 0.0;
+    let mut max_queue_wait_s = 0.0f64;
+    let mut task_records: Vec<TaskRecord> = Vec::with_capacity(results.len());
+    for (slot, cell) in results.into_iter().enumerate() {
+        queue_wait_s += cell.queue_wait.as_secs_f64();
+        max_queue_wait_s = max_queue_wait_s.max(cell.queue_wait.as_secs_f64());
+        match cell.value {
+            Ok(rec) => task_records.push(rec),
+            Err(msg) => {
+                let (mi, ti) = (slot / task_list.len(), slot % task_list.len());
+                panic!(
+                    "evaluation cell for model {} task {:?} panicked: {msg}",
+                    models[mi].card().name,
+                    task_list[ti],
+                );
+            }
         }
+    }
+
+    let mut model_records = Vec::with_capacity(models.len());
+    let mut rest = task_records;
+    for model in models {
+        let tail = rest.split_off(task_list.len());
         model_records.push(ModelRecord {
             model: model.card().name.to_string(),
-            tasks: task_records,
+            tasks: rest,
         });
+        rest = tail;
     }
-    EvalRecord { config: cfg.clone(), models: model_records }
+
+    let stats = EvalStats {
+        jobs: jobs.max(1),
+        cells: n_cells,
+        executions: runner.executions(),
+        cache_hits: runner.cache_hits(),
+        panics: runner.panics(),
+        timeouts: runner.timeouts(),
+        queue_wait_s,
+        max_queue_wait_s,
+        baseline_s: runner.stage_seconds(Stage::Baseline),
+        run_s: runner.stage_seconds(Stage::Run),
+        validate_s: runner.stage_seconds(Stage::Validate),
+        wall_s,
+    };
+    (EvalRecord { config: cfg.clone(), models: model_records }, stats)
 }
 
 fn evaluate_task(
     cfg: &EvalConfig,
-    runner: &mut Runner,
+    runner: &SharedRunner,
     model: &SyntheticModel,
     task: TaskId,
 ) -> TaskRecord {
@@ -139,5 +226,33 @@ mod tests {
     fn smoke_tasks_cover_all_types_and_models() {
         let tasks = smoke_tasks();
         assert_eq!(tasks.len(), 12 * 7);
+    }
+
+    #[test]
+    fn parallel_eval_reports_stats() {
+        let cfg = EvalConfig::smoke();
+        let model = SyntheticModel::by_name("CodeLlama-13B").unwrap();
+        let p = ProblemId::new(ProblemType::Transform, 0);
+        let tasks: Vec<TaskId> = [
+            ExecutionModel::Serial,
+            ExecutionModel::OpenMp,
+            ExecutionModel::Cuda,
+            ExecutionModel::Kokkos,
+        ]
+        .iter()
+        .map(|&m| p.task(m))
+        .collect();
+        let runner = SharedRunner::new(cfg.clone());
+        let (record, stats) =
+            evaluate_with(&cfg, &[model], Some(&tasks), 4, &runner);
+        assert_eq!(record.models[0].tasks.len(), 4);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.cells, 4);
+        assert!(stats.executions > 0);
+        assert!(stats.cache_hits > 0, "shared kinds must dedup executions");
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert!(stats.wall_s > 0.0);
+        assert!(stats.run_s > 0.0);
     }
 }

@@ -22,6 +22,11 @@
 //! Figure/table regenerators live in `src/bin/` — one binary per paper
 //! artifact — all driven by [`pipeline::load_or_run`] which caches the
 //! full evaluation record as JSON.
+//!
+//! Evaluation fans the (model × task) grid over a work-stealing worker
+//! pool ([`scheduler`]); `--jobs N` / `PCG_JOBS` picks the worker
+//! count, and records are byte-identical at any setting because every
+//! sample stream is keyed by grid coordinates, never worker identity.
 
 pub mod config;
 pub mod eval;
@@ -30,6 +35,8 @@ pub mod pipeline;
 pub mod record;
 pub mod report;
 pub mod runner;
+pub mod scheduler;
 
 pub use config::EvalConfig;
-pub use record::{EvalRecord, ModelRecord, TaskRecord};
+pub use record::{EvalRecord, EvalStats, ModelRecord, TaskRecord};
+pub use runner::{Baseline, Outcome, Runner, SharedRunner};

@@ -1,8 +1,10 @@
 //! Disk-cached end-to-end evaluation used by the figure binaries.
 
 use crate::config::EvalConfig;
-use crate::eval::evaluate;
-use crate::record::EvalRecord;
+use crate::eval::evaluate_with;
+use crate::record::{EvalRecord, EvalStats};
+use crate::runner::SharedRunner;
+use crate::scheduler;
 use std::path::{Path, PathBuf};
 
 /// Default cache path for a config (quick and full runs cache
@@ -12,9 +14,25 @@ pub fn default_cache_path(cfg: &EvalConfig) -> PathBuf {
     PathBuf::from("target").join("pcgbench").join(format!("records-{tag}.json"))
 }
 
-/// Load a cached evaluation record if it matches `cfg`, else run the
-/// full evaluation (all 7 models, all 420 tasks) and cache it.
+/// Sidecar path for the scheduler stats of a cached run. Stats live
+/// outside the record because they are timing-dependent, while the
+/// record must be byte-identical across worker counts.
+pub fn stats_path(cfg: &EvalConfig) -> PathBuf {
+    let tag = if cfg.size_divisor == 1 { "full" } else { "quick" };
+    PathBuf::from("target").join("pcgbench").join(format!("records-{tag}.stats.json"))
+}
+
+/// [`load_or_run_jobs`] at the default worker count (`PCG_JOBS` env var
+/// if set, else the machine's available parallelism).
 pub fn load_or_run(path: Option<&Path>, cfg: &EvalConfig) -> EvalRecord {
+    load_or_run_jobs(path, cfg, scheduler::default_jobs())
+}
+
+/// Load a cached evaluation record if it matches `cfg`, else run the
+/// full evaluation (all 7 models, all 420 tasks) on `jobs` workers and
+/// cache it. The cache is jobs-agnostic: records are byte-identical at
+/// any worker count, so a cache written at `--jobs 8` serves `--jobs 1`.
+pub fn load_or_run_jobs(path: Option<&Path>, cfg: &EvalConfig, jobs: usize) -> EvalRecord {
     let path = path.map(Path::to_path_buf).unwrap_or_else(|| default_cache_path(cfg));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(rec) = serde_json::from_slice::<EvalRecord>(&bytes) {
@@ -26,12 +44,16 @@ pub fn load_or_run(path: Option<&Path>, cfg: &EvalConfig) -> EvalRecord {
         }
     }
     eprintln!(
-        "[pcgbench] running evaluation (7 models x 420 tasks, size/{}, {} low samples)...",
-        cfg.size_divisor, cfg.samples_low
+        "[pcgbench] running evaluation (7 models x 420 tasks, size/{}, {} low samples, {} worker{})...",
+        cfg.size_divisor,
+        cfg.samples_low,
+        jobs,
+        if jobs == 1 { "" } else { "s" },
     );
-    let t0 = std::time::Instant::now();
-    let record = evaluate(cfg, &pcg_models::zoo(), None);
-    eprintln!("[pcgbench] evaluation finished in {:.1}s", t0.elapsed().as_secs_f64());
+    let runner = SharedRunner::new(cfg.clone());
+    let (record, stats) = evaluate_with(cfg, &pcg_models::zoo(), None, jobs, &runner);
+    eprintln!("[pcgbench] evaluation finished in {:.1}s", stats.wall_s);
+    eprint!("{}", crate::report::stats_summary(&stats));
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -45,7 +67,18 @@ pub fn load_or_run(path: Option<&Path>, cfg: &EvalConfig) -> EvalRecord {
         }
         Err(e) => eprintln!("[pcgbench] warning: could not serialize records: {e}"),
     }
+    write_stats(cfg, &stats);
     record
+}
+
+fn write_stats(cfg: &EvalConfig, stats: &EvalStats) {
+    let path = stats_path(cfg);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(bytes) = serde_json::to_vec(stats) {
+        let _ = std::fs::write(&path, bytes);
+    }
 }
 
 #[cfg(test)]
@@ -57,5 +90,6 @@ mod tests {
         let q = default_cache_path(&EvalConfig::quick());
         let f = default_cache_path(&EvalConfig::full());
         assert_ne!(q, f);
+        assert_ne!(stats_path(&EvalConfig::quick()), q);
     }
 }

@@ -55,6 +55,41 @@ impl EvalRecord {
     }
 }
 
+/// Scheduler observability for one evaluation run.
+///
+/// Deliberately **not** part of [`EvalRecord`]: stats carry wall-clock
+/// measurements that vary run to run and with the worker count, while
+/// the record is required to be byte-identical for a given config
+/// regardless of `--jobs`. The pipeline writes stats to a sidecar file
+/// instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Worker count the grid ran with.
+    pub jobs: usize,
+    /// Grid cells evaluated (models × tasks).
+    pub cells: usize,
+    /// Candidate executions actually performed (cache misses).
+    pub executions: u64,
+    /// Outcome requests served from the shared cache.
+    pub cache_hits: u64,
+    /// Candidate bodies that panicked (captured per candidate).
+    pub panics: u64,
+    /// Candidates abandoned at the time limit.
+    pub timeouts: u64,
+    /// Total seconds cells spent enqueued before pickup (summed).
+    pub queue_wait_s: f64,
+    /// Longest single cell queue wait in seconds.
+    pub max_queue_wait_s: f64,
+    /// Seconds measuring sequential baselines (summed across workers).
+    pub baseline_s: f64,
+    /// Seconds building/running candidates (summed across workers).
+    pub run_s: f64,
+    /// Seconds validating outputs and API usage (summed across workers).
+    pub validate_s: f64,
+    /// End-to-end wall-clock seconds for the grid.
+    pub wall_s: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

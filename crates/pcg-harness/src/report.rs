@@ -95,6 +95,36 @@ fn header(title: &str) -> String {
     format!("\n=== {title} ===\n")
 }
 
+/// Human-readable scheduler stats block (per-stage timing and cache
+/// behavior), printed by the pipeline after an uncached run.
+pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "[pcgbench] scheduler: {} cells on {} worker{} in {:.2}s wall",
+        stats.cells,
+        stats.jobs,
+        if stats.jobs == 1 { "" } else { "s" },
+        stats.wall_s,
+    );
+    let _ = writeln!(
+        s,
+        "[pcgbench]   executions: {} ({} cache hits, {} panics, {} timeouts)",
+        stats.executions, stats.cache_hits, stats.panics, stats.timeouts,
+    );
+    let _ = writeln!(
+        s,
+        "[pcgbench]   stage seconds (summed over workers): baseline {:.2}, run {:.2}, validate {:.2}",
+        stats.baseline_s, stats.run_s, stats.validate_s,
+    );
+    let _ = writeln!(
+        s,
+        "[pcgbench]   queue wait: {:.2}s total, {:.2}s max per cell",
+        stats.queue_wait_s, stats.max_queue_wait_s,
+    );
+    s
+}
+
 
 
 /// Table 1: the problem-type catalog, enriched with our five problem

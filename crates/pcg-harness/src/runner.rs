@@ -6,13 +6,26 @@
 //! samples (and distinct models) sharing a kind share one execution —
 //! the analog of the paper's per-sample compile-and-run, minus redundant
 //! recompilation of byte-identical generations.
+//!
+//! [`SharedRunner`] is the concurrent form used by the parallel
+//! scheduler: many evaluation cells call into one runner at once, and
+//! each distinct execution happens exactly once (`OnceLock` per cache
+//! key — concurrent requesters for the same key block on the first
+//! initializer instead of duplicating work). All caching is keyed by
+//! task coordinates, never by worker identity, so results are
+//! byte-identical whatever the worker count. [`Runner`] remains as the
+//! serial facade over the same machinery.
 
 use crate::config::EvalConfig;
+use crate::scheduler::panic_message;
 use pcg_core::usage::UsageScope;
-use pcg_core::{CandidateKind, Output, PcgError, ProblemId, TaskId};
+use pcg_core::{CandidateKind, Output, PcgError, ProblemId, Stage, TaskId};
 use pcg_problems::registry;
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Instant;
 
 /// A measured, validated candidate execution.
@@ -38,17 +51,48 @@ pub struct Baseline {
     pub seconds: f64,
 }
 
-/// Caching candidate runner.
-pub struct Runner {
-    cfg: EvalConfig,
-    baselines: HashMap<ProblemId, Baseline>,
-    outcomes: HashMap<(TaskId, CandidateKind, u32), Outcome>,
+/// Monotone execution counters kept by [`SharedRunner`]. Stage times are
+/// summed across workers, so under `--jobs N` they can exceed wall
+/// clock — they answer "where did the compute go", not "how long did I
+/// wait".
+#[derive(Debug, Default)]
+struct Counters {
+    executions: AtomicU64,
+    cache_hits: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    baseline_ns: AtomicU64,
+    run_ns: AtomicU64,
+    validate_ns: AtomicU64,
 }
 
-impl Runner {
+fn add_ns(counter: &AtomicU64, since: Instant) {
+    let ns = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    counter.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// A compute-once cache slot: concurrent requesters for the same key
+/// block on the first initializer instead of duplicating the work.
+type OnceCell<T> = Arc<OnceLock<T>>;
+
+/// Thread-safe caching candidate runner, shared by all scheduler
+/// workers of one evaluation.
+pub struct SharedRunner {
+    cfg: EvalConfig,
+    baselines: Mutex<HashMap<ProblemId, OnceCell<Baseline>>>,
+    outcomes: Mutex<HashMap<(TaskId, CandidateKind, u32), OnceCell<Outcome>>>,
+    counters: Counters,
+}
+
+impl SharedRunner {
     /// A fresh runner for one evaluation.
-    pub fn new(cfg: EvalConfig) -> Runner {
-        Runner { cfg, baselines: HashMap::new(), outcomes: HashMap::new() }
+    pub fn new(cfg: EvalConfig) -> SharedRunner {
+        SharedRunner {
+            cfg,
+            baselines: Mutex::new(HashMap::new()),
+            outcomes: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
     }
 
     /// The evaluation configuration.
@@ -56,37 +100,66 @@ impl Runner {
         &self.cfg
     }
 
-    /// The baseline for `problem`, measured on first use.
-    pub fn baseline(&mut self, problem: ProblemId) -> &Baseline {
-        let cfg = &self.cfg;
-        self.baselines.entry(problem).or_insert_with(|| {
-            let p = registry::problem(problem);
-            let size = cfg.size_for(p.default_size());
-            let mut best = f64::INFINITY;
-            let mut output = None;
-            for _ in 0..cfg.reps.max(1) {
-                let run = p.run_baseline(cfg.seed, size);
-                best = best.min(run.seconds);
-                output = Some(run.output);
-            }
-            Baseline { output: output.expect("at least one rep"), seconds: best }
-        })
+    fn baseline_cell(&self, problem: ProblemId) -> OnceCell<Baseline> {
+        self.baselines
+            .lock()
+            .entry(problem)
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    }
+
+    /// Read the baseline for `problem` (measured on first use) without
+    /// cloning its output.
+    pub fn with_baseline<R>(&self, problem: ProblemId, f: impl FnOnce(&Baseline) -> R) -> R {
+        let cell = self.baseline_cell(problem);
+        let baseline = cell.get_or_init(|| {
+            let t0 = Instant::now();
+            let measured = self.measure_baseline(problem);
+            add_ns(&self.counters.baseline_ns, t0);
+            measured
+        });
+        f(baseline)
+    }
+
+    /// Best-of-reps baseline seconds for `problem`.
+    pub fn baseline_seconds(&self, problem: ProblemId) -> f64 {
+        self.with_baseline(problem, |b| b.seconds)
+    }
+
+    fn measure_baseline(&self, problem: ProblemId) -> Baseline {
+        let p = registry::problem(problem);
+        let size = self.cfg.size_for(p.default_size());
+        let mut best = f64::INFINITY;
+        let mut output = None;
+        for _ in 0..self.cfg.reps.max(1) {
+            let run = p.run_baseline(self.cfg.seed, size);
+            best = best.min(run.seconds);
+            output = Some(run.output);
+        }
+        Baseline { output: output.expect("at least one rep"), seconds: best }
     }
 
     /// Execute (or fetch the cached execution of) one candidate.
-    pub fn outcome(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> Outcome {
-        if let Some(hit) = self.outcomes.get(&(task, kind, n)) {
-            return hit.clone();
+    pub fn outcome(&self, task: TaskId, kind: CandidateKind, n: u32) -> Outcome {
+        let cell = {
+            let mut map = self.outcomes.lock();
+            map.entry((task, kind, n)).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        let mut fresh = false;
+        let out = cell.get_or_init(|| {
+            fresh = true;
+            let baseline_output = self.with_baseline(task.problem, |b| b.output.clone());
+            self.execute(task, kind, n, &baseline_output)
+        });
+        if !fresh {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let baseline_output = self.baseline(task.problem).output.clone();
-        let out = self.execute(task, kind, n, &baseline_output);
-        self.outcomes.insert((task, kind, n), out.clone());
-        out
+        out.clone()
     }
 
     /// The `T*/T` performance ratio of one candidate (0 when incorrect).
-    pub fn ratio(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> f64 {
-        let base = self.baseline(task.problem).seconds;
+    pub fn ratio(&self, task: TaskId, kind: CandidateKind, n: u32) -> f64 {
+        let base = self.baseline_seconds(task.problem);
         let out = self.outcome(task, kind, n);
         if out.correct && out.seconds > 0.0 {
             base / out.seconds
@@ -106,41 +179,63 @@ impl Runner {
         let size = self.cfg.size_for(problem.default_size());
         let seed = self.cfg.seed;
         let reps = if matches!(kind, CandidateKind::Correct(_)) { self.cfg.reps.max(1) } else { 1 };
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
 
         // Run on a worker thread so a runaway candidate can be abandoned
-        // at the time limit (the paper's 3-minute kill).
+        // at the time limit (the paper's 3-minute kill). Panics inside
+        // the candidate are captured on that thread — distinguishable
+        // from a hang — and the worker always reports back.
+        let t_run = Instant::now();
         let (tx, rx) = mpsc::channel();
         std::thread::spawn(move || {
             let scope = UsageScope::begin();
-            let t0 = Instant::now();
-            let mut best = f64::INFINITY;
-            let mut last = None;
-            for _ in 0..reps {
-                let run = problem.run_candidate(task.model, kind, n, seed, size);
-                match &run {
-                    Ok(r) => best = best.min(r.seconds),
-                    Err(_) => {
-                        last = Some(run);
-                        break;
+            let body = catch_unwind(AssertUnwindSafe(|| {
+                let mut best = f64::INFINITY;
+                let mut last = None;
+                for _ in 0..reps {
+                    let run = problem.run_candidate(task.model, kind, n, seed, size);
+                    match &run {
+                        Ok(r) => best = best.min(r.seconds),
+                        Err(_) => {
+                            last = Some(run);
+                            break;
+                        }
                     }
+                    last = Some(run);
                 }
-                last = Some(run);
-            }
+                (last.expect("at least one rep ran"), best)
+            }))
+            .map_err(|p| panic_message(&*p));
             let usage = scope.finish();
-            let _wall = t0.elapsed();
-            let _ = tx.send((last.expect("at least one rep ran"), best, usage));
+            let _ = tx.send((body, usage));
         });
 
-        let (result, best, usage) = match rx.recv_timeout(self.cfg.timeout) {
+        let recv = rx.recv_timeout(self.cfg.timeout);
+        add_ns(&self.counters.run_ns, t_run);
+        let (body, usage) = match recv {
             Ok(v) => v,
             Err(_) => {
-                // Either the candidate hung past the limit or the worker
-                // died; both count as a failed run.
+                // The candidate hung past the limit; abandon the worker
+                // (it is detached and will be reaped at process exit).
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 return Outcome {
                     built: true,
                     correct: false,
                     seconds: f64::INFINITY,
                     error: Some("timeout".into()),
+                };
+            }
+        };
+
+        let (result, best) = match body {
+            Ok(v) => v,
+            Err(_panic_msg) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    built: true,
+                    correct: false,
+                    seconds: f64::INFINITY,
+                    error: Some("panic".into()),
                 };
             }
         };
@@ -159,7 +254,11 @@ impl Runner {
                 error: Some(e.code().to_string()),
             },
             Ok(run) => {
-                if !run.output.approx_eq(baseline_output) {
+                let t_val = Instant::now();
+                let wrong = !run.output.approx_eq(baseline_output);
+                let sequential = !wrong && !usage.used_required_api(task.model);
+                add_ns(&self.counters.validate_ns, t_val);
+                if wrong {
                     return Outcome {
                         built: true,
                         correct: false,
@@ -167,7 +266,7 @@ impl Runner {
                         error: Some("wrong".into()),
                     };
                 }
-                if !usage.used_required_api(task.model) {
+                if sequential {
                     return Outcome {
                         built: true,
                         correct: false,
@@ -179,12 +278,134 @@ impl Runner {
             }
         }
     }
+
+    /// Run an arbitrary closure through the same isolation machinery a
+    /// candidate gets: dedicated worker thread, panic capture, timeout
+    /// abandonment at `config().timeout`. Used by the substrate
+    /// conformance tests to prove that a hostile candidate (hang or
+    /// panic on any substrate) cannot wedge an evaluation worker.
+    pub fn run_isolated<R, F>(&self, f: F) -> Outcome
+    where
+        R: Send + 'static,
+        F: FnOnce() -> Result<R, PcgError> + Send + 'static,
+    {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        let t_run = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let body = catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p));
+            let _ = tx.send((body, t0.elapsed().as_secs_f64()));
+        });
+        let recv = rx.recv_timeout(self.cfg.timeout);
+        add_ns(&self.counters.run_ns, t_run);
+        match recv {
+            Err(_) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                Outcome {
+                    built: true,
+                    correct: false,
+                    seconds: f64::INFINITY,
+                    error: Some("timeout".into()),
+                }
+            }
+            Ok((Err(_panic), _)) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Outcome {
+                    built: true,
+                    correct: false,
+                    seconds: f64::INFINITY,
+                    error: Some("panic".into()),
+                }
+            }
+            Ok((Ok(Err(e)), _)) => Outcome {
+                built: !matches!(e, PcgError::BuildFailure(_)),
+                correct: false,
+                seconds: f64::INFINITY,
+                error: Some(e.code().to_string()),
+            },
+            Ok((Ok(Ok(_)), secs)) => {
+                Outcome { built: true, correct: true, seconds: secs, error: None }
+            }
+        }
+    }
+
+    /// Total candidate executions performed (cache misses).
+    pub fn executions(&self) -> u64 {
+        self.counters.executions.load(Ordering::Relaxed)
+    }
+
+    /// Outcome requests served from cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.counters.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Candidates whose body panicked (captured, not propagated).
+    pub fn panics(&self) -> u64 {
+        self.counters.panics.load(Ordering::Relaxed)
+    }
+
+    /// Candidates abandoned at the time limit.
+    pub fn timeouts(&self) -> u64 {
+        self.counters.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative seconds attributed to `stage`, summed across workers.
+    /// `Stage::Queue` is tracked by the scheduler, not the runner, so it
+    /// reads zero here.
+    pub fn stage_seconds(&self, stage: Stage) -> f64 {
+        let ns = match stage {
+            Stage::Queue => 0,
+            Stage::Baseline => self.counters.baseline_ns.load(Ordering::Relaxed),
+            Stage::Run => self.counters.run_ns.load(Ordering::Relaxed),
+            Stage::Validate => self.counters.validate_ns.load(Ordering::Relaxed),
+        };
+        ns as f64 / 1e9
+    }
+}
+
+/// Caching candidate runner (serial facade over [`SharedRunner`]).
+pub struct Runner {
+    shared: SharedRunner,
+}
+
+impl Runner {
+    /// A fresh runner for one evaluation.
+    pub fn new(cfg: EvalConfig) -> Runner {
+        Runner { shared: SharedRunner::new(cfg) }
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        self.shared.config()
+    }
+
+    /// The underlying shared runner.
+    pub fn shared(&self) -> &SharedRunner {
+        &self.shared
+    }
+
+    /// The baseline for `problem`, measured on first use.
+    pub fn baseline(&mut self, problem: ProblemId) -> Baseline {
+        self.shared.with_baseline(problem, Baseline::clone)
+    }
+
+    /// Execute (or fetch the cached execution of) one candidate.
+    pub fn outcome(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> Outcome {
+        self.shared.outcome(task, kind, n)
+    }
+
+    /// The `T*/T` performance ratio of one candidate (0 when incorrect).
+    pub fn ratio(&mut self, task: TaskId, kind: CandidateKind, n: u32) -> f64 {
+        self.shared.ratio(task, kind, n)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pcg_core::{ExecutionModel, ProblemType, Quality};
+    use std::time::Duration;
 
     fn mk_task(model: ExecutionModel) -> TaskId {
         pcg_core::ProblemId::new(ProblemType::Transform, 0).task(model)
@@ -248,8 +469,10 @@ mod tests {
         let mut r = runner();
         let t = mk_task(ExecutionModel::Cuda);
         let a = r.outcome(t, CandidateKind::Correct(Quality::Efficient), 0);
+        let hits_before = r.shared().cache_hits();
         let b = r.outcome(t, CandidateKind::Correct(Quality::Efficient), 0);
         assert_eq!(a.seconds, b.seconds, "second call must be the cached run");
+        assert_eq!(r.shared().cache_hits(), hits_before + 1);
     }
 
     #[test]
@@ -262,5 +485,51 @@ mod tests {
         // The lopsided candidate cannot beat the balanced one by much;
         // allow noise but expect a clear ordering at 8 threads.
         assert!(ineff < eff * 1.5, "eff={eff} ineff={ineff}");
+    }
+
+    #[test]
+    fn isolated_panic_is_captured_not_propagated() {
+        let r = SharedRunner::new(EvalConfig::smoke());
+        let out = r.run_isolated::<(), _>(|| panic!("candidate exploded"));
+        assert!(!out.correct);
+        assert_eq!(out.error.as_deref(), Some("panic"));
+        assert_eq!(r.panics(), 1);
+        // The runner is still serviceable after a panic.
+        let ok = r.run_isolated(|| Ok::<_, PcgError>(42));
+        assert!(ok.correct, "{ok:?}");
+    }
+
+    #[test]
+    fn isolated_hang_is_abandoned_at_the_limit() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.timeout = Duration::from_millis(50);
+        let r = SharedRunner::new(cfg);
+        let out = r.run_isolated(|| {
+            std::thread::sleep(Duration::from_secs(30));
+            Ok::<_, PcgError>(())
+        });
+        assert!(!out.correct);
+        assert_eq!(out.error.as_deref(), Some("timeout"));
+        assert_eq!(r.timeouts(), 1);
+    }
+
+    #[test]
+    fn shared_runner_is_deterministic_across_worker_counts() {
+        // Same key from many threads: exactly one execution, same value.
+        let r = SharedRunner::new(EvalConfig::smoke());
+        let t = mk_task(ExecutionModel::OpenMp);
+        let kind = CandidateKind::Correct(Quality::Efficient);
+        let outs: Vec<Outcome> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..8).map(|_| s.spawn(|| r.outcome(t, kind, 4))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(r.executions(), 1, "one execution, {} cache hits", r.cache_hits());
+        for o in &outs {
+            assert!(o.correct);
+            assert_eq!(o.seconds, outs[0].seconds);
+        }
+        assert!(r.stage_seconds(Stage::Run) > 0.0);
+        assert_eq!(r.stage_seconds(Stage::Queue), 0.0);
     }
 }

@@ -1,0 +1,317 @@
+//! Work-stealing parallel evaluation scheduler.
+//!
+//! Fans a static grid of evaluation cells (task × model here, but any
+//! `Send` item works) across a bounded worker pool. Design constraints,
+//! in order:
+//!
+//! 1. **Determinism independent of scheduling.** Results come back in
+//!    slot order (the input order), and nothing a cell computes may
+//!    depend on which worker ran it or when. The harness guarantees the
+//!    latter by keying every RNG stream on grid coordinates
+//!    (`pcg_core::rng::rng_for`), never on worker identity; this module
+//!    guarantees the former by writing each result into its input slot.
+//! 2. **Isolation.** A panicking cell is captured (`catch_unwind`) and
+//!    reported per-slot; the worker survives and keeps draining the
+//!    queue. (Candidate-level panic/timeout isolation is one layer
+//!    down, in `runner`.)
+//! 3. **Balance.** Workers own interleaved slices of the grid and steal
+//!    from the back of a victim's deque when their own runs dry — cheap
+//!    LIFO-steal/FIFO-own scheduling in the spirit of
+//!    `pcg_shmem::Schedule::Dynamic`, but without that pool's fork-join
+//!    region semantics (grid cells are coarse and independent).
+//!
+//! The worker count comes from `--jobs N` / `PCG_JOBS` (see
+//! [`jobs_from_cli`]); `--jobs 1` degrades to an in-place serial loop
+//! with identical results, which is the A/B lever the benchmarks use.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// One completed grid cell.
+#[derive(Debug)]
+pub struct Cell<R> {
+    /// The cell's computation, or the captured panic message.
+    pub value: Result<R, String>,
+    /// Time between grid start and a worker picking the cell up.
+    pub queue_wait: Duration,
+    /// Time the cell's computation ran.
+    pub exec: Duration,
+}
+
+/// Render a panic payload the way the test harness would.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// The worker count to use when none is given explicitly: `PCG_JOBS`
+/// if set and positive, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(s) = std::env::var("PCG_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parse `--jobs N` / `--jobs=N` from the process arguments, falling
+/// back to [`default_jobs`]. A `--jobs` that is present but not a
+/// positive integer aborts with exit code 2 — silently defaulting
+/// would turn a typo into the wrong A/B arm. Used by every figure
+/// binary.
+pub fn jobs_from_cli() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match jobs_from_args(&args) {
+        Ok(jobs) => jobs.unwrap_or_else(default_jobs),
+        Err(bad) => {
+            eprintln!("error: --jobs expects a positive integer, got {bad:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `Ok(Some(n))` for a valid flag, `Ok(None)` when absent,
+/// `Err(value)` when present but not a positive integer.
+fn jobs_from_args(args: &[String]) -> Result<Option<usize>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--jobs" {
+            it.next().map(String::as_str).unwrap_or("")
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            v
+        } else {
+            continue;
+        };
+        return match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(value.to_string()),
+        };
+    }
+    Ok(None)
+}
+
+/// Run `f` over every item of `items` on `jobs` workers, returning the
+/// results in input order regardless of completion order.
+///
+/// `f` receives `(slot_index, &item)`. Cell panics are captured into
+/// `Cell::value`; worker threads never die mid-grid.
+pub fn run_grid<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<Cell<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    let t0 = Instant::now();
+
+    let run_cell = |slot: usize| -> Cell<R> {
+        let queue_wait = t0.elapsed();
+        let started = Instant::now();
+        let value = catch_unwind(AssertUnwindSafe(|| f(slot, &items[slot])))
+            .map_err(|p| panic_message(&*p));
+        Cell { value, queue_wait, exec: started.elapsed() }
+    };
+
+    if jobs == 1 {
+        // Serial A/B path: same code path per cell, no worker threads.
+        return (0..n).map(run_cell).collect();
+    }
+
+    // Deal the grid round-robin so every worker starts with a spread of
+    // cells (adjacent cells often share a problem and therefore cost).
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
+        .collect();
+
+    let mut slots: Vec<Option<Cell<R>>> = (0..n).map(|_| None).collect();
+    {
+        // Hand each worker an interleaved view of the result slots:
+        // worker `w` may only ever write slots it popped, and every slot
+        // is popped exactly once, so the raw pointer writes are disjoint.
+        // Rather than reason about that with unsafe code, collect over a
+        // channel and scatter afterwards.
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Cell<R>)>();
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                let tx = tx.clone();
+                let deques = &deques;
+                let run_cell = &run_cell;
+                scope.spawn(move || loop {
+                    // Own queue first (front), then steal (back).
+                    let slot = deques[w].lock().pop_front().or_else(|| {
+                        (1..jobs).find_map(|d| deques[(w + d) % jobs].lock().pop_back())
+                    });
+                    match slot {
+                        Some(slot) => {
+                            let _ = tx.send((slot, run_cell(slot)));
+                        }
+                        None => break,
+                    }
+                });
+            }
+            drop(tx);
+            for (slot, cell) in rx {
+                slots[slot] = Some(cell);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.unwrap_or_else(|| panic!("grid slot {i} never completed")))
+        .collect()
+}
+
+/// [`run_grid`], unwrapping cell panics by re-raising the first one
+/// after the whole grid has drained (so no in-flight work is lost).
+pub fn run_grid_strict<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<Cell<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let cells = run_grid(items, jobs, f);
+    if let Some((slot, msg)) = cells
+        .iter()
+        .enumerate()
+        .find_map(|(i, c)| c.value.as_ref().err().map(|m| (i, m.clone())))
+    {
+        panic!("evaluation cell {slot} panicked: {msg}");
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_slot_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let cells = run_grid(items, 8, |i, &x| {
+            assert_eq!(i, x);
+            // Vary the work so completion order scrambles.
+            let mut acc = 0u64;
+            for k in 0..((x % 7) * 1000) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (x * 2, acc)
+        });
+        assert_eq!(cells.len(), 97);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.value.as_ref().unwrap().0, i * 2);
+        }
+    }
+
+    #[test]
+    fn jobs_one_matches_jobs_many() {
+        let f = |i: usize, x: &u64| x.wrapping_mul(31).wrapping_add(i as u64);
+        let items: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let serial: Vec<u64> =
+            run_grid(items.clone(), 1, f).into_iter().map(|c| c.value.unwrap()).collect();
+        let parallel: Vec<u64> =
+            run_grid(items, 8, f).into_iter().map(|c| c.value.unwrap()).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let cells = run_grid((0..1000).collect::<Vec<_>>(), 6, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(cells.len(), 1000);
+    }
+
+    #[test]
+    fn cell_panic_is_captured_and_grid_completes() {
+        let cells = run_grid((0..20).collect::<Vec<_>>(), 4, |_, &x| {
+            if x == 7 {
+                panic!("boom on {x}");
+            }
+            x
+        });
+        for (i, c) in cells.iter().enumerate() {
+            if i == 7 {
+                assert_eq!(c.value.as_ref().unwrap_err(), "boom on 7");
+            } else {
+                assert_eq!(*c.value.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 7 panicked")]
+    fn strict_variant_reraises_after_drain() {
+        run_grid_strict((0..20).collect::<Vec<_>>(), 4, |_, &x| {
+            assert!(x != 7, "boom");
+        });
+    }
+
+    #[test]
+    fn empty_grid_and_oversized_jobs() {
+        let cells = run_grid(Vec::<u32>::new(), 8, |_, &x| x);
+        assert!(cells.is_empty());
+        let cells = run_grid(vec![5u32, 6], 64, |_, &x| x + 1);
+        assert_eq!(
+            cells.into_iter().map(|c| c.value.unwrap()).collect::<Vec<_>>(),
+            vec![6, 7]
+        );
+    }
+
+    #[test]
+    fn stealing_drains_a_lopsided_grid() {
+        // All the work lands in worker 0's deque slots; the others must
+        // steal it. (0, jobs, 2*jobs, ... are worker 0's cells under
+        // round-robin dealing with jobs=4.)
+        let items: Vec<usize> = (0..64).collect();
+        let slow = AtomicUsize::new(0);
+        let cells = run_grid(items, 4, |_, &x| {
+            if x % 4 == 0 {
+                slow.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            x
+        });
+        assert_eq!(slow.load(Ordering::Relaxed), 16);
+        assert_eq!(cells.len(), 64);
+    }
+
+    #[test]
+    fn queue_wait_and_exec_are_recorded() {
+        let cells = run_grid(vec![1u32; 8], 2, |_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        for c in &cells {
+            assert!(c.exec >= Duration::from_millis(2));
+        }
+        // Later cells on a 2-worker pool must have waited in queue.
+        assert!(cells.iter().any(|c| c.queue_wait > Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn jobs_flags_parse() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from_args(&args(&["bin", "--jobs", "8"])), Ok(Some(8)));
+        assert_eq!(jobs_from_args(&args(&["bin", "--jobs=3"])), Ok(Some(3)));
+        assert_eq!(jobs_from_args(&args(&["bin"])), Ok(None));
+        // Present-but-invalid must be an error, not a silent default.
+        assert_eq!(jobs_from_args(&args(&["bin", "--jobs", "0"])), Err("0".into()));
+        assert_eq!(jobs_from_args(&args(&["bin", "--jobs", "many"])), Err("many".into()));
+        assert_eq!(jobs_from_args(&args(&["bin", "--jobs"])), Err("".into()));
+        assert!(default_jobs() >= 1);
+    }
+}

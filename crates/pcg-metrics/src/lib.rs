@@ -241,5 +241,35 @@ mod tests {
             let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
         }
+
+        #[test]
+        fn pass_at_1_is_the_empirical_rate(n in 1usize..200, c in 0usize..200) {
+            let c = c.min(n);
+            let v = pass_at_k(n, c, 1);
+            prop_assert!((v - c as f64 / n as f64).abs() < 1e-12);
+        }
+
+        #[test]
+        fn pass_at_n_is_an_indicator(n in 1usize..200, c in 0usize..200) {
+            // Drawing all n samples finds a correct one iff any exists.
+            let c = c.min(n);
+            let v = pass_at_k(n, c, n);
+            prop_assert_eq!(v, if c > 0 { 1.0 } else { 0.0 });
+        }
+
+        #[test]
+        fn efficiency_is_speedup_over_resources(
+            a in proptest::collection::vec(0.0f64..50.0, 1..12),
+            b in proptest::collection::vec(0.0f64..50.0, 1..12),
+            k in 1usize..6,
+            n in 1u32..128,
+        ) {
+            let k = k.min(a.len()).min(b.len());
+            let prompts = vec![a, b];
+            let s = speedup_n_at_k(&prompts, k);
+            let e = efficiency_n_at_k(&prompts, k, n);
+            prop_assert!((e - s / f64::from(n)).abs() <= 1e-12 * s.abs().max(1.0));
+            prop_assert!(s >= 0.0 && e >= 0.0);
+        }
     }
 }

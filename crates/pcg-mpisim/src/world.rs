@@ -105,6 +105,9 @@ impl World {
         let results: Mutex<Vec<Option<(R, f64)>>> =
             Mutex::new((0..self.size).map(|_| None).collect());
         let failure: Mutex<Option<String>> = Mutex::new(None);
+        // Rank threads attribute their API usage to the candidate that
+        // launched the world, not to whoever else runs concurrently.
+        let usage_sink = pcg_core::usage::current_sink();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
@@ -113,11 +116,13 @@ impl World {
                 let results = &results;
                 let failure = &failure;
                 let f = &f;
+                let usage_sink = usage_sink.clone();
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("mpisim-rank-{rank}"))
                         .stack_size(1 << 21)
                         .spawn_scoped(scope, move || {
+                            let _usage = pcg_core::usage::install_sink(usage_sink);
                             let comm = Comm::new(rank, shared.mailboxes.len(), shared);
                             comm.acquire_token();
                             if shared.tokens.is_aborted() {

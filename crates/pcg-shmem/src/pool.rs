@@ -121,12 +121,19 @@ impl Pool {
             panic_payload: Mutex::new(None),
             shutdown: AtomicBool::new(false),
         });
+        // Workers inherit the creating candidate's usage sink so API
+        // calls they make attribute to that candidate.
+        let usage_sink = usage::current_sink();
         let workers = (1..nthreads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
+                let usage_sink = usage_sink.clone();
                 std::thread::Builder::new()
                     .name(format!("pcg-shmem-{tid}"))
-                    .spawn(move || worker_loop(shared, tid, nthreads))
+                    .spawn(move || {
+                        let _usage = usage::install_sink(usage_sink);
+                        worker_loop(shared, tid, nthreads)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();

@@ -2,7 +2,7 @@
 //! -> validation -> metrics, across crate boundaries.
 
 use pcgbench::core::{ExecutionModel, ProblemId, ProblemType, TaskId};
-use pcgbench::harness::{eval, report, EvalConfig};
+use pcgbench::harness::{eval, report, EvalConfig, SharedRunner};
 use pcgbench::models::SyntheticModel;
 
 fn mini_tasks() -> Vec<TaskId> {
@@ -113,6 +113,59 @@ fn evaluation_is_deterministic_in_correctness() {
     for (ta, tb) in a.models[0].tasks.iter().zip(&b.models[0].tasks) {
         assert_eq!(ta.low.correct, tb.low.correct, "{}", ta.task);
         assert_eq!(ta.low.built, tb.low.built, "{}", ta.task);
+    }
+}
+
+#[test]
+fn parallel_evaluation_is_byte_identical_to_serial() {
+    // The scheduler's central guarantee: the same grid at --jobs 1 and
+    // --jobs 8 serializes to byte-identical records. One SharedRunner
+    // backs both runs so candidate timings come from the same cached
+    // executions (timing is hardware noise; everything else — sample
+    // streams, outcome kinds, record ordering — must be scheduling-
+    // independent by construction).
+    let cfg = EvalConfig::smoke();
+    let models = [
+        SyntheticModel::by_name("CodeLlama-13B").unwrap(),
+        SyntheticModel::by_name("GPT-4").unwrap(),
+    ];
+    let tasks = mini_tasks();
+    let runner = SharedRunner::new(cfg.clone());
+    let (serial, _) = eval::evaluate_with(&cfg, &models, Some(&tasks), 1, &runner);
+    let (parallel, stats) = eval::evaluate_with(&cfg, &models, Some(&tasks), 8, &runner);
+    assert_eq!(stats.jobs, 8);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "records must not depend on the worker count"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_correctness_fields() {
+    // Fresh runners (no shared cache): wall-clock fields may differ,
+    // but every scheduling-independent field must match exactly.
+    let cfg = EvalConfig::smoke();
+    let model = || SyntheticModel::by_name("Phind-CodeLlama-V2").unwrap();
+    let tasks = &mini_tasks()[..14];
+    let a = eval::evaluate_jobs(&cfg, &[model()], Some(tasks), 1);
+    let b = eval::evaluate_jobs(&cfg, &[model()], Some(tasks), 8);
+    for (ta, tb) in a.models[0].tasks.iter().zip(&b.models[0].tasks) {
+        assert_eq!(ta.task, tb.task, "task order must be canonical");
+        assert_eq!(ta.low.correct, tb.low.correct, "{}", ta.task);
+        assert_eq!(ta.low.built, tb.low.built, "{}", ta.task);
+        assert_eq!(
+            ta.high.as_ref().map(|h| &h.correct),
+            tb.high.as_ref().map(|h| &h.correct),
+            "{}",
+            ta.task
+        );
+        assert_eq!(
+            ta.sweep.keys().collect::<Vec<_>>(),
+            tb.sweep.keys().collect::<Vec<_>>(),
+            "{}",
+            ta.task
+        );
     }
 }
 

@@ -3,9 +3,11 @@
 //! implementation must reproduce the sequential oracle — the invariant
 //! the whole benchmark rests on.
 
-use pcgbench::core::{CandidateKind, ExecutionModel, ProblemId, ProblemType, Quality};
+use pcgbench::core::{CandidateKind, ExecutionModel, PcgError, ProblemId, ProblemType, Quality};
+use pcgbench::harness::{EvalConfig, SharedRunner};
 use pcgbench::problems::registry;
 use proptest::prelude::*;
+use std::time::Duration;
 
 fn check(ptype: ProblemType, variant: usize, model: ExecutionModel, n: u32, seed: u64, size: usize) {
     let problem = registry::problem(ProblemId::new(ptype, variant));
@@ -118,6 +120,202 @@ fn every_problem_conforms_at_odd_rank_counts() {
             );
         }
     }
+}
+
+/// A labeled hostile candidate body for the isolation tests.
+type HostileCandidate = (&'static str, Box<dyn FnOnce() -> Result<(), PcgError> + Send>);
+
+/// A runner with a short kill limit, for hostile-candidate tests.
+fn hostile_runner() -> SharedRunner {
+    let mut cfg = EvalConfig::smoke();
+    cfg.timeout = Duration::from_millis(100);
+    SharedRunner::new(cfg)
+}
+
+/// After surviving a hostile candidate, the runner must still evaluate
+/// a normal one — no wedged worker, no poisoned state.
+fn assert_still_serviceable(runner: &SharedRunner) {
+    let task = ProblemId::new(ProblemType::Transform, 0).task(ExecutionModel::OpenMp);
+    let out = runner.outcome(task, CandidateKind::Correct(Quality::Efficient), 4);
+    assert!(out.correct, "runner wedged by a hostile candidate: {out:?}");
+}
+
+/// A panic inside a candidate body — on any substrate — must surface as
+/// a captured per-candidate failure, never as a harness panic or a hung
+/// worker. Substrates that run bodies on their own threads (MPI, hybrid)
+/// convert rank panics to runtime errors before the harness sees them,
+/// so both codes are conforming.
+#[test]
+fn candidate_panics_are_captured_on_every_substrate() {
+    let panicky: Vec<HostileCandidate> = vec![
+        ("shmem", Box::new(|| {
+            pcgbench::shmem::Pool::new(4).parallel(|ctx| {
+                if ctx.tid() == 2 {
+                    panic!("candidate bug on thread 2");
+                }
+            });
+            Ok(())
+        })),
+        ("kokkos", Box::new(|| {
+            pcgbench::patterns::ExecSpace::new(4).parallel_for(64, |i| {
+                if i == 17 {
+                    panic!("candidate bug at i=17");
+                }
+            });
+            Ok(())
+        })),
+        ("mpisim", Box::new(|| {
+            pcgbench::mpisim::World::new(4)
+                .run(|comm| {
+                    if comm.rank() == 1 {
+                        panic!("candidate bug on rank 1");
+                    }
+                })
+                .map(|_| ())
+        })),
+        ("hybrid", Box::new(|| {
+            pcgbench::hybrid::HybridWorld::new(2, 2)
+                .run(|ctx| {
+                    if ctx.comm().rank() == 1 {
+                        panic!("candidate bug on hybrid rank 1");
+                    }
+                })
+                .map(|_| ())
+        })),
+        ("cuda", Box::new(|| {
+            let buf = pcgbench::gpusim::GpuBuffer::<f64>::zeroed(64);
+            pcgbench::gpusim::cuda::device().launch_each(
+                pcgbench::gpusim::Launch::over(64, 32),
+                |t, ctx| {
+                    if t.global_id() == 5 {
+                        panic!("candidate bug in kernel thread 5");
+                    }
+                    ctx.write(&buf, t.global_id(), 1.0);
+                },
+            );
+            Ok(())
+        })),
+        ("hip", Box::new(|| {
+            let buf = pcgbench::gpusim::GpuBuffer::<f64>::zeroed(64);
+            pcgbench::gpusim::hip::device().launch_each(
+                pcgbench::gpusim::Launch::over(64, 32),
+                |t, ctx| {
+                    if t.block_idx == 1 {
+                        panic!("candidate bug in block 1");
+                    }
+                    ctx.write(&buf, t.global_id(), 1.0);
+                },
+            );
+            Ok(())
+        })),
+    ];
+    let runner = hostile_runner();
+    for (substrate, candidate) in panicky {
+        let out = runner.run_isolated(candidate);
+        assert!(!out.correct, "{substrate}: panicking candidate marked correct");
+        let code = out.error.as_deref().unwrap_or("<none>");
+        assert!(
+            code == "panic" || code == "runtime",
+            "{substrate}: expected a captured panic, got error {code:?}"
+        );
+    }
+    assert_still_serviceable(&runner);
+}
+
+/// A candidate that hangs — on any substrate — must be abandoned at the
+/// configured time limit with `error: Some("timeout")`, leaving the
+/// worker free for the next candidate (the paper's 3-minute kill).
+#[test]
+fn hanging_candidates_time_out_on_every_substrate() {
+    // Long enough to outlive the 100 ms limit by far, short enough that
+    // the abandoned threads drain before the test process exits.
+    let hang = || std::thread::sleep(Duration::from_secs(2));
+    let hangs: Vec<HostileCandidate> = vec![
+        ("shmem", Box::new(move || {
+            pcgbench::shmem::Pool::new(2).parallel(|ctx| {
+                if ctx.tid() == 1 {
+                    hang();
+                }
+            });
+            Ok(())
+        })),
+        ("kokkos", Box::new(move || {
+            pcgbench::patterns::ExecSpace::new(2).parallel_for(2, |i| {
+                if i == 1 {
+                    hang();
+                }
+            });
+            Ok(())
+        })),
+        ("mpisim", Box::new(move || {
+            pcgbench::mpisim::World::new(2)
+                .run(|comm| {
+                    if comm.rank() == 0 {
+                        hang();
+                    }
+                })
+                .map(|_| ())
+        })),
+        ("hybrid", Box::new(move || {
+            pcgbench::hybrid::HybridWorld::new(2, 1)
+                .run(|ctx| {
+                    if ctx.comm().rank() == 1 {
+                        hang();
+                    }
+                })
+                .map(|_| ())
+        })),
+        ("cuda", Box::new(move || {
+            pcgbench::gpusim::cuda::device().launch_each(
+                pcgbench::gpusim::Launch::new(1, 1),
+                |_, _| hang(),
+            );
+            Ok(())
+        })),
+        ("hip", Box::new(move || {
+            pcgbench::gpusim::hip::device().launch_each(
+                pcgbench::gpusim::Launch::new(1, 1),
+                |_, _| hang(),
+            );
+            Ok(())
+        })),
+    ];
+    let runner = hostile_runner();
+    for (substrate, candidate) in hangs {
+        let out = runner.run_isolated(candidate);
+        assert!(!out.correct, "{substrate}: hung candidate marked correct");
+        assert_eq!(
+            out.error.as_deref(),
+            Some("timeout"),
+            "{substrate}: hang must be abandoned at the limit"
+        );
+    }
+    assert_eq!(runner.timeouts(), 6);
+    assert_still_serviceable(&runner);
+}
+
+/// The usage check must attribute API calls to the candidate that made
+/// them even while other candidates run concurrently on the scheduler.
+/// With process-global snapshot deltas (the pre-parallel design), the
+/// noisy neighbor's `Pool::parallel` calls would leak into the fallback
+/// candidate's delta and flip its verdict to correct.
+#[test]
+fn sequential_fallback_is_flagged_despite_concurrent_parallel_candidates() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let runner = SharedRunner::new(EvalConfig::smoke());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                pcgbench::shmem::Pool::new(2).parallel(|_| {});
+            }
+        });
+        let task = ProblemId::new(ProblemType::Transform, 0).task(ExecutionModel::OpenMp);
+        let out = runner.outcome(task, CandidateKind::SequentialFallback, 4);
+        stop.store(true, Ordering::Relaxed);
+        assert!(!out.correct, "fallback must not inherit the neighbor's API calls");
+        assert_eq!(out.error.as_deref(), Some("sequential"));
+    });
 }
 
 #[test]

@@ -1,0 +1,356 @@
+//! A minimal, API-compatible subset of `proptest`, vendored so the
+//! workspace builds in offline environments with no crates.io access.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro with
+//! an optional `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! header, numeric range strategies (`0usize..40`, `-1e6f64..1e6`,
+//! inclusive variants), `proptest::collection::vec(strategy, size)`,
+//! and `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Differences from real proptest: no shrinking — on failure the
+//! generated inputs are printed verbatim and the panic is re-raised.
+//! Cases are generated from a deterministic RNG keyed by (test name,
+//! case index), so failures reproduce across runs without a
+//! regressions file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; this suite's properties drive
+        // whole thread pools per case, so stay an order smaller.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// String strategies are regex patterns in real proptest. This stub
+    /// supports the subset the workspace uses: a sequence of literal
+    /// characters or `[...]` classes (with `-` ranges), each optionally
+    /// followed by `{n}` / `{m,n}` / `?` / `*` / `+`.
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<char> = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    loop {
+                        let c = chars.next().unwrap_or_else(|| {
+                            panic!("proptest stub: unterminated `[` in regex {self:?}")
+                        });
+                        match c {
+                            ']' => break,
+                            '\\' => class.push(chars.next().expect("dangling escape")),
+                            c => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars.next().expect("dangling range");
+                                    class.extend(c..=hi);
+                                } else {
+                                    class.push(c);
+                                }
+                            }
+                        }
+                    }
+                    class
+                }
+                '\\' => vec![chars.next().expect("dangling escape")],
+                '{' | '}' | '?' | '*' | '+' => {
+                    panic!("proptest stub: dangling quantifier in regex {self:?}")
+                }
+                c => vec![c],
+            };
+            assert!(!choices.is_empty(), "proptest stub: empty class in regex {self:?}");
+            let (lo, hi): (usize, usize) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad repetition"),
+                            n.trim().parse().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values from `elem` with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            elem,
+            min: size.min,
+            max_exclusive: size.max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.min + 1 >= self.max_exclusive {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max_exclusive)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Length specification accepted by [`collection::vec`].
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange { min: r.start, max_exclusive: r.end.max(r.start + 1) }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { min: *r.start(), max_exclusive: r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max_exclusive: n + 1 }
+    }
+}
+
+/// Deterministic per-case RNG: keyed by test name and case index only,
+/// never by scheduling, so the same case always sees the same inputs.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37))
+}
+
+/// Everything the `proptest!` files import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(stringify!($arg));
+                        __s.push_str(" = ");
+                        __s.push_str(&::std::format!("{:?}", &$arg));
+                        __s.push_str("; ");
+                    )+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs: {}",
+                        stringify!($name), __case, __cfg.cases, __inputs,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic_and_name_keyed() {
+        let a = (0usize..100).generate(&mut super::case_rng("t", 3));
+        let b = (0usize..100).generate(&mut super::case_rng("t", 3));
+        assert_eq!(a, b);
+        let later = (0..64u32)
+            .map(|c| (0usize..1000).generate(&mut super::case_rng("t", c)))
+            .collect::<Vec<_>>();
+        let other = (0..64u32)
+            .map(|c| (0usize..1000).generate(&mut super::case_rng("u", c)))
+            .collect::<Vec<_>>();
+        assert_ne!(later, other);
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let s = super::collection::vec(-5i64..5, 2..9);
+        let mut rng = super::case_rng("vec_bounds", 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (-5..5).contains(x)));
+        }
+        let empty_ok = super::collection::vec(0u32..3, 0..1);
+        assert!(empty_ok.generate(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn regex_strategy_generates_matching_strings() {
+        let mut rng = super::case_rng("regex", 0);
+        for _ in 0..100 {
+            let s = "[a-zA-Z][a-zA-Z0-9]{0,20}".generate(&mut rng);
+            assert!((1..=21).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+            let t = "[ -~]{1,120}".generate(&mut rng);
+            assert!((1..=120).contains(&t.len()));
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            assert_eq!("ab\\[c".generate(&mut rng), "ab[c");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 1usize..10, v in crate::collection::vec(0f64..1.0, 0..4)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+}

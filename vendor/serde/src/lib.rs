@@ -1,0 +1,429 @@
+//! A minimal, API-compatible subset of `serde`, vendored so the
+//! workspace builds in offline environments with no crates.io access.
+//!
+//! Instead of serde's visitor architecture, this stub routes everything
+//! through a small self-describing [`Value`] tree: `Serialize` lowers a
+//! Rust value to a `Value`, `Deserialize` lifts it back, and the
+//! companion `serde_json` stub renders/parses `Value` as JSON text. The
+//! derive macros (re-exported from `serde_derive`) generate the same
+//! external data shapes as real serde for the forms this workspace
+//! uses: structs with named fields become objects, unit enum variants
+//! become strings, and newtype variants become single-key objects
+//! (externally tagged).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree, the interchange point between `Serialize`
+/// implementations and the `serde_json` text layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (JSON number without '.'/'e' that fits u64).
+    U64(u64),
+    /// Negative integer (JSON number without '.'/'e').
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion order is preserved so serialization is
+    /// deterministic and follows struct declaration order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object value, as the derive macros do.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short human-readable tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (message-only, like `serde::de::Error`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Create an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// Error for an unrecognized enum variant (used by derives).
+    pub fn unknown_variant(got: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{got}` for enum {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` to a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value back out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a data tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+fn as_u128(v: &Value) -> Result<i128, DeError> {
+    match v {
+        Value::U64(n) => Ok(*n as i128),
+        Value::I64(n) => Ok(*n as i128),
+        other => Err(DeError::new(format!(
+            "expected integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = as_u128(v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = as_u128(v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+int_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(DeError::new(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Only `&'static str` can be deserialized without a borrowing
+    /// deserializer; the string is leaked. The workspace uses this for
+    /// model-card names, a small bounded set, so the leak is benign.
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Arr(xs) => xs.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let xs = <Vec<T>>::from_value(v)?;
+        let len = xs.len();
+        xs.try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<(A, B), DeError> {
+        match v {
+            Value::Arr(xs) if xs.len() == 2 => {
+                Ok((A::from_value(&xs[0])?, B::from_value(&xs[1])?))
+            }
+            other => Err(DeError::new(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: ToString + Ord,
+    V: Serialize,
+{
+    /// Maps become JSON objects with stringified keys, matching real
+    /// serde_json's treatment of integer-keyed maps.
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, val)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| DeError::new(format!("invalid map key `{k}`")))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// Matches real serde's `{ "secs": u64, "nanos": u32 }` shape.
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<std::time::Duration, DeError> {
+        let secs = u64::from_value(v.field("secs")?)?;
+        let nanos = u32::from_value(v.field("nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(x: T) {
+        let v = x.to_value();
+        assert_eq!(T::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(42u64);
+        roundtrip(7usize);
+        roundtrip(-3i64);
+        roundtrip(1.5f64);
+        roundtrip("hello".to_string());
+        roundtrip(Some(9u32));
+        roundtrip(None::<u32>);
+        roundtrip(vec![1.0f64, 2.0, 3.0]);
+        roundtrip([0.1f64, 0.2, 0.3, 0.4, 0.5]);
+        roundtrip(("a".to_string(), "b".to_string()));
+        roundtrip(std::time::Duration::new(3, 250));
+    }
+
+    #[test]
+    fn int_map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, vec![1.0f64]);
+        m.insert(16u32, vec![2.0, 3.0]);
+        match m.to_value() {
+            Value::Obj(fields) => {
+                assert_eq!(fields[0].0, "2");
+                assert_eq!(fields[1].0, "16");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        roundtrip(m);
+    }
+
+    #[test]
+    fn range_checks_fail_cleanly() {
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let obj = Value::Obj(vec![("a".to_string(), Value::Null)]);
+        let err = obj.field("b").unwrap_err();
+        assert!(err.to_string().contains("`b`"));
+    }
+}

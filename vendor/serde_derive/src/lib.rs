@@ -1,0 +1,276 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! - structs with named fields → JSON objects in declaration order
+//! - enums whose variants are unit or one-field tuples → externally
+//!   tagged (`"Variant"` or `{"Variant": payload}`), like real serde
+//!
+//! Anything else (generics, tuple structs, struct variants, `#[serde]`
+//! attributes) is rejected with a compile-time panic so a future change
+//! that needs it fails loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Field names, in declaration order.
+    Struct(Vec<String>),
+    /// (variant name, has one tuple payload).
+    Enum(Vec<(String, bool)>),
+}
+
+/// Derives `serde::Serialize` via the stub's `to_value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` via the stub's `from_value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter();
+    // Skip outer attributes and visibility until `struct`/`enum`.
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "struct" => break false,
+                "enum" => break true,
+                _ => {} // pub, crate, ...
+            },
+            Some(_) => {} // pub(crate) group etc.
+            None => panic!("serde_derive: no struct/enum found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple structs are not supported ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic types are not supported ({name})")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: missing body for {name}"),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body, &name))
+    } else {
+        Kind::Struct(parse_fields(body, &name))
+    };
+    Input { name, kind }
+}
+
+fn skip_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the [...] group
+    }
+}
+
+fn parse_fields(body: TokenStream, ty: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        // Skip visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+                iter.next(); // pub(crate) etc.
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: unexpected token in {ty} fields: {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma; generic argument
+        // lists can contain commas, so track angle-bracket depth.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse_variants(body: TokenStream, ty: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: unexpected token in {ty} variants: {other:?}"),
+        };
+        let mut has_payload = false;
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Exactly one payload field: any top-level comma inside
+                // the parens (besides a trailing one) means multi-field.
+                let mut depth = 0i32;
+                let mut inner = g.stream().into_iter().peekable();
+                while let Some(tt) = inner.next() {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 && inner.peek().is_some() => panic!(
+                                "serde_derive: multi-field variant {ty}::{name} not supported"
+                            ),
+                            _ => {}
+                        }
+                    }
+                }
+                has_payload = true;
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct variant {ty}::{name} not supported")
+            }
+            _ => {}
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants not supported ({ty}::{name})");
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        out.push((name, has_payload));
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{pushes}])")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(__x) => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__x))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, p)| !p)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, p)| *p)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__val)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }},\n\
+                     ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                         let (__k, __val) = &__fields[0];\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

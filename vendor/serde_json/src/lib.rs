@@ -1,0 +1,463 @@
+//! A minimal, API-compatible subset of `serde_json`, vendored so the
+//! workspace builds in offline environments with no crates.io access.
+//!
+//! Renders/parses the vendored `serde` stub's `Value` tree as JSON
+//! text. Provides the four entry points the workspace uses
+//! (`to_string`, `to_vec`, `from_str`, `from_slice`) with the same
+//! signatures. Output is deterministic: object fields keep insertion
+//! (struct declaration) order and floats use Rust's shortest-roundtrip
+//! `Display` form.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize to a JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Deserialize from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Rust's Display is the shortest string that roundtrips.
+                let _ = write!(out, "{x}");
+            } else {
+                // Real serde_json refuses non-finite floats; records
+                // never contain them, but degrade to null not panic.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(x, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, x)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(x, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Result<u8, Error> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: advance over a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                let code = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.unwrap_or(char::REPLACEMENT_CHARACTER));
+                            // parse_hex4 leaves pos past the digits;
+                            // compensate for the shared +1 below.
+                            self.pos -= 1;
+                        }
+                        c => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}` at byte {}",
+                                c as char, self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("unexpected end of \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| Error::new("invalid \\u escape"))?;
+        let n = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::new(format!("invalid \\u escape at byte {}", self.pos)))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(n) = s.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = s.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        s.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{s}` at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reparse(json: &str) -> String {
+        let v: Value = {
+            let mut p = Parser {
+                bytes: json.as_bytes(),
+                pos: 0,
+            };
+            p.skip_ws();
+            p.parse_value().unwrap()
+        };
+        let mut out = String::new();
+        write_value(&v, &mut out);
+        out
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<f64>("7").unwrap(), 7.0);
+        assert_eq!(from_str::<Option<bool>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a \"quoted\"\nline\twith \\ unicode é".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f64, -2.25, 3.5];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,-2.25,3.5]");
+        assert_eq!(from_str::<Vec<f64>>(&json).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(2u32, vec![0.5f64]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"2\":[0.5]}");
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<u32, Vec<f64>>>(&json).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn whitespace_and_nesting_tolerated() {
+        assert_eq!(
+            reparse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } "),
+            "{\"a\":[1,2],\"b\":{}}"
+        );
+    }
+
+    #[test]
+    fn errors_not_panics() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_str::<u64>("\"str\"").is_err());
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let n = u64::MAX;
+        let json = to_string(&n).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), n);
+    }
+}
