@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Project an EvalRecord JSON file to its cross-process-deterministic fields.
+
+Separate cold runs legitimately differ in the measured timing floats
+(performance ratios, sweep values): the virtual-time clocks contain a
+genuinely measured compute component. Everything else -- model order,
+task identity and order, build flags, correctness flags, which sweep
+resource counts were collected -- must be identical between a clean run
+and a killed-then---resume run. CI diffs this projection.
+"""
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rec = json.load(f)
+
+proj = [
+    {
+        "model": m["model"],
+        "tasks": [
+            {
+                "task": t["task"],
+                "built": t["low"]["built"],
+                "correct": t["low"]["correct"],
+                "high_correct": (t.get("high") or {}).get("correct"),
+                "sweep_ns": sorted(t["sweep"], key=int),
+            }
+            for t in m["tasks"]
+        ],
+    }
+    for m in rec["models"]
+]
+json.dump(proj, sys.stdout, indent=1, sort_keys=True)
+print()

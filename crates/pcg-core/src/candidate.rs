@@ -60,6 +60,11 @@ pub enum CandidateKind {
     RuntimeCrash,
     /// Exceeds the harness time limit.
     Timeout,
+    /// Transient fault: crashes on its first invocation, runs correctly
+    /// (efficiently parallel) when retried. Models the intermittent
+    /// races real LLM parallel code exhibits; only scored as correct
+    /// when the harness retries hard failures (`retry_flaky`).
+    Flaky,
 }
 
 impl CandidateKind {
@@ -79,6 +84,7 @@ impl CandidateKind {
             CandidateKind::BuildFailure => "nobuild",
             CandidateKind::RuntimeCrash => "crash",
             CandidateKind::Timeout => "timeout",
+            CandidateKind::Flaky => "flaky",
         }
     }
 }
@@ -104,6 +110,7 @@ mod tests {
             CandidateKind::BuildFailure,
             CandidateKind::RuntimeCrash,
             CandidateKind::Timeout,
+            CandidateKind::Flaky,
         ];
         let mut codes: Vec<_> = kinds.iter().map(|k| k.code()).collect();
         codes.sort_unstable();

@@ -14,6 +14,8 @@
 //! * [`usage`] — substrate API instrumentation used by the harness to detect
 //!   sequential fallbacks (the paper's "does it actually use the parallel
 //!   programming model" check),
+//! * [`cancel`] — cooperative cancellation tokens the harness uses to stop
+//!   runaway candidates at the time limit,
 //! * [`rng`] — deterministic per-task random streams,
 //! * [`PcgError`] — the failure taxonomy shared by substrates and harness.
 //!
@@ -22,6 +24,7 @@
 //! (`pcg-problems`), the synthetic model zoo (`pcg-models`), the metric
 //! estimators (`pcg-metrics`) and the evaluation pipeline (`pcg-harness`).
 
+pub mod cancel;
 pub mod candidate;
 pub mod error;
 pub mod exec;
@@ -33,6 +36,7 @@ pub mod stage;
 pub mod task;
 pub mod usage;
 
+pub use cancel::CancelToken;
 pub use candidate::{CandidateKind, Corruption, Quality};
 pub use error::PcgError;
 pub use exec::ExecutionModel;

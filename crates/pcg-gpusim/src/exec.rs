@@ -270,6 +270,10 @@ impl Gpu {
     /// Launch a multi-phase block kernel.
     pub fn launch<K: BlockKernel>(&self, cfg: Launch, kernel: &K) -> LaunchReport {
         usage::record(self.model);
+        // A killed candidate stuck in a kernel-launch loop unwinds here;
+        // blocks of an in-flight launch unwind at the pool's per-chunk
+        // checks (one block per dynamic chunk).
+        pcg_core::cancel::check_current();
         assert!(
             cfg.block <= self.profile.max_block_threads,
             "block of {} exceeds device limit {}",
@@ -472,5 +476,24 @@ mod tests {
     fn oversized_block_rejected() {
         let g = gpu();
         g.launch_each(Launch::new(1, 2048), |_, _| {});
+    }
+
+    #[test]
+    fn cancelled_launch_loop_unwinds() {
+        // A candidate relaunching kernels forever: once the token fires,
+        // the next launch entry must unwind with the Cancelled marker.
+        let token = pcg_core::cancel::CancelToken::new();
+        let _g = pcg_core::cancel::install_token(Some(token.clone()));
+        let g = gpu();
+        let x = GpuBuffer::<f64>::zeroed(64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            g.launch_each(Launch::over(64, 32), |t, ctx| {
+                if t.global_id() < x.len() {
+                    ctx.write(&x, t.global_id(), 1.0);
+                }
+            });
+            token.cancel();
+        }));
+        assert!(pcg_core::cancel::is_cancel_payload(result.unwrap_err().as_ref()));
     }
 }

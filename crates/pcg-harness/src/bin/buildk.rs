@@ -1,11 +1,11 @@
 //! Extension: build@k per execution model (computed by the paper's
 //! harness in §7.3 but not shown as a figure).
 
-use pcg_harness::{pipeline, report, scheduler, EvalConfig};
+use pcg_harness::{pipeline, report, EvalConfig};
 
 fn main() {
     let cfg = EvalConfig::from_env();
-    let jobs = scheduler::jobs_from_cli();
-    let record = pipeline::load_or_run_jobs(None, &cfg, jobs);
+    let opts = pipeline::RunOptions::from_cli();
+    let record = pipeline::load_or_run_opts(None, &cfg, &opts);
     print!("{}", report::build_at_k_table(&record, 1));
 }

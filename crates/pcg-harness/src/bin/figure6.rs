@@ -1,10 +1,10 @@
 //! Regenerate Figure 6. Set PCG_FULL=1 for paper-scale settings.
 
-use pcg_harness::{pipeline, report, scheduler, EvalConfig};
+use pcg_harness::{pipeline, report, EvalConfig};
 
 fn main() {
     let cfg = EvalConfig::from_env();
-    let jobs = scheduler::jobs_from_cli();
-    let record = pipeline::load_or_run_jobs(None, &cfg, jobs);
+    let opts = pipeline::RunOptions::from_cli();
+    let record = pipeline::load_or_run_opts(None, &cfg, &opts);
     print!("{}", report::figure6(&record));
 }

@@ -29,6 +29,17 @@ pub struct EvalConfig {
     /// Skip the resource sweeps (Figure 5) and keep only headline-n
     /// performance.
     pub skip_sweeps: bool,
+    /// Retry a candidate once after a hard failure (panic or timeout)
+    /// and keep the second outcome. Off by default: the paper scores a
+    /// single run, so retries are opt-in for flakiness studies.
+    pub retry_flaky: bool,
+    /// How long to wait, after cancelling a timed-out candidate, for
+    /// its worker thread to unwind cooperatively before abandoning it.
+    pub grace: Duration,
+    /// Maximum number of abandoned (leaked) worker threads tolerated
+    /// before the runner refuses to spawn new isolated workers and
+    /// blocks until the leak count drops.
+    pub max_abandoned: usize,
 }
 
 impl EvalConfig {
@@ -45,6 +56,9 @@ impl EvalConfig {
             reps: 3,
             skip_high_temp: false,
             skip_sweeps: false,
+            retry_flaky: false,
+            grace: Duration::from_secs(2),
+            max_abandoned: 64,
         }
     }
 

@@ -56,34 +56,83 @@ pub fn evaluate_with(
     jobs: usize,
     runner: &SharedRunner,
 ) -> (EvalRecord, EvalStats) {
+    evaluate_resumable(cfg, models, tasks, jobs, runner, &crate::journal::Replay::new(), |_, _| {})
+}
+
+/// [`evaluate_with`] plus crash-safety hooks: cells present in `replay`
+/// (keyed by `(model name, task)`, typically recovered from a
+/// write-ahead journal) are spliced into the record without being
+/// re-evaluated, and `on_cell` is invoked on the calling thread — in
+/// completion order, one cell at a time — for every cell that *was*
+/// evaluated, so the pipeline can journal it durably.
+///
+/// Because sample streams are keyed by grid coordinates (never by
+/// worker identity, time, or which cells ran before), the merged
+/// record is byte-identical to an uninterrupted run against the same
+/// runner: replayed cells contribute their journaled bytes verbatim
+/// (JSON round trips are lossless) and fresh cells recompute exactly
+/// what the interrupted run would have produced.
+pub fn evaluate_resumable(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    tasks: Option<&[TaskId]>,
+    jobs: usize,
+    runner: &SharedRunner,
+    replay: &crate::journal::Replay,
+    mut on_cell: impl FnMut(&str, &TaskRecord),
+) -> (EvalRecord, EvalStats) {
     let task_list: Vec<TaskId> = match tasks {
         Some(t) => t.to_vec(),
         None => all_tasks().collect(),
     };
 
     // Model-major grid: slot = model_idx * tasks + task_idx, so results
-    // regroup into records by simple slicing.
-    let cells: Vec<(usize, TaskId)> = (0..models.len())
-        .flat_map(|mi| task_list.iter().map(move |&t| (mi, t)))
-        .collect();
-    let n_cells = cells.len();
+    // regroup into records by simple slicing. Replayed cells fill their
+    // slot up front; only the remainder is scheduled.
+    let nt = task_list.len();
+    let n_cells = models.len() * nt;
+    let mut slots: Vec<Option<TaskRecord>> = Vec::with_capacity(n_cells);
+    let mut pending: Vec<(usize, TaskId)> = Vec::new();
+    let mut pending_slots: Vec<usize> = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        let name = model.card().name;
+        for (ti, &task) in task_list.iter().enumerate() {
+            match replay.get(&(name.to_string(), task)) {
+                Some(rec) => slots.push(Some(rec.clone())),
+                None => {
+                    pending.push((mi, task));
+                    pending_slots.push(mi * nt + ti);
+                    slots.push(None);
+                }
+            }
+        }
+    }
+    let resumed_cells = n_cells - pending.len();
 
     let t0 = Instant::now();
-    let results = scheduler::run_grid(cells, jobs, |_, &(mi, task)| {
-        evaluate_task(cfg, runner, &models[mi], task)
-    });
+    let results = scheduler::run_grid_observed(
+        pending,
+        jobs,
+        |_, &(mi, task)| evaluate_task(cfg, runner, &models[mi], task),
+        |local, cell| {
+            if let Ok(rec) = &cell.value {
+                let mi = pending_slots[local] / nt;
+                on_cell(models[mi].card().name, rec);
+            }
+        },
+    );
     let wall_s = t0.elapsed().as_secs_f64();
 
     let mut queue_wait_s = 0.0;
     let mut max_queue_wait_s = 0.0f64;
-    let mut task_records: Vec<TaskRecord> = Vec::with_capacity(results.len());
-    for (slot, cell) in results.into_iter().enumerate() {
+    for (local, cell) in results.into_iter().enumerate() {
         queue_wait_s += cell.queue_wait.as_secs_f64();
         max_queue_wait_s = max_queue_wait_s.max(cell.queue_wait.as_secs_f64());
+        let slot = pending_slots[local];
         match cell.value {
-            Ok(rec) => task_records.push(rec),
+            Ok(rec) => slots[slot] = Some(rec),
             Err(msg) => {
-                let (mi, ti) = (slot / task_list.len(), slot % task_list.len());
+                let (mi, ti) = (slot / nt, slot % nt);
                 panic!(
                     "evaluation cell for model {} task {:?} panicked: {msg}",
                     models[mi].card().name,
@@ -92,6 +141,8 @@ pub fn evaluate_with(
             }
         }
     }
+    let task_records: Vec<TaskRecord> =
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect();
 
     let mut model_records = Vec::with_capacity(models.len());
     let mut rest = task_records;
@@ -111,6 +162,12 @@ pub fn evaluate_with(
         cache_hits: runner.cache_hits(),
         panics: runner.panics(),
         timeouts: runner.timeouts(),
+        cancelled: runner.cancelled(),
+        abandoned: runner.abandoned(),
+        retries: runner.retries(),
+        flaky: runner.flaky(),
+        resumed_cells,
+        quarantined: runner.quarantined(),
         queue_wait_s,
         max_queue_wait_s,
         baseline_s: runner.stage_seconds(Stage::Baseline),

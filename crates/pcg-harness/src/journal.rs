@@ -1,0 +1,278 @@
+//! Write-ahead journal for crash-safe evaluation.
+//!
+//! The pipeline appends one JSONL line per completed grid cell, fsync'd
+//! before the scheduler hands out more work from that point, so a
+//! killed run loses at most the cells that were in flight. On startup
+//! with `--resume`, a journal whose header matches the active config is
+//! replayed: completed cells are skipped and only the remainder is
+//! scheduled. Replay is *keyed* — `(model, task)`, with the config
+//! pinned by the header hash — not positional, so a journal written at
+//! `--jobs 8` (completion order) resumes correctly at any worker count.
+//!
+//! Format: line 1 is `{"version":1,"config_hash":<fnv64>}`; every
+//! other line is `{"model":"GPT-4","record":{...TaskRecord...}}`.
+//! A torn final line (the crash happened mid-append) or any other
+//! malformed entry truncates the replay at the first bad line — the
+//! cells after it are simply re-evaluated.
+//!
+//! Byte-identity contract: replaying a cell reproduces the exact bytes
+//! an uninterrupted run would have recorded, because (a) the vendored
+//! serde prints `f64`s in shortest-roundtrip form, so a JSON round trip
+//! is lossless, and (b) all other record fields are integers, bools,
+//! and strings. The cells evaluated *after* resume reuse the same
+//! deterministic sample streams (keyed by grid coordinates, never by
+//! worker identity or time), extending the jobs-agnostic determinism
+//! guarantee across a crash.
+
+use crate::config::EvalConfig;
+use crate::record::TaskRecord;
+use parking_lot::Mutex;
+use pcg_core::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bump on any layout change.
+const VERSION: u32 = 1;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Header {
+    version: u32,
+    config_hash: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Entry {
+    model: String,
+    record: TaskRecord,
+}
+
+/// FNV-1a over the config's canonical JSON: journals are only replayed
+/// into the exact configuration that wrote them.
+pub fn config_hash(cfg: &EvalConfig) -> u64 {
+    let bytes = serde_json::to_vec(cfg).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Journal path for a record cache path (`records-quick.json` →
+/// `records-quick.json.journal`).
+pub fn journal_path(cache_path: &Path) -> PathBuf {
+    let mut os = cache_path.as_os_str().to_os_string();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// Completed cells recovered from a journal, keyed by `(model, task)`.
+pub type Replay = HashMap<(String, TaskId), TaskRecord>;
+
+/// Append handle for one run's journal.
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Start a fresh journal for `cfg`, truncating any previous file.
+    pub fn create(path: &Path, cfg: &EvalConfig) -> std::io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = File::create(path)?;
+        let header = Header { version: VERSION, config_hash: config_hash(cfg) };
+        let line = serde_json::to_string(&header).map_err(std::io::Error::other)?;
+        writeln!(file, "{line}")?;
+        file.sync_data()?;
+        Ok(Journal { file: Mutex::new(file) })
+    }
+
+    /// Continue appending to an existing journal (resume). The caller
+    /// must have validated the header via [`load`].
+    pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { file: Mutex::new(file) })
+    }
+
+    /// Durably append one completed cell: the line is written, flushed,
+    /// and fsync'd before this returns, so a crash at any later point
+    /// cannot lose it.
+    pub fn append(&self, model: &str, record: &TaskRecord) -> std::io::Result<()> {
+        let entry = Entry { model: model.to_string(), record: record.clone() };
+        let line = serde_json::to_string(&entry).map_err(std::io::Error::other)?;
+        let mut file = self.file.lock();
+        writeln!(file, "{line}")?;
+        file.flush()?;
+        file.sync_data()
+    }
+}
+
+/// Load the replayable cells of the journal at `path` for `cfg`.
+///
+/// Returns an empty map when the file is missing, unreadable, or
+/// carries a header for a different config/version. A malformed or torn
+/// line truncates the replay there: everything before it is kept,
+/// everything after it is discarded (it may describe cells appended
+/// after the corruption, but trusting a journal past its first bad
+/// byte is how resumed runs diverge — re-evaluating is always safe).
+pub fn load(path: &Path, cfg: &EvalConfig) -> Replay {
+    let mut replay = Replay::new();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(_) => return replay,
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header: Header = match lines.next() {
+        Some(Ok(line)) => match serde_json::from_str(&line) {
+            Ok(h) => h,
+            Err(_) => return replay,
+        },
+        _ => return replay,
+    };
+    if header != (Header { version: VERSION, config_hash: config_hash(cfg) }) {
+        return replay;
+    }
+    for line in lines {
+        let entry: Entry = match line.as_deref().map(serde_json::from_str) {
+            Ok(Ok(e)) => e,
+            _ => break, // torn or corrupt line: truncate replay here
+        };
+        replay.insert((entry.model, entry.record.task), entry.record);
+    }
+    replay
+}
+
+/// Delete a journal (after its run committed the final record).
+pub fn remove(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcg_core::{ExecutionModel, ProblemId, ProblemType};
+    use pcg_metrics::TaskSamples;
+    use std::collections::BTreeMap;
+
+    fn rec(variant: usize) -> TaskRecord {
+        TaskRecord {
+            task: ProblemId::new(ProblemType::Reduce, variant).task(ExecutionModel::OpenMp),
+            low: TaskSamples {
+                built: vec![true, false],
+                correct: vec![true, false],
+                ratio: vec![3.5, 0.0],
+            },
+            high: None,
+            sweep: BTreeMap::from([(4u32, vec![2.25, 0.0])]),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pcgbench-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_and_keyed_replay() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("roundtrip");
+        let j = Journal::create(&path, &cfg).unwrap();
+        j.append("GPT-4", &rec(0)).unwrap();
+        j.append("GPT-4", &rec(1)).unwrap();
+        j.append("CodeLlama-7B", &rec(0)).unwrap();
+        drop(j);
+
+        let replay = load(&path, &cfg);
+        assert_eq!(replay.len(), 3);
+        let got = &replay[&("GPT-4".to_string(), rec(1).task)];
+        assert_eq!(got.low.built, vec![true, false]);
+        assert_eq!(got.low.ratio, vec![3.5, 0.0]);
+        remove(&path);
+        assert!(load(&path, &cfg).is_empty());
+    }
+
+    #[test]
+    fn replayed_record_serializes_byte_identically() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("bytes");
+        let original = rec(2);
+        let j = Journal::create(&path, &cfg).unwrap();
+        j.append("GPT-4", &original).unwrap();
+        drop(j);
+        let replay = load(&path, &cfg);
+        let back = &replay[&("GPT-4".to_string(), original.task)];
+        assert_eq!(
+            serde_json::to_string(&original).unwrap(),
+            serde_json::to_string(back).unwrap(),
+        );
+        remove(&path);
+    }
+
+    #[test]
+    fn config_mismatch_replays_nothing() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("mismatch");
+        let j = Journal::create(&path, &cfg).unwrap();
+        j.append("GPT-4", &rec(0)).unwrap();
+        drop(j);
+        let mut other = EvalConfig::smoke();
+        other.seed += 1;
+        assert_ne!(config_hash(&cfg), config_hash(&other));
+        assert!(load(&path, &other).is_empty());
+        assert_eq!(load(&path, &cfg).len(), 1);
+        remove(&path);
+    }
+
+    #[test]
+    fn torn_line_truncates_replay() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("torn");
+        let j = Journal::create(&path, &cfg).unwrap();
+        j.append("GPT-4", &rec(0)).unwrap();
+        j.append("GPT-4", &rec(1)).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a torn third line, then a valid
+        // fourth line that must NOT be trusted.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"model\":\"GPT-4\",\"rec");
+        bytes.push(b'\n');
+        let whole = serde_json::to_string(&super::Entry {
+            model: "CodeLlama-7B".into(),
+            record: rec(3),
+        })
+        .unwrap();
+        bytes.extend_from_slice(whole.as_bytes());
+        bytes.push(b'\n');
+        std::fs::write(&path, bytes).unwrap();
+
+        let replay = load(&path, &cfg);
+        assert_eq!(replay.len(), 2, "replay stops at the torn line");
+        assert!(!replay.contains_key(&("CodeLlama-7B".to_string(), rec(3).task)));
+        remove(&path);
+    }
+
+    #[test]
+    fn append_after_resume_extends_the_same_journal() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("extend");
+        let j = Journal::create(&path, &cfg).unwrap();
+        j.append("GPT-4", &rec(0)).unwrap();
+        drop(j);
+        let j = Journal::open_append(&path).unwrap();
+        j.append("GPT-4", &rec(1)).unwrap();
+        drop(j);
+        assert_eq!(load(&path, &cfg).len(), 2);
+        remove(&path);
+    }
+
+    #[test]
+    fn journal_path_derives_from_cache_path() {
+        let p = journal_path(Path::new("target/pcgbench/records-quick.json"));
+        assert_eq!(p, Path::new("target/pcgbench/records-quick.json.journal"));
+    }
+}

@@ -31,6 +31,7 @@
 pub mod config;
 pub mod eval;
 pub mod expected;
+pub mod journal;
 pub mod pipeline;
 pub mod record;
 pub mod report;

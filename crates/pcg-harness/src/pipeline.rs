@@ -1,10 +1,21 @@
 //! Disk-cached end-to-end evaluation used by the figure binaries.
+//!
+//! Crash safety: while a grid runs, every completed cell is appended to
+//! a write-ahead journal next to the cache file (fsync'd per line).
+//! The final cache and stats sidecar are committed atomically
+//! (temp file + rename), so readers never observe a torn record; the
+//! journal is deleted only after the cache commit succeeds. A run
+//! killed at any point can be restarted with `--resume` and will
+//! re-evaluate only the cells the journal does not already hold.
 
 use crate::config::EvalConfig;
-use crate::eval::evaluate_with;
+use crate::eval::evaluate_resumable;
+use crate::journal::{self, Journal};
 use crate::record::{EvalRecord, EvalStats};
 use crate::runner::SharedRunner;
 use crate::scheduler;
+use std::fs::File;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Default cache path for a config (quick and full runs cache
@@ -22,17 +33,56 @@ pub fn stats_path(cfg: &EvalConfig) -> PathBuf {
     PathBuf::from("target").join("pcgbench").join(format!("records-{tag}.stats.json"))
 }
 
+/// How a pipeline run is driven, as parsed from a figure binary's
+/// command line.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker count for the evaluation grid.
+    pub jobs: usize,
+    /// Replay a matching write-ahead journal left by an interrupted
+    /// run, evaluating only the missing cells (`--resume`).
+    pub resume: bool,
+    /// Keep a write-ahead journal while running (`--no-journal`
+    /// disables it, trading crash safety for fewer fsyncs).
+    pub journal: bool,
+}
+
+impl RunOptions {
+    /// Options for `jobs` workers with journaling on and resume off.
+    pub fn new(jobs: usize) -> RunOptions {
+        RunOptions { jobs, resume: false, journal: true }
+    }
+
+    /// Parse `--jobs N`, `--resume`, and `--no-journal` from the
+    /// process arguments (exits with code 2 on a malformed `--jobs`,
+    /// like [`scheduler::jobs_from_cli`]).
+    pub fn from_cli() -> RunOptions {
+        let has = |flag: &str| std::env::args().any(|a| a == flag);
+        RunOptions {
+            jobs: scheduler::jobs_from_cli(),
+            resume: has("--resume"),
+            journal: !has("--no-journal"),
+        }
+    }
+}
+
 /// [`load_or_run_jobs`] at the default worker count (`PCG_JOBS` env var
 /// if set, else the machine's available parallelism).
 pub fn load_or_run(path: Option<&Path>, cfg: &EvalConfig) -> EvalRecord {
     load_or_run_jobs(path, cfg, scheduler::default_jobs())
 }
 
-/// Load a cached evaluation record if it matches `cfg`, else run the
-/// full evaluation (all 7 models, all 420 tasks) on `jobs` workers and
-/// cache it. The cache is jobs-agnostic: records are byte-identical at
-/// any worker count, so a cache written at `--jobs 8` serves `--jobs 1`.
+/// [`load_or_run_opts`] with journaling on and resume off.
 pub fn load_or_run_jobs(path: Option<&Path>, cfg: &EvalConfig, jobs: usize) -> EvalRecord {
+    load_or_run_opts(path, cfg, &RunOptions::new(jobs))
+}
+
+/// Load a cached evaluation record if it matches `cfg`, else run the
+/// full evaluation (all 7 models, all 420 tasks) and cache it. The
+/// cache is jobs-agnostic: records are byte-identical at any worker
+/// count, so a cache written at `--jobs 8` serves `--jobs 1` — and,
+/// with `--resume`, a run resumed from a journal serves both.
+pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions) -> EvalRecord {
     let path = path.map(Path::to_path_buf).unwrap_or_else(|| default_cache_path(cfg));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(rec) = serde_json::from_slice::<EvalRecord>(&bytes) {
@@ -41,44 +91,112 @@ pub fn load_or_run_jobs(path: Option<&Path>, cfg: &EvalConfig, jobs: usize) -> E
                 return rec;
             }
             eprintln!("[pcgbench] cache config mismatch; re-running evaluation");
+            // The sidecar describes the mismatched run; drop it now so
+            // a crash mid-re-run cannot leave it lying about this one.
+            let _ = std::fs::remove_file(stats_path(cfg));
         }
     }
     eprintln!(
         "[pcgbench] running evaluation (7 models x 420 tasks, size/{}, {} low samples, {} worker{})...",
         cfg.size_divisor,
         cfg.samples_low,
-        jobs,
-        if jobs == 1 { "" } else { "s" },
+        opts.jobs,
+        if opts.jobs == 1 { "" } else { "s" },
     );
-    let runner = SharedRunner::new(cfg.clone());
-    let (record, stats) = evaluate_with(cfg, &pcg_models::zoo(), None, jobs, &runner);
-    eprintln!("[pcgbench] evaluation finished in {:.1}s", stats.wall_s);
-    eprint!("{}", crate::report::stats_summary(&stats));
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
+
+    let jpath = journal::journal_path(&path);
+    let replay = if opts.resume {
+        journal::load(&jpath, cfg)
+    } else {
+        journal::Replay::new()
+    };
+    if !replay.is_empty() {
+        eprintln!(
+            "[pcgbench] resuming: {} cell{} replayed from {}",
+            replay.len(),
+            if replay.len() == 1 { "" } else { "s" },
+            jpath.display(),
+        );
     }
-    match serde_json::to_vec(&record) {
-        Ok(bytes) => {
-            if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("[pcgbench] warning: could not cache records: {e}");
-            } else {
-                eprintln!("[pcgbench] cached records at {}", path.display());
+    let wal = if opts.journal {
+        let opened = if replay.is_empty() {
+            Journal::create(&jpath, cfg)
+        } else {
+            Journal::open_append(&jpath)
+        };
+        match opened {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("[pcgbench] warning: could not open journal: {e}");
+                None
             }
         }
-        Err(e) => eprintln!("[pcgbench] warning: could not serialize records: {e}"),
-    }
+    } else {
+        None
+    };
+
+    let runner = SharedRunner::new(cfg.clone());
+    let (record, stats) =
+        evaluate_resumable(cfg, &pcg_models::zoo(), None, opts.jobs, &runner, &replay, |model, rec| {
+            if let Some(j) = &wal {
+                if let Err(e) = j.append(model, rec) {
+                    eprintln!("[pcgbench] warning: journal append failed: {e}");
+                }
+            }
+        });
+    eprintln!("[pcgbench] evaluation finished in {:.1}s", stats.wall_s);
+    eprint!("{}", crate::report::stats_summary(&stats));
+
+    let committed = match serde_json::to_vec(&record) {
+        Ok(bytes) => match atomic_write(&path, &bytes) {
+            Ok(()) => {
+                eprintln!("[pcgbench] cached records at {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("[pcgbench] warning: could not cache records: {e}");
+                false
+            }
+        },
+        Err(e) => {
+            eprintln!("[pcgbench] warning: could not serialize records: {e}");
+            false
+        }
+    };
     write_stats(cfg, &stats);
+    if committed {
+        // The cache now holds everything the journal was protecting.
+        journal::remove(&jpath);
+    }
     record
 }
 
 fn write_stats(cfg: &EvalConfig, stats: &EvalStats) {
-    let path = stats_path(cfg);
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
     if let Ok(bytes) = serde_json::to_vec(stats) {
-        let _ = std::fs::write(&path, bytes);
+        let _ = atomic_write(&stats_path(cfg), &bytes);
     }
+}
+
+/// Write `bytes` to `path` atomically: readers (and crashes) see either
+/// the previous file or the complete new one, never a torn write.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(os);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -91,5 +209,31 @@ mod tests {
         let f = default_cache_path(&EvalConfig::full());
         assert_ne!(q, f);
         assert_ne!(stats_path(&EvalConfig::quick()), q);
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_without_leftovers() {
+        let dir = std::env::temp_dir().join("pcgbench-pipeline-tests");
+        let path = dir.join(format!("atomic-{}.json", std::process::id()));
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        // No temp droppings left behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "temp files must not survive: {strays:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_options_default_to_journal_on_resume_off() {
+        let o = RunOptions::new(3);
+        assert_eq!(o.jobs, 3);
+        assert!(o.journal);
+        assert!(!o.resume);
     }
 }

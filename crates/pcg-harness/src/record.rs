@@ -1,6 +1,7 @@
 //! Serializable evaluation records consumed by the figure regenerators.
 
 use crate::config::EvalConfig;
+use crate::runner::QuarantineEntry;
 use pcg_core::TaskId;
 use pcg_metrics::TaskSamples;
 use serde::{Deserialize, Serialize};
@@ -74,8 +75,24 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Candidate bodies that panicked (captured per candidate).
     pub panics: u64,
-    /// Candidates abandoned at the time limit.
+    /// Candidates that blew the wall-clock time limit.
     pub timeouts: u64,
+    /// Timed-out workers that unwound cooperatively within the grace
+    /// period after cancellation.
+    pub cancelled: u64,
+    /// Timed-out workers that ignored cancellation and were abandoned
+    /// (leaked threads). Zero on a fully cooperative run.
+    pub abandoned: u64,
+    /// Hard-failed candidates re-executed under `retry_flaky`.
+    pub retries: u64,
+    /// Retried candidates whose second attempt no longer hard-failed.
+    pub flaky: u64,
+    /// Grid cells replayed from a write-ahead journal instead of
+    /// evaluated (zero for a non-resumed run).
+    pub resumed_cells: usize,
+    /// Candidates that hard-failed every attempt they were given
+    /// (deterministically sorted).
+    pub quarantined: Vec<QuarantineEntry>,
     /// Total seconds cells spent enqueued before pickup (summed).
     pub queue_wait_s: f64,
     /// Longest single cell queue wait in seconds.

@@ -122,6 +122,28 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
         "[pcgbench]   queue wait: {:.2}s total, {:.2}s max per cell",
         stats.queue_wait_s, stats.max_queue_wait_s,
     );
+    if stats.cancelled + stats.abandoned + stats.retries + stats.flaky > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   hostile candidates: {} cancelled, {} abandoned, {} retried ({} flaky)",
+            stats.cancelled, stats.abandoned, stats.retries, stats.flaky,
+        );
+    }
+    if stats.resumed_cells > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   resumed: {} cell{} replayed from the journal",
+            stats.resumed_cells,
+            if stats.resumed_cells == 1 { "" } else { "s" },
+        );
+    }
+    for q in &stats.quarantined {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   quarantined: {:?} kind={} n={} ({})",
+            q.task, q.kind, q.n, q.error,
+        );
+    }
     s
 }
 

@@ -18,10 +18,12 @@
 
 use crate::config::EvalConfig;
 use crate::scheduler::panic_message;
+use pcg_core::cancel::{self, CancelToken};
 use pcg_core::usage::UsageScope;
 use pcg_core::{CandidateKind, Output, PcgError, ProblemId, Stage, TaskId};
 use pcg_problems::registry;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,9 +63,89 @@ struct Counters {
     cache_hits: AtomicU64,
     panics: AtomicU64,
     timeouts: AtomicU64,
+    cancelled: AtomicU64,
+    abandoned: AtomicU64,
+    retries: AtomicU64,
+    flaky: AtomicU64,
     baseline_ns: AtomicU64,
     run_ns: AtomicU64,
     validate_ns: AtomicU64,
+}
+
+/// One hostile candidate: it hard-failed (worker panic or wall-clock
+/// timeout) on every attempt it was given. Recorded in the stats
+/// sidecar so repeat offenders can be audited after a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The task the candidate was generated for.
+    pub task: TaskId,
+    /// Stable candidate-kind code (`CandidateKind::code`).
+    pub kind: String,
+    /// The resource count of the execution.
+    pub n: u32,
+    /// The final failure code (`"panic"` or `"timeout"`).
+    pub error: String,
+}
+
+/// Tracks worker threads that were abandoned (leaked) after ignoring
+/// cooperative cancellation past the grace period. Spawning blocks
+/// while the live-leak count is at the cap, so a flood of hostile
+/// candidates cannot exhaust the process's thread budget.
+#[derive(Default)]
+struct LeakTracker {
+    live: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl LeakTracker {
+    fn add(&self) {
+        *self.live.lock() += 1;
+    }
+
+    /// An abandoned worker finally unwound; free its slot.
+    fn remove(&self) {
+        let mut n = self.live.lock();
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.cv.notify_all();
+    }
+
+    fn wait_below(&self, cap: usize) {
+        let cap = cap.max(1);
+        let mut n = self.live.lock();
+        while *n >= cap {
+            self.cv.wait(&mut n);
+        }
+    }
+
+    fn live(&self) -> usize {
+        *self.live.lock()
+    }
+}
+
+/// Supervisor/worker handshake for one isolated execution, deciding —
+/// race-free — which side accounts for the worker thread's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Handshake {
+    /// The worker is still inside the candidate body.
+    Running,
+    /// The worker completed (normally or by unwinding) in time.
+    Done,
+    /// The supervisor gave up on the worker; the worker must release
+    /// its leak slot itself if it ever unwinds.
+    Abandoned,
+}
+
+/// What the supervisor observed about one isolated execution.
+enum WorkerFate<M> {
+    /// The worker reported back within the time limit.
+    Finished(M),
+    /// The worker blew the time limit. It was cancelled and either
+    /// unwound within the grace period (counted `cancelled`) or was
+    /// abandoned (counted `abandoned`); the caller need not care which
+    /// — the outcome is `timeout` either way, so records stay
+    /// byte-identical whatever the race resolution.
+    TimedOut,
 }
 
 fn add_ns(counter: &AtomicU64, since: Instant) {
@@ -82,6 +164,8 @@ pub struct SharedRunner {
     baselines: Mutex<HashMap<ProblemId, OnceCell<Baseline>>>,
     outcomes: Mutex<HashMap<(TaskId, CandidateKind, u32), OnceCell<Outcome>>>,
     counters: Counters,
+    quarantined: Mutex<Vec<QuarantineEntry>>,
+    leaks: Arc<LeakTracker>,
 }
 
 impl SharedRunner {
@@ -92,6 +176,8 @@ impl SharedRunner {
             baselines: Mutex::new(HashMap::new()),
             outcomes: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            quarantined: Mutex::new(Vec::new()),
+            leaks: Arc::new(LeakTracker::default()),
         }
     }
 
@@ -140,6 +226,13 @@ impl SharedRunner {
     }
 
     /// Execute (or fetch the cached execution of) one candidate.
+    ///
+    /// Candidates that hard-fail (worker panic or wall-clock timeout —
+    /// not candidates that merely *report* a failure) are retried once
+    /// when `cfg.retry_flaky` is set; a candidate that hard-fails on its
+    /// final attempt is quarantined. Retry happens inside the cache
+    /// initializer, so concurrent requesters still observe exactly one
+    /// (possibly retried) execution sequence per key.
     pub fn outcome(&self, task: TaskId, kind: CandidateKind, n: u32) -> Outcome {
         let cell = {
             let mut map = self.outcomes.lock();
@@ -149,12 +242,50 @@ impl SharedRunner {
         let out = cell.get_or_init(|| {
             fresh = true;
             let baseline_output = self.with_baseline(task.problem, |b| b.output.clone());
-            self.execute(task, kind, n, &baseline_output)
+            let (first, hard) = self.execute(task, kind, n, &baseline_output);
+            if !hard {
+                return first;
+            }
+            if !self.cfg.retry_flaky {
+                self.quarantine_candidate(task, kind, n, &first);
+                return first;
+            }
+            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            let (second, still_hard) = self.execute(task, kind, n, &baseline_output);
+            if still_hard {
+                self.quarantine_candidate(task, kind, n, &second);
+            } else {
+                self.counters.flaky.fetch_add(1, Ordering::Relaxed);
+            }
+            second
         });
         if !fresh {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         out.clone()
+    }
+
+    fn quarantine_candidate(&self, task: TaskId, kind: CandidateKind, n: u32, out: &Outcome) {
+        self.quarantined.lock().push(QuarantineEntry {
+            task,
+            kind: kind.code().to_string(),
+            n,
+            error: out.error.clone().unwrap_or_else(|| "unknown".into()),
+        });
+    }
+
+    /// The quarantine list: candidates that hard-failed every attempt,
+    /// sorted deterministically (outcome caching makes insertion order
+    /// scheduling-dependent).
+    pub fn quarantined(&self) -> Vec<QuarantineEntry> {
+        let mut q = self.quarantined.lock().clone();
+        q.sort_by(|a, b| {
+            format!("{:?}", a.task)
+                .cmp(&format!("{:?}", b.task))
+                .then_with(|| a.kind.cmp(&b.kind))
+                .then_with(|| a.n.cmp(&b.n))
+        });
+        q
     }
 
     /// The `T*/T` performance ratio of one candidate (0 when incorrect).
@@ -168,26 +299,96 @@ impl SharedRunner {
         }
     }
 
+    /// Run `work` on a dedicated worker thread with a cancel token
+    /// installed, and supervise it against the configured time limit.
+    ///
+    /// On timeout the token is cancelled and the worker gets
+    /// `cfg.grace` to unwind cooperatively (every substrate checks the
+    /// token at its blocking points); a worker that ignores the token —
+    /// e.g. a raw `sleep` — is abandoned, which consumes one leak slot
+    /// until the thread eventually unwinds. Spawning blocks while
+    /// `cfg.max_abandoned` leak slots are consumed, so hostile
+    /// candidates degrade throughput instead of exhausting threads.
+    fn supervise<M: Send + 'static>(
+        &self,
+        work: impl FnOnce() -> M + Send + 'static,
+    ) -> WorkerFate<M> {
+        self.leaks.wait_below(self.cfg.max_abandoned);
+        let token = CancelToken::new();
+        let worker_token = token.clone();
+        let handshake = Arc::new(Mutex::new(Handshake::Running));
+        let worker_hs = Arc::clone(&handshake);
+        let tracker = Arc::clone(&self.leaks);
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _cancel = cancel::install_token(Some(worker_token));
+            let out = work();
+            // Finalize the handshake before reporting back: if the
+            // supervisor observes `Running`, the candidate body is
+            // guaranteed not to have completed.
+            {
+                let mut hs = worker_hs.lock();
+                if *hs == Handshake::Abandoned {
+                    tracker.remove();
+                } else {
+                    *hs = Handshake::Done;
+                }
+            }
+            let _ = tx.send(out);
+        });
+        match rx.recv_timeout(self.cfg.timeout) {
+            Ok(m) => WorkerFate::Finished(m),
+            Err(_) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                token.cancel();
+                match rx.recv_timeout(self.cfg.grace) {
+                    Ok(_) => {
+                        // Unwound cooperatively; the late result is
+                        // discarded — the outcome is already "timeout".
+                        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        let mut hs = handshake.lock();
+                        if *hs == Handshake::Running {
+                            *hs = Handshake::Abandoned;
+                            self.leaks.add();
+                            self.counters.abandoned.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            // Finished in the race window between the
+                            // grace timeout and taking the lock.
+                            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                WorkerFate::TimedOut
+            }
+        }
+    }
+
+    /// Execute one candidate. The boolean is `true` when the execution
+    /// hard-failed at the harness level (worker panic or wall-clock
+    /// timeout) — the signal for retry/quarantine — as opposed to a
+    /// candidate that merely *reported* a failure (e.g. the virtual
+    /// `CandidateKind::Timeout`, which returns instantly).
     fn execute(
         &self,
         task: TaskId,
         kind: CandidateKind,
         n: u32,
         baseline_output: &Output,
-    ) -> Outcome {
+    ) -> (Outcome, bool) {
         let problem = registry::problem(task.problem);
         let size = self.cfg.size_for(problem.default_size());
         let seed = self.cfg.seed;
         let reps = if matches!(kind, CandidateKind::Correct(_)) { self.cfg.reps.max(1) } else { 1 };
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
 
-        // Run on a worker thread so a runaway candidate can be abandoned
-        // at the time limit (the paper's 3-minute kill). Panics inside
-        // the candidate are captured on that thread — distinguishable
-        // from a hang — and the worker always reports back.
+        // Run on a worker thread so a runaway candidate can be cancelled
+        // (and, failing that, abandoned) at the time limit — the paper's
+        // 3-minute kill. Panics inside the candidate are captured on
+        // that thread — distinguishable from a hang.
         let t_run = Instant::now();
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
+        let fate = self.supervise(move || {
             let scope = UsageScope::begin();
             let body = catch_unwind(AssertUnwindSafe(|| {
                 let mut best = f64::INFINITY;
@@ -207,23 +408,21 @@ impl SharedRunner {
             }))
             .map_err(|p| panic_message(&*p));
             let usage = scope.finish();
-            let _ = tx.send((body, usage));
+            (body, usage)
         });
-
-        let recv = rx.recv_timeout(self.cfg.timeout);
         add_ns(&self.counters.run_ns, t_run);
-        let (body, usage) = match recv {
-            Ok(v) => v,
-            Err(_) => {
-                // The candidate hung past the limit; abandon the worker
-                // (it is detached and will be reaped at process exit).
-                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                return Outcome {
-                    built: true,
-                    correct: false,
-                    seconds: f64::INFINITY,
-                    error: Some("timeout".into()),
-                };
+        let (body, usage) = match fate {
+            WorkerFate::Finished(v) => v,
+            WorkerFate::TimedOut => {
+                return (
+                    Outcome {
+                        built: true,
+                        correct: false,
+                        seconds: f64::INFINITY,
+                        error: Some("timeout".into()),
+                    },
+                    true,
+                );
             }
         };
 
@@ -231,16 +430,19 @@ impl SharedRunner {
             Ok(v) => v,
             Err(_panic_msg) => {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
-                return Outcome {
-                    built: true,
-                    correct: false,
-                    seconds: f64::INFINITY,
-                    error: Some("panic".into()),
-                };
+                return (
+                    Outcome {
+                        built: true,
+                        correct: false,
+                        seconds: f64::INFINITY,
+                        error: Some("panic".into()),
+                    },
+                    true,
+                );
             }
         };
 
-        match result {
+        let outcome = match result {
             Err(PcgError::BuildFailure(_)) => Outcome {
                 built: false,
                 correct: false,
@@ -259,31 +461,34 @@ impl SharedRunner {
                 let sequential = !wrong && !usage.used_required_api(task.model);
                 add_ns(&self.counters.validate_ns, t_val);
                 if wrong {
-                    return Outcome {
+                    Outcome {
                         built: true,
                         correct: false,
                         seconds: best,
                         error: Some("wrong".into()),
-                    };
-                }
-                if sequential {
-                    return Outcome {
+                    }
+                } else if sequential {
+                    Outcome {
                         built: true,
                         correct: false,
                         seconds: best,
                         error: Some("sequential".into()),
-                    };
+                    }
+                } else {
+                    Outcome { built: true, correct: true, seconds: best, error: None }
                 }
-                Outcome { built: true, correct: true, seconds: best, error: None }
             }
-        }
+        };
+        (outcome, false)
     }
 
     /// Run an arbitrary closure through the same isolation machinery a
-    /// candidate gets: dedicated worker thread, panic capture, timeout
-    /// abandonment at `config().timeout`. Used by the substrate
-    /// conformance tests to prove that a hostile candidate (hang or
-    /// panic on any substrate) cannot wedge an evaluation worker.
+    /// candidate gets: dedicated worker thread with a cancel token
+    /// installed, panic capture, and timeout cancellation (grace
+    /// period, then abandonment) at `config().timeout`. Used by the
+    /// substrate conformance tests to prove that a hostile candidate
+    /// (hang or panic on any substrate) cannot wedge an evaluation
+    /// worker.
     pub fn run_isolated<R, F>(&self, f: F) -> Outcome
     where
         R: Send + 'static,
@@ -291,25 +496,20 @@ impl SharedRunner {
     {
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
         let t_run = Instant::now();
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
+        let fate = self.supervise(move || {
             let t0 = Instant::now();
             let body = catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p));
-            let _ = tx.send((body, t0.elapsed().as_secs_f64()));
+            (body, t0.elapsed().as_secs_f64())
         });
-        let recv = rx.recv_timeout(self.cfg.timeout);
         add_ns(&self.counters.run_ns, t_run);
-        match recv {
-            Err(_) => {
-                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                Outcome {
-                    built: true,
-                    correct: false,
-                    seconds: f64::INFINITY,
-                    error: Some("timeout".into()),
-                }
-            }
-            Ok((Err(_panic), _)) => {
+        match fate {
+            WorkerFate::TimedOut => Outcome {
+                built: true,
+                correct: false,
+                seconds: f64::INFINITY,
+                error: Some("timeout".into()),
+            },
+            WorkerFate::Finished((Err(_panic), _)) => {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
                 Outcome {
                     built: true,
@@ -318,13 +518,13 @@ impl SharedRunner {
                     error: Some("panic".into()),
                 }
             }
-            Ok((Ok(Err(e)), _)) => Outcome {
+            WorkerFate::Finished((Ok(Err(e)), _)) => Outcome {
                 built: !matches!(e, PcgError::BuildFailure(_)),
                 correct: false,
                 seconds: f64::INFINITY,
                 error: Some(e.code().to_string()),
             },
-            Ok((Ok(Ok(_)), secs)) => {
+            WorkerFate::Finished((Ok(Ok(_)), secs)) => {
                 Outcome { built: true, correct: true, seconds: secs, error: None }
             }
         }
@@ -345,9 +545,37 @@ impl SharedRunner {
         self.counters.panics.load(Ordering::Relaxed)
     }
 
-    /// Candidates abandoned at the time limit.
+    /// Candidates that blew the time limit (whether they then unwound
+    /// cooperatively or had to be abandoned).
     pub fn timeouts(&self) -> u64 {
         self.counters.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Timed-out workers that unwound cooperatively within the grace
+    /// period after their cancel token fired.
+    pub fn cancelled(&self) -> u64 {
+        self.counters.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Timed-out workers that ignored cancellation past the grace
+    /// period and were abandoned (leaked until they unwind).
+    pub fn abandoned(&self) -> u64 {
+        self.counters.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Hard-failed candidates re-executed under `cfg.retry_flaky`.
+    pub fn retries(&self) -> u64 {
+        self.counters.retries.load(Ordering::Relaxed)
+    }
+
+    /// Retried candidates whose second attempt did not hard-fail.
+    pub fn flaky(&self) -> u64 {
+        self.counters.flaky.load(Ordering::Relaxed)
+    }
+
+    /// Abandoned worker threads that have not yet unwound.
+    pub fn leaked_workers(&self) -> usize {
+        self.leaks.live()
     }
 
     /// Cumulative seconds attributed to `stage`, summed across workers.
@@ -503,7 +731,10 @@ mod tests {
     fn isolated_hang_is_abandoned_at_the_limit() {
         let mut cfg = EvalConfig::smoke();
         cfg.timeout = Duration::from_millis(50);
+        cfg.grace = Duration::from_millis(50);
         let r = SharedRunner::new(cfg);
+        // A raw sleep never observes the cancel token, so after the
+        // grace period the worker must be abandoned, not cancelled.
         let out = r.run_isolated(|| {
             std::thread::sleep(Duration::from_secs(30));
             Ok::<_, PcgError>(())
@@ -511,6 +742,55 @@ mod tests {
         assert!(!out.correct);
         assert_eq!(out.error.as_deref(), Some("timeout"));
         assert_eq!(r.timeouts(), 1);
+        assert_eq!(r.abandoned(), 1);
+        assert_eq!(r.cancelled(), 0);
+        assert_eq!(r.leaked_workers(), 1, "the sleeper holds a leak slot");
+    }
+
+    #[test]
+    fn cancelled_worker_unwinds_within_grace_without_abandonment() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.timeout = Duration::from_millis(50);
+        cfg.grace = Duration::from_secs(10);
+        let r = SharedRunner::new(cfg);
+        // A cooperative hang: spins on the cancel token the way every
+        // substrate's blocking points do.
+        let out = r.run_isolated::<(), _>(|| loop {
+            pcg_core::cancel::check_current();
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(!out.correct);
+        assert_eq!(out.error.as_deref(), Some("timeout"));
+        assert_eq!(r.timeouts(), 1);
+        assert_eq!(r.cancelled(), 1);
+        assert_eq!(r.abandoned(), 0, "cooperative unwind must not leak");
+        assert_eq!(r.leaked_workers(), 0);
+    }
+
+    #[test]
+    fn abandonment_cap_blocks_until_a_leaked_worker_unwinds() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.timeout = Duration::from_millis(20);
+        cfg.grace = Duration::from_millis(20);
+        cfg.max_abandoned = 1;
+        let r = SharedRunner::new(cfg);
+        // First hostile candidate: sleeps past timeout+grace, gets
+        // abandoned, and occupies the single leak slot for ~150ms.
+        let out = r.run_isolated(|| {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok::<_, PcgError>(())
+        });
+        assert_eq!(out.error.as_deref(), Some("timeout"));
+        assert_eq!(r.abandoned(), 1);
+        // Second execution must wait for the slot, then run normally.
+        let t0 = std::time::Instant::now();
+        let ok = r.run_isolated(|| Ok::<_, PcgError>(1));
+        assert!(ok.correct, "{ok:?}");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "spawn should have blocked on the leak cap"
+        );
+        assert_eq!(r.leaked_workers(), 0, "the sleeper released its slot on unwind");
     }
 
     #[test]

@@ -40,9 +40,13 @@ pub struct Cell<R> {
     pub exec: Duration,
 }
 
-/// Render a panic payload the way the test harness would.
+/// Render a panic payload the way the test harness would. Cooperative
+/// cancellation rides the panic machinery (`pcg_core::cancel`), so its
+/// marker payload gets a stable message too.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+    if pcg_core::cancel::is_cancel_payload(payload) {
+        "cancelled".to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
@@ -111,6 +115,26 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_grid_observed(items, jobs, f, |_, _| {})
+}
+
+/// [`run_grid`] with a completion observer: `observe(slot, &cell)` runs
+/// on the *calling* thread as each cell completes, in completion order
+/// (not slot order). This is the hook the write-ahead journal appends
+/// from — the observer is the single serialization point of the grid,
+/// so journal lines need no locking discipline beyond the file itself.
+pub fn run_grid_observed<T, R, F, O>(
+    items: Vec<T>,
+    jobs: usize,
+    f: F,
+    mut observe: O,
+) -> Vec<Cell<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    O: FnMut(usize, &Cell<R>),
+{
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
     let t0 = Instant::now();
@@ -125,7 +149,13 @@ where
 
     if jobs == 1 {
         // Serial A/B path: same code path per cell, no worker threads.
-        return (0..n).map(run_cell).collect();
+        return (0..n)
+            .map(|slot| {
+                let cell = run_cell(slot);
+                observe(slot, &cell);
+                cell
+            })
+            .collect();
     }
 
     // Deal the grid round-robin so every worker starts with a spread of
@@ -162,6 +192,7 @@ where
             }
             drop(tx);
             for (slot, cell) in rx {
+                observe(slot, &cell);
                 slots[slot] = Some(cell);
             }
         });

@@ -26,10 +26,13 @@ pub struct Calibration {
     /// collapse to a single output — the paper's observation about
     /// CodeLlama-34B and GPT-4 "confidence".
     pub collapse_prob: f64,
-    /// Failure-mode mix `[build, wrong, sequential, crash, timeout]`
-    /// (normalized internally; `sequential` mass folds into `wrong` for
-    /// serial tasks, where there is no parallel API to skip).
-    pub failure_mix: [f64; 5],
+    /// Failure-mode mix `[build, wrong, sequential, crash, timeout,
+    /// flaky]` (normalized internally; `sequential` mass folds into
+    /// `wrong` for serial tasks, where there is no parallel API to
+    /// skip). The `flaky` slot is zero for the calibrated zoo — the
+    /// paper scores single runs — and is exposed for flakiness studies
+    /// via [`crate::SyntheticModel::custom`].
+    pub failure_mix: [f64; 6],
 }
 
 /// Problem-type difficulty multiplier (Figure 3 shape), shared across

@@ -30,7 +30,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.38, 0.12, 0.55),
                     efficient_share: 0.55,
                     collapse_prob: 0.15,
-                    failure_mix: [0.30, 0.35, 0.15, 0.12, 0.08],
+                    failure_mix: [0.30, 0.35, 0.15, 0.12, 0.08, 0.0],
                 },
                 small: true,
             },
@@ -40,7 +40,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.45, 0.16, 0.60),
                     efficient_share: 0.60,
                     collapse_prob: 0.15,
-                    failure_mix: [0.27, 0.37, 0.15, 0.12, 0.09],
+                    failure_mix: [0.27, 0.37, 0.15, 0.12, 0.09, 0.0],
                 },
                 small: true,
             },
@@ -50,7 +50,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.42, 0.14, 0.50),
                     efficient_share: 0.58,
                     collapse_prob: 0.12,
-                    failure_mix: [0.32, 0.33, 0.16, 0.10, 0.09],
+                    failure_mix: [0.32, 0.33, 0.16, 0.10, 0.09, 0.0],
                 },
                 small: true,
             },
@@ -62,7 +62,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.50, 0.15, 1.20),
                     efficient_share: 0.55,
                     collapse_prob: 0.55,
-                    failure_mix: [0.24, 0.40, 0.14, 0.12, 0.10],
+                    failure_mix: [0.24, 0.40, 0.14, 0.12, 0.10, 0.0],
                 },
                 small: false,
             },
@@ -72,7 +72,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.66, 0.32, 1.30),
                     efficient_share: 0.72,
                     collapse_prob: 0.20,
-                    failure_mix: [0.18, 0.42, 0.16, 0.13, 0.11],
+                    failure_mix: [0.18, 0.42, 0.16, 0.13, 0.11, 0.0],
                 },
                 small: false,
             },
@@ -82,7 +82,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.85, 0.40, 1.30),
                     efficient_share: 0.70,
                     collapse_prob: 0.20,
-                    failure_mix: [0.12, 0.48, 0.18, 0.12, 0.10],
+                    failure_mix: [0.12, 0.48, 0.18, 0.12, 0.10, 0.0],
                 },
                 small: false,
             },
@@ -92,7 +92,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.85, 0.38, 1.35),
                     efficient_share: 0.85,
                     collapse_prob: 0.55,
-                    failure_mix: [0.10, 0.50, 0.18, 0.12, 0.10],
+                    failure_mix: [0.10, 0.50, 0.18, 0.12, 0.10, 0.0],
                 },
                 small: false,
             },
@@ -176,7 +176,7 @@ impl SyntheticModel {
             };
             return CandidateKind::Correct(quality);
         }
-        // Failure mix: [build, wrong, sequential, crash, timeout].
+        // Failure mix: [build, wrong, sequential, crash, timeout, flaky].
         let mut mix = self.calib.failure_mix;
         if !task.model.is_parallel() {
             // No parallel API to skip on serial tasks.
@@ -201,7 +201,8 @@ impl SyntheticModel {
             }
             2 => CandidateKind::SequentialFallback,
             3 => CandidateKind::RuntimeCrash,
-            _ => CandidateKind::Timeout,
+            4 => CandidateKind::Timeout,
+            _ => CandidateKind::Flaky,
         }
     }
 
@@ -336,6 +337,27 @@ mod tests {
         let cold = collapsed(0.2);
         let hot = collapsed(0.8);
         assert!(cold > hot, "cold={cold} hot={hot}");
+    }
+
+    #[test]
+    fn zoo_never_emits_flaky_but_custom_models_can() {
+        for m in SyntheticModel::zoo() {
+            for seed in 0..20 {
+                for k in m.sample_n(task(ExecutionModel::OpenMp), 0.8, 20, seed) {
+                    assert!(!matches!(k, CandidateKind::Flaky), "{} emitted flaky", m.card().name);
+                }
+            }
+        }
+        let base = SyntheticModel::by_name("CodeLlama-7B").unwrap();
+        let mut calib = base.calibration().clone();
+        // All failure mass on the flaky slot.
+        calib.failure_mix = [0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        let m = SyntheticModel::custom(base.card().clone(), calib, true);
+        let flaky = (0..20u64)
+            .flat_map(|seed| m.sample_n(task(ExecutionModel::Mpi), 0.8, 20, seed))
+            .filter(|k| matches!(k, CandidateKind::Flaky))
+            .count();
+        assert!(flaky > 0, "custom flaky mass must surface in the stream");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Per-rank mailboxes with tag/source matching.
 
 use crate::packet::Packet;
+use crate::sync::CANCEL_TICK;
 use parking_lot::{Condvar, Mutex};
+use pcg_core::cancel::{self, CancelToken};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -23,6 +25,10 @@ pub struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
     cv: Condvar,
     aborted: AtomicBool,
+    /// The launching candidate's cancel token, captured at construction
+    /// (worlds build mailboxes on the candidate thread). When set,
+    /// blocked receives tick so a deadlocked rank pair can be killed.
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Mailbox {
@@ -38,6 +44,7 @@ impl Mailbox {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             aborted: AtomicBool::new(false),
+            cancel: cancel::current_token(),
         }
     }
 
@@ -66,6 +73,9 @@ impl Mailbox {
         let mut q = self.queue.lock();
         let mut blocked = false;
         loop {
+            if let Some(t) = &self.cancel {
+                t.check();
+            }
             if self.aborted.load(Ordering::Acquire) {
                 return None;
             }
@@ -79,7 +89,12 @@ impl Mailbox {
                 on_first_block();
                 blocked = true;
             }
-            self.cv.wait(&mut q);
+            match &self.cancel {
+                Some(_) => {
+                    let _ = self.cv.wait_for(&mut q, CANCEL_TICK);
+                }
+                None => self.cv.wait(&mut q),
+            }
         }
     }
 

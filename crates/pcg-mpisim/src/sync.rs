@@ -6,27 +6,45 @@
 //! hundreds of ranks. Ranks blocked in `recv`/collectives hold no token.
 
 use parking_lot::{Condvar, Mutex};
+use pcg_core::cancel::{self, CancelToken};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How often a cancellable wait re-checks its token.
+pub(crate) const CANCEL_TICK: Duration = Duration::from_millis(2);
 
 /// A simple fair-enough counting semaphore with abort support.
 pub struct Semaphore {
     permits: Mutex<usize>,
     cv: Condvar,
     aborted: AtomicBool,
+    /// The launching candidate's cancel token, captured at construction
+    /// (worlds build their semaphore on the candidate thread). When set,
+    /// waits tick so a killed candidate's ranks cannot block forever.
+    cancel: Option<CancelToken>,
 }
 
 impl Semaphore {
     /// Semaphore with `n` permits (`n >= 1`).
     pub fn new(n: usize) -> Semaphore {
         assert!(n > 0, "semaphore needs at least one permit");
-        Semaphore { permits: Mutex::new(n), cv: Condvar::new(), aborted: AtomicBool::new(false) }
+        Semaphore {
+            permits: Mutex::new(n),
+            cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+            cancel: cancel::current_token(),
+        }
     }
 
     /// Block until a permit is available, then take it. Returns `false`
-    /// if the semaphore was aborted while waiting.
+    /// if the semaphore was aborted while waiting; unwinds with the
+    /// cancellation marker if the owning candidate is killed.
     pub fn acquire(&self) -> bool {
         let mut permits = self.permits.lock();
         loop {
+            if let Some(t) = &self.cancel {
+                t.check();
+            }
             if self.aborted.load(Ordering::Acquire) {
                 return false;
             }
@@ -34,7 +52,12 @@ impl Semaphore {
                 *permits -= 1;
                 return true;
             }
-            self.cv.wait(&mut permits);
+            match &self.cancel {
+                Some(_) => {
+                    let _ = self.cv.wait_for(&mut permits, CANCEL_TICK);
+                }
+                None => self.cv.wait(&mut permits),
+            }
         }
     }
 

@@ -105,9 +105,13 @@ impl World {
         let results: Mutex<Vec<Option<(R, f64)>>> =
             Mutex::new((0..self.size).map(|_| None).collect());
         let failure: Mutex<Option<String>> = Mutex::new(None);
+        let cancelled = std::sync::atomic::AtomicBool::new(false);
         // Rank threads attribute their API usage to the candidate that
-        // launched the world, not to whoever else runs concurrently.
+        // launched the world, not to whoever else runs concurrently, and
+        // inherit its cancel token so a killed candidate's ranks (and any
+        // nested shmem pools they spawn) observe the kill.
         let usage_sink = pcg_core::usage::current_sink();
+        let cancel_token = pcg_core::cancel::current_token();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
@@ -115,14 +119,17 @@ impl World {
                 let shared = &shared;
                 let results = &results;
                 let failure = &failure;
+                let cancelled = &cancelled;
                 let f = &f;
                 let usage_sink = usage_sink.clone();
+                let cancel_token = cancel_token.clone();
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("mpisim-rank-{rank}"))
                         .stack_size(1 << 21)
                         .spawn_scoped(scope, move || {
                             let _usage = pcg_core::usage::install_sink(usage_sink);
+                            let _cancel = pcg_core::cancel::install_token(cancel_token);
                             let comm = Comm::new(rank, shared.mailboxes.len(), shared);
                             comm.acquire_token();
                             if shared.tokens.is_aborted() {
@@ -138,8 +145,17 @@ impl World {
                                 Err(payload) => {
                                     // `&*payload`: deref the Box so we
                                     // downcast the payload, not the Box.
-                                    let msg = panic_message(&*payload);
-                                    {
+                                    if pcg_core::cancel::is_cancel_payload(&*payload) {
+                                        // Harness-requested kill, not a
+                                        // candidate failure: remember it
+                                        // so the world re-unwinds with
+                                        // the marker after teardown.
+                                        cancelled.store(
+                                            true,
+                                            std::sync::atomic::Ordering::Release,
+                                        );
+                                    } else {
+                                        let msg = panic_message(&*payload);
                                         let mut slot = failure.lock();
                                         // First non-abort failure wins;
                                         // cascade panics from the abort
@@ -164,6 +180,11 @@ impl World {
             }
         });
 
+        if cancelled.load(std::sync::atomic::Ordering::Acquire) {
+            // Every rank thread has joined; resume the cooperative
+            // cancellation unwind on the candidate thread.
+            pcg_core::cancel::panic_cancelled();
+        }
         if let Some(msg) = failure.into_inner() {
             return Err(PcgError::Runtime(msg));
         }
@@ -193,6 +214,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if pcg_core::cancel::is_cancel_payload(payload) {
+        "cancelled".to_string()
     } else {
         "rank panicked".to_string()
     }
@@ -453,6 +476,27 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn cancelled_world_unwinds_deadlocked_ranks() {
+        // Both ranks block on a receive the other never sends — the
+        // classic candidate deadlock. Cancelling the token must tear the
+        // world down and re-unwind with the Cancelled marker.
+        let token = pcg_core::cancel::CancelToken::new();
+        let _g = pcg_core::cancel::install_token(Some(token.clone()));
+        let t = token.clone();
+        let timer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            t.cancel();
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            det_world(2).run(|comm| {
+                let _ = comm.recv::<i64>(Some(1 - comm.rank()), 9);
+            })
+        }));
+        timer.join().unwrap();
+        assert!(pcg_core::cancel::is_cancel_payload(result.unwrap_err().as_ref()));
     }
 
     #[test]

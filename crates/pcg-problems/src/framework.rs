@@ -177,12 +177,57 @@ impl<S: Spec> Problem for S {
                 let output = self.serial(&input);
                 Ok(TimedRun { output, seconds: t0.elapsed().as_secs_f64() })
             }
+            CandidateKind::Flaky => {
+                // A transient runtime fault: the first invocation at
+                // each execution coordinate panics mid-run; retries run
+                // the efficient parallel path. The panic (not an `Err`)
+                // is deliberate — it exercises the harness's
+                // hard-failure capture and retry machinery.
+                if flaky_state::first_invocation(self.id(), model, n, seed, size) {
+                    panic!("flaky candidate: transient fault on first invocation");
+                }
+                self.run_candidate(
+                    model,
+                    CandidateKind::Correct(Quality::Efficient),
+                    n,
+                    seed,
+                    size,
+                )
+            }
             CandidateKind::Correct(quality) => {
                 let input = self.generate(seed, size);
                 let res = Resources::for_model(model, n);
                 run_correct(self, model, quality, &input, &res)
             }
         }
+    }
+}
+
+/// Process-wide memory of which flaky-candidate coordinates have fired
+/// their one transient fault. Keyed by the full execution coordinate so
+/// distinct cache keys fail independently, which keeps evaluation
+/// records deterministic at any worker count: the first *execution* per
+/// coordinate always faults, wherever it is scheduled.
+mod flaky_state {
+    use pcg_core::{ExecutionModel, ProblemId};
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+
+    type Coord = (ProblemId, ExecutionModel, u32, u64, usize);
+
+    static FIRED: OnceLock<Mutex<HashSet<Coord>>> = OnceLock::new();
+
+    /// `true` exactly once per coordinate per process.
+    pub fn first_invocation(
+        problem: ProblemId,
+        model: ExecutionModel,
+        n: u32,
+        seed: u64,
+        size: usize,
+    ) -> bool {
+        let set = FIRED.get_or_init(|| Mutex::new(HashSet::new()));
+        let mut set = set.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set.insert((problem, model, n, seed, size))
     }
 }
 

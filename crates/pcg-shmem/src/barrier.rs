@@ -6,6 +6,7 @@
 //! arrival decrements a counter; the last arrival resets the counter and
 //! flips the global sense, releasing spinners/waiters of the old sense.
 
+use pcg_core::cancel::CancelToken;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed team size.
@@ -35,6 +36,16 @@ impl Barrier {
     /// for exactly one participant per phase (the last arrival), matching
     /// `std::sync::Barrier`'s leader convention.
     pub fn wait(&self) -> bool {
+        self.wait_cancellable(None)
+    }
+
+    /// [`Barrier::wait`], but unwinds with the
+    /// [`Cancelled`](pcg_core::cancel::Cancelled) marker if `token` is
+    /// signalled while spinning. An unwinding participant leaves the
+    /// barrier's arrival count short, poisoning the current phase — only
+    /// safe because regions build a fresh barrier per region and a
+    /// cancelled region is torn down, never re-entered.
+    pub fn wait_cancellable(&self, token: Option<&CancelToken>) -> bool {
         let my_sense = !self.sense.load(Ordering::Relaxed);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset and release the phase.
@@ -47,6 +58,9 @@ impl Barrier {
             // briefly before yielding is the right trade.
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if let Some(t) = token {
+                    t.check();
+                }
                 if spins < 6 {
                     for _ in 0..(1 << spins) {
                         std::hint::spin_loop();
@@ -120,5 +134,25 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_team_rejected() {
         let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn cancelled_spinner_escapes_incomplete_barrier() {
+        // One participant of a 2-team barrier arrives; the partner never
+        // does. Signalling the token must free the spinner via an unwind
+        // carrying the Cancelled marker.
+        let b = Barrier::new(2);
+        let token = CancelToken::new();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    b.wait_cancellable(Some(&token));
+                }))
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            token.cancel();
+            let err = waiter.join().unwrap().unwrap_err();
+            assert!(pcg_core::cancel::is_cancel_payload(err.as_ref()));
+        });
     }
 }

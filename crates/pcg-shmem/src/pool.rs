@@ -12,6 +12,7 @@ use crate::barrier::Barrier;
 use crate::schedule::{LoopState, Schedule, StaticCursor};
 use crate::timing::{ThreadCostModel, TimedState};
 use parking_lot::{Condvar, Mutex};
+use pcg_core::cancel::{self, CancelToken};
 use pcg_core::{usage, ExecutionModel};
 use std::ops::Range;
 use std::time::Instant;
@@ -39,6 +40,9 @@ unsafe impl Send for Job {}
 struct RegionState {
     barrier: Barrier,
     remaining: AtomicUsize,
+    /// The launching candidate's cancel token, captured at region entry
+    /// so barrier spins and work-sharing chunk loops can observe a kill.
+    cancel: Option<CancelToken>,
 }
 
 struct Slot {
@@ -84,9 +88,20 @@ impl ThreadCtx<'_> {
         self.nthreads
     }
 
-    /// Team-wide barrier (`#pragma omp barrier`).
+    /// Team-wide barrier (`#pragma omp barrier`). Unwinds with the
+    /// cancellation marker instead of spinning forever if the harness
+    /// kills the enclosing candidate.
     pub fn barrier(&self) {
-        self.region.barrier.wait();
+        self.region.barrier.wait_cancellable(self.region.cancel.as_ref());
+    }
+
+    /// Unwind with the cancellation marker if the enclosing candidate has
+    /// been killed; no-op otherwise. Work-sharing loops call this at
+    /// chunk boundaries.
+    fn check_cancel(&self) {
+        if let Some(t) = &self.region.cancel {
+            t.check();
+        }
     }
 
     /// Run `f` under the team's critical-section lock
@@ -122,16 +137,20 @@ impl Pool {
             shutdown: AtomicBool::new(false),
         });
         // Workers inherit the creating candidate's usage sink so API
-        // calls they make attribute to that candidate.
+        // calls they make attribute to that candidate, and its cancel
+        // token so candidate code they run can poll `check_current`.
         let usage_sink = usage::current_sink();
+        let cancel_token = cancel::current_token();
         let workers = (1..nthreads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
                 let usage_sink = usage_sink.clone();
+                let cancel_token = cancel_token.clone();
                 std::thread::Builder::new()
                     .name(format!("pcg-shmem-{tid}"))
                     .spawn(move || {
                         let _usage = usage::install_sink(usage_sink);
+                        let _cancel = cancel::install_token(cancel_token);
                         worker_loop(shared, tid, nthreads)
                     })
                     .expect("failed to spawn pool worker")
@@ -182,6 +201,7 @@ impl Pool {
             None => self.parallel(|ctx| {
                 let mut cursor = StaticCursor::default();
                 while let Some((lo, hi)) = state.next_chunk(ctx.tid(), &mut cursor) {
+                    ctx.check_cancel();
                     chunk_fn(ctx.tid(), lo..hi);
                 }
             }),
@@ -191,6 +211,7 @@ impl Pool {
                     let mut cursor = StaticCursor::default();
                     let mut local = 0.0f64;
                     while let Some((lo, hi)) = state.next_chunk(ctx.tid(), &mut cursor) {
+                        ctx.check_cancel();
                         let _gate = st.gate.lock();
                         let t0 = Instant::now();
                         chunk_fn(ctx.tid(), lo..hi);
@@ -215,6 +236,9 @@ impl Pool {
         F: Fn(&ThreadCtx<'_>) + Sync + 'a,
     {
         usage::record(ExecutionModel::OpenMp);
+        // A killed candidate must not fork fresh regions; unwinding here,
+        // before the job is published, needs no worker coordination.
+        cancel::check_current();
         if let Some(st) = &self.timed {
             // Every region (work-sharing drivers included) passes through
             // here exactly once: charge the fork/join overhead.
@@ -223,6 +247,7 @@ impl Pool {
         let region = RegionState {
             barrier: Barrier::new(self.nthreads),
             remaining: AtomicUsize::new(self.nthreads - 1),
+            cancel: cancel::current_token(),
         };
         let f_ref: &RegionFn<'a> = &f;
         // SAFETY: we erase the lifetime; `parallel` does not return until
@@ -349,6 +374,7 @@ impl Pool {
         let chunks = Mutex::new(chunks.into_iter().map(Some).collect::<Vec<_>>());
         match &self.timed {
             None => self.parallel(|ctx| {
+                ctx.check_cancel();
                 let taken = {
                     let mut guard = chunks.lock();
                     guard.get_mut(ctx.tid()).and_then(Option::take)
@@ -360,6 +386,7 @@ impl Pool {
             Some(st) => {
                 let clocks = Mutex::new(vec![0.0f64; self.nthreads]);
                 self.parallel(|ctx| {
+                    ctx.check_cancel();
                     let taken = {
                         let mut guard = chunks.lock();
                         guard.get_mut(ctx.tid()).and_then(Option::take)
@@ -639,6 +666,48 @@ mod tests {
         let t1 = (0..3).map(|_| work(&p1)).fold(f64::MAX, f64::min);
         let t8 = (0..3).map(|_| work(&p8)).fold(f64::MAX, f64::min);
         assert!(t8 < t1 * 0.7, "expected modeled speedup, t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn cancelled_worksharing_loop_unwinds_between_chunks() {
+        // A candidate stuck in an effectively endless dynamic loop: once
+        // the token fires, every team member must unwind at its next
+        // chunk boundary and the join must deliver the Cancelled marker.
+        let token = CancelToken::new();
+        let _g = cancel::install_token(Some(token.clone()));
+        let pool = Pool::new(4);
+        let started = AtomicBool::new(false);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..1_000_000_000, Schedule::Dynamic { chunk: 1 }, |_| {
+                if !started.swap(true, Ordering::Relaxed) {
+                    token.cancel();
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        assert!(cancel::is_cancel_payload(payload.as_ref()));
+    }
+
+    #[test]
+    fn cancelled_barrier_wait_unwinds_whole_region() {
+        // Thread 0 never reaches the barrier (it cancels and unwinds
+        // instead); the remaining members are spinning in a barrier that
+        // can never complete and must escape via the token.
+        let token = CancelToken::new();
+        let _g = cancel::install_token(Some(token.clone()));
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|ctx| {
+                if ctx.tid() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    token.cancel();
+                    cancel::check_current();
+                } else {
+                    ctx.barrier();
+                }
+            });
+        }));
+        assert!(cancel::is_cancel_payload(result.unwrap_err().as_ref()));
     }
 
     #[test]

@@ -125,10 +125,13 @@ fn every_problem_conforms_at_odd_rank_counts() {
 /// A labeled hostile candidate body for the isolation tests.
 type HostileCandidate = (&'static str, Box<dyn FnOnce() -> Result<(), PcgError> + Send>);
 
-/// A runner with a short kill limit, for hostile-candidate tests.
+/// A runner with a short kill limit (and an equally short grace period,
+/// so non-cooperative hangs are abandoned quickly), for
+/// hostile-candidate tests.
 fn hostile_runner() -> SharedRunner {
     let mut cfg = EvalConfig::smoke();
     cfg.timeout = Duration::from_millis(100);
+    cfg.grace = Duration::from_millis(100);
     SharedRunner::new(cfg)
 }
 
@@ -291,6 +294,81 @@ fn hanging_candidates_time_out_on_every_substrate() {
         );
     }
     assert_eq!(runner.timeouts(), 6);
+    // A raw `sleep` never observes the cancel token, so every one of
+    // these hangs exhausts the grace period and is abandoned.
+    assert_eq!(runner.abandoned(), 6);
+    assert_eq!(runner.cancelled(), 0);
+    assert_still_serviceable(&runner);
+}
+
+/// Cancellation conformance: a candidate stuck at a *substrate blocking
+/// point* — a work-sharing loop, an MPI receive that can never be
+/// matched, a kernel relaunch loop — must unwind cooperatively within
+/// the grace period once its token fires. The abandonment counter
+/// staying at zero is the proof that every substrate checks the token
+/// where it blocks; only token-blind code (like the raw sleeps above)
+/// should ever be abandoned.
+#[test]
+fn cancellation_unwinds_cooperatively_on_every_substrate() {
+    let cooperative: Vec<HostileCandidate> = vec![
+        ("shmem", Box::new(|| {
+            // An effectively infinite work-sharing loop; the pool checks
+            // the token at every chunk boundary.
+            pcgbench::shmem::Pool::new(2).parallel_for(
+                0..usize::MAX,
+                pcgbench::shmem::Schedule::Dynamic { chunk: 1 },
+                |_| {},
+            );
+            Ok(())
+        })),
+        ("mpisim", Box::new(|| {
+            // Rank 0 posts a receive no rank will ever match: a classic
+            // deadlocked candidate. The mailbox wait checks the token.
+            pcgbench::mpisim::World::new(2)
+                .run(|comm| {
+                    if comm.rank() == 0 {
+                        let _: Vec<f64> = comm.recv(Some(1), 7);
+                    }
+                })
+                .map(|_| ())
+        })),
+        ("gpusim", Box::new(|| {
+            // A candidate relaunching kernels forever; launch entry
+            // checks the token.
+            let buf = pcgbench::gpusim::GpuBuffer::<f64>::zeroed(64);
+            loop {
+                pcgbench::gpusim::cuda::device().launch_each(
+                    pcgbench::gpusim::Launch::over(64, 32),
+                    |t, ctx| {
+                        if t.global_id() < 64 {
+                            ctx.write(&buf, t.global_id(), 1.0);
+                        }
+                    },
+                );
+            }
+        })),
+    ];
+    let mut cfg = EvalConfig::smoke();
+    cfg.timeout = Duration::from_millis(100);
+    // A generous grace period: cooperative unwinding must not depend on
+    // a lenient abandonment deadline to pass.
+    cfg.grace = Duration::from_secs(10);
+    let runner = SharedRunner::new(cfg);
+    for (i, (substrate, candidate)) in cooperative.into_iter().enumerate() {
+        let out = runner.run_isolated(candidate);
+        assert_eq!(
+            out.error.as_deref(),
+            Some("timeout"),
+            "{substrate}: stuck candidate must time out"
+        );
+        assert_eq!(
+            runner.cancelled(),
+            (i + 1) as u64,
+            "{substrate}: must unwind via the cancel token"
+        );
+        assert_eq!(runner.abandoned(), 0, "{substrate}: cooperative path must not leak");
+    }
+    assert_eq!(runner.leaked_workers(), 0);
     assert_still_serviceable(&runner);
 }
 

@@ -4,9 +4,10 @@
 //!
 //! Differences from the real crate that matter here: none — the subset
 //! used by this workspace (`Mutex::{new, lock, try_lock, into_inner}`,
-//! `MutexGuard`, `Condvar::{new, wait, notify_one, notify_all}`) has
-//! identical semantics apart from poisoning, which parking_lot does not
-//! have and which this shim suppresses via `PoisonError::into_inner`.
+//! `MutexGuard`, `Condvar::{new, wait, wait_for, notify_one,
+//! notify_all}`) has identical semantics apart from poisoning, which
+//! parking_lot does not have and which this shim suppresses via
+//! `PoisonError::into_inner`.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
@@ -92,6 +93,23 @@ impl Condvar {
         guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// [`Condvar::wait`] with a timeout. Returns a result whose
+    /// `timed_out()` reports whether the wait hit the timeout rather
+    /// than a notification (matching parking_lot's `WaitTimeoutResult`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard taken during condvar wait");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -100,6 +118,17 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Whether a timed wait returned because of a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -123,6 +152,14 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        let res = pair.1.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
     }
 
     #[test]
