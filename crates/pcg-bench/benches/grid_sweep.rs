@@ -17,9 +17,10 @@
 //! ≥4× acceptance bar from the scheduler work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pcg_core::PcgError;
-use pcg_harness::{eval, scheduler, EvalConfig, SharedRunner};
+use pcg_core::{warm, PcgError, TaskId};
+use pcg_harness::{eval, scheduler, EvalConfig, EvalStats, SharedRunner};
 use pcg_models::SyntheticModel;
+use pcg_problems::{input_cache, lease};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -94,5 +95,88 @@ fn bench_compute_grid(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(grid_sweep, bench_timeout_overlap, bench_compute_grid);
+/// One full smoke-grid evaluation on a fresh runner; returns wall
+/// seconds plus the run's stats.
+fn eval_grid_once(cfg: &EvalConfig, tasks: &[TaskId], jobs: usize) -> (f64, EvalStats) {
+    let model = vec![SyntheticModel::by_name("CodeLlama-13B").expect("zoo model")];
+    let runner = SharedRunner::new(cfg.clone());
+    let t0 = Instant::now();
+    let (_, stats) = eval::evaluate_with(cfg, &model, Some(tasks), jobs, &runner);
+    (t0.elapsed().as_secs_f64(), stats)
+}
+
+/// Cold-vs-warm A/B over the same smoke grid: the warm-path acceptance
+/// measurement. Cold rebuilds every substrate and input per execution;
+/// warm leases substrates, memoizes inputs, and reuses supervisor
+/// workers. Writes `target/pcgbench/BENCH_warmpath.json` and asserts
+/// the >=2x bar from the warm-path work.
+fn bench_warm_vs_cold(_c: &mut Criterion) {
+    // Thread-pool-backed columns (OpenMP / Kokkos / hybrid) at minimum
+    // workload size: per-execution compute is pushed toward zero so the
+    // measurement isolates the fixed costs the warm path amortizes
+    // (thread spawns, input generation, supervisor spawn) — the regime
+    // the full evaluation's hot loop lives in. The MPI-at-512 column is
+    // excluded: its wall time is the collective *simulation* itself
+    // (O(ranks log ranks) real message handoffs per run), which no
+    // amount of substrate reuse can touch, so on a small host it only
+    // dilutes the signal being measured.
+    let mut cfg = EvalConfig::smoke();
+    cfg.size_divisor = usize::MAX;
+    use pcg_core::ExecutionModel;
+    let tasks: Vec<TaskId> = eval::smoke_tasks()
+        .into_iter()
+        .filter(|t| {
+            matches!(
+                t.model,
+                ExecutionModel::OpenMp | ExecutionModel::Kokkos | ExecutionModel::MpiOpenMp
+            )
+        })
+        .collect();
+    let tasks = &tasks[..];
+
+    // Cold side: warm path disabled end to end (best of 2).
+    warm::set_enabled(false);
+    let cold = eval_grid_once(&cfg, tasks, 1).0.min(eval_grid_once(&cfg, tasks, 1).0);
+
+    // Warm side: start from empty caches, prime once (paying every
+    // lease miss), then measure steady state (best of 2).
+    warm::set_enabled(true);
+    lease::flush();
+    input_cache::flush();
+    let (_prime_s, prime_stats) = eval_grid_once(&cfg, tasks, 1);
+    let (warm_a, warm_stats) = eval_grid_once(&cfg, tasks, 1);
+    let (warm_b, _) = eval_grid_once(&cfg, tasks, 1);
+    let warm_s = warm_a.min(warm_b);
+
+    let speedup = cold / warm_s;
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"smoke grid, threaded columns (36 tasks), jobs 1\",",
+            "\"cold_s\":{:.6},\"warm_s\":{:.6},\"speedup\":{:.3},",
+            "\"prime_lease_misses\":{},\"steady_lease_hits\":{},",
+            "\"steady_lease_misses\":{},\"input_cache_hits\":{}}}"
+        ),
+        cold,
+        warm_s,
+        speedup,
+        prime_stats.lease_misses,
+        warm_stats.lease_hits,
+        warm_stats.lease_misses,
+        warm_stats.input_cache_hits,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/pcgbench");
+    std::fs::create_dir_all(&dir).expect("create target/pcgbench");
+    std::fs::write(dir.join("BENCH_warmpath.json"), &json).expect("write BENCH_warmpath.json");
+    println!(
+        "grid_sweep: warm path: cold {cold:.3}s, warm {warm_s:.3}s, speedup {speedup:.1}x \
+         ({} lease hits / {} misses steady-state)",
+        warm_stats.lease_hits, warm_stats.lease_misses,
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm path must be >=2x over cold on the smoke grid, got {speedup:.2}x ({json})"
+    );
+}
+
+criterion_group!(grid_sweep, bench_timeout_overlap, bench_compute_grid, bench_warm_vs_cold);
 criterion_main!(grid_sweep);

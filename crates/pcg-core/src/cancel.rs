@@ -90,6 +90,14 @@ pub fn install_token(token: Option<CancelToken>) -> TokenGuard {
     TokenGuard { prev }
 }
 
+/// Replace this thread's token with no restoring guard. For long-lived
+/// substrate worker threads that are retargeted between candidates when
+/// a warm pool is leased out again; transient threads should prefer
+/// [`install_token`], whose guard restores the previous token.
+pub fn set_token(token: Option<CancelToken>) {
+    CURRENT.with(|c| *c.borrow_mut() = token);
+}
+
 /// Restores the previously installed token on drop.
 pub struct TokenGuard {
     prev: Option<CancelToken>,

@@ -16,6 +16,8 @@
 //!   programming model" check),
 //! * [`cancel`] — cooperative cancellation tokens the harness uses to stop
 //!   runaway candidates at the time limit,
+//! * [`warm`] — the process-wide switch for the warm execution path
+//!   (substrate leasing, input memoization, supervisor reuse),
 //! * [`rng`] — deterministic per-task random streams,
 //! * [`PcgError`] — the failure taxonomy shared by substrates and harness.
 //!
@@ -35,6 +37,7 @@ pub mod rng;
 pub mod stage;
 pub mod task;
 pub mod usage;
+pub mod warm;
 
 pub use cancel::CancelToken;
 pub use candidate::{CandidateKind, Corruption, Quality};

@@ -56,6 +56,14 @@ pub fn install_sink(sink: Option<Arc<Sink>>) -> SinkGuard {
     SinkGuard { prev }
 }
 
+/// Replace this thread's sink with no restoring guard. For long-lived
+/// substrate worker threads that are retargeted between candidates when
+/// a warm pool is leased out again; transient threads should prefer
+/// [`install_sink`], whose guard restores the previous sink.
+pub fn set_sink(sink: Option<Arc<Sink>>) {
+    CURRENT.with(|c| *c.borrow_mut() = sink);
+}
+
 /// Restores the previously installed sink on drop.
 pub struct SinkGuard {
     prev: Option<Arc<Sink>>,

@@ -244,6 +244,13 @@ impl Gpu {
         self.clock.store(0.0);
     }
 
+    /// Re-aim the host emulation pool at the calling candidate's usage
+    /// sink and cancel token (see [`pcg_shmem::Pool::retarget`]). Called
+    /// by the substrate lease layer when a warm device is checked out.
+    pub fn retarget(&self) {
+        self.pool.retarget();
+    }
+
     /// Add modeled time to the device clock directly (used by fallback
     /// wrappers that model a degenerate launch without emulating it).
     pub fn charge_time(&self, dt: f64) {

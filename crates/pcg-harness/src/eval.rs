@@ -174,6 +174,11 @@ pub fn evaluate_resumable(
         run_s: runner.stage_seconds(Stage::Run),
         validate_s: runner.stage_seconds(Stage::Validate),
         wall_s,
+        lease_hits: runner.lease_hits(),
+        lease_misses: runner.lease_misses(),
+        pools_poisoned: runner.pools_poisoned(),
+        input_cache_hits: runner.input_cache_hits(),
+        pool_setup_s: runner.pool_setup_s(),
     };
     (EvalRecord { config: cfg.clone(), models: model_records }, stats)
 }

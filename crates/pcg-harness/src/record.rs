@@ -105,6 +105,19 @@ pub struct EvalStats {
     pub validate_s: f64,
     /// End-to-end wall-clock seconds for the grid.
     pub wall_s: f64,
+    /// Substrate-lease checkouts served by a warm substrate (zero when
+    /// the warm path is disabled via `PCG_COLD`).
+    pub lease_hits: u64,
+    /// Substrate-lease checkouts that built a fresh substrate.
+    pub lease_misses: u64,
+    /// Leased substrates discarded because their candidate unwound
+    /// (panic or cooperative cancellation) while holding them.
+    pub pools_poisoned: u64,
+    /// Input-instance lookups served by the memoization cache.
+    pub input_cache_hits: u64,
+    /// Seconds constructing substrates on lease misses (summed across
+    /// workers) — the surviving share of per-run pool setup.
+    pub pool_setup_s: f64,
 }
 
 #[cfg(test)]

@@ -122,6 +122,19 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
         "[pcgbench]   queue wait: {:.2}s total, {:.2}s max per cell",
         stats.queue_wait_s, stats.max_queue_wait_s,
     );
+    let checkouts = stats.lease_hits + stats.lease_misses;
+    if checkouts > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   warm path: {}/{} lease hits ({:.0}%), {} poisoned, {} input-cache hits, {:.2}s pool setup",
+            stats.lease_hits,
+            checkouts,
+            100.0 * stats.lease_hits as f64 / checkouts as f64,
+            stats.pools_poisoned,
+            stats.input_cache_hits,
+            stats.pool_setup_s,
+        );
+    }
     if stats.cancelled + stats.abandoned + stats.retries + stats.flaky > 0 {
         let _ = writeln!(
             s,

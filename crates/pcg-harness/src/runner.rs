@@ -20,11 +20,13 @@ use crate::config::EvalConfig;
 use crate::scheduler::panic_message;
 use pcg_core::cancel::{self, CancelToken};
 use pcg_core::usage::UsageScope;
-use pcg_core::{CandidateKind, Output, PcgError, ProblemId, Stage, TaskId};
+use pcg_core::{warm, CandidateKind, Output, PcgError, ProblemId, Stage, TaskId};
+use pcg_problems::input_cache::{self, InputCacheStats};
+use pcg_problems::lease::{self, LeaseStats};
 use pcg_problems::registry;
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
@@ -47,8 +49,10 @@ pub struct Outcome {
 /// The sequential baseline for a problem at the configured size.
 #[derive(Debug, Clone)]
 pub struct Baseline {
-    /// Oracle output.
-    pub output: Output,
+    /// Oracle output, shared by every candidate validation of the
+    /// problem (some oracle outputs are megabytes; cloning one per
+    /// execution was measurable).
+    pub output: Arc<Output>,
     /// Best-of-reps baseline runtime in seconds.
     pub seconds: f64,
 }
@@ -153,6 +157,97 @@ fn add_ns(counter: &AtomicU64, since: Instant) {
     counter.fetch_add(ns, Ordering::Relaxed);
 }
 
+/// One supervised execution, run on a pooled worker thread. Returns
+/// whether the worker may be reused: `false` retires the thread (it was
+/// abandoned mid-candidate, or its job unwound unexpectedly).
+type SupJob = Box<dyn FnOnce() -> bool + Send>;
+
+/// Persistent pool of supervisor worker threads, replacing
+/// thread-spawn-per-execution on the warm path. Workers park on a
+/// condvar between candidates; a submission wakes an idle worker or
+/// spawns one when none is parked. The pool never caps concurrency —
+/// isolation semantics (timeout, cancel, grace, abandonment) are
+/// unchanged, only the spawn is amortized. An abandoned worker retires
+/// itself after its candidate finally unwinds (consuming a leak slot
+/// exactly as before), so a poisoned thread never serves another
+/// candidate.
+#[derive(Default)]
+struct SupervisorPool {
+    state: Mutex<SupPoolState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SupPoolState {
+    queue: VecDeque<SupJob>,
+    idle: usize,
+    shutdown: bool,
+}
+
+impl SupervisorPool {
+    /// Hand `job` to an idle worker, or spawn a fresh one when none is
+    /// parked. Executions are long-running, so waking an *about to be
+    /// busy* worker is the failure mode to avoid: when the race is
+    /// ambiguous we over-spawn (the extra worker parks afterwards)
+    /// rather than queue behind a busy thread.
+    fn submit(self: &Arc<Self>, job: SupJob) {
+        let spawn_new = {
+            let mut st = self.state.lock();
+            st.queue.push_back(job);
+            st.idle < st.queue.len()
+        };
+        if spawn_new {
+            let pool = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("pcg-supervised".into())
+                .spawn(move || pool.worker_loop())
+                .expect("spawn supervised worker");
+        } else {
+            self.cv.notify_one();
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st.idle += 1;
+                    self.cv.wait(&mut st);
+                    st.idle -= 1;
+                }
+            };
+            // Jobs capture their own panics; treat an unwind here as a
+            // poisoned worker and retire it.
+            let reusable = catch_unwind(AssertUnwindSafe(job)).unwrap_or(false);
+            if !reusable {
+                return;
+            }
+        }
+    }
+
+    /// Ask parked workers to exit. In-flight jobs finish normally; their
+    /// workers observe the flag when they next look for work.
+    fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Warm-path counter snapshot taken at runner construction, so the
+/// runner can report per-evaluation deltas of the process-global lease
+/// and input-cache statistics.
+struct WarmBase {
+    lease: LeaseStats,
+    input: InputCacheStats,
+}
+
 /// A compute-once cache slot: concurrent requesters for the same key
 /// block on the first initializer instead of duplicating the work.
 type OnceCell<T> = Arc<OnceLock<T>>;
@@ -166,6 +261,8 @@ pub struct SharedRunner {
     counters: Counters,
     quarantined: Mutex<Vec<QuarantineEntry>>,
     leaks: Arc<LeakTracker>,
+    supervisors: Arc<SupervisorPool>,
+    warm_base: WarmBase,
 }
 
 impl SharedRunner {
@@ -178,6 +275,8 @@ impl SharedRunner {
             counters: Counters::default(),
             quarantined: Mutex::new(Vec::new()),
             leaks: Arc::new(LeakTracker::default()),
+            supervisors: Arc::new(SupervisorPool::default()),
+            warm_base: WarmBase { lease: lease::stats(), input: input_cache::stats() },
         }
     }
 
@@ -222,7 +321,7 @@ impl SharedRunner {
             best = best.min(run.seconds);
             output = Some(run.output);
         }
-        Baseline { output: output.expect("at least one rep"), seconds: best }
+        Baseline { output: Arc::new(output.expect("at least one rep")), seconds: best }
     }
 
     /// Execute (or fetch the cached execution of) one candidate.
@@ -280,10 +379,7 @@ impl SharedRunner {
     pub fn quarantined(&self) -> Vec<QuarantineEntry> {
         let mut q = self.quarantined.lock().clone();
         q.sort_by(|a, b| {
-            format!("{:?}", a.task)
-                .cmp(&format!("{:?}", b.task))
-                .then_with(|| a.kind.cmp(&b.kind))
-                .then_with(|| a.n.cmp(&b.n))
+            a.task.cmp(&b.task).then_with(|| a.kind.cmp(&b.kind)).then_with(|| a.n.cmp(&b.n))
         });
         q
     }
@@ -320,22 +416,38 @@ impl SharedRunner {
         let worker_hs = Arc::clone(&handshake);
         let tracker = Arc::clone(&self.leaks);
         let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
+        let job: SupJob = Box::new(move || {
+            // Install the candidate's token as a guard: it is restored
+            // on return, so a reused worker never carries a stale token
+            // into the next candidate.
             let _cancel = cancel::install_token(Some(worker_token));
             let out = work();
             // Finalize the handshake before reporting back: if the
             // supervisor observes `Running`, the candidate body is
             // guaranteed not to have completed.
-            {
+            let reusable = {
                 let mut hs = worker_hs.lock();
                 if *hs == Handshake::Abandoned {
                     tracker.remove();
+                    // This thread blew past its grace period once;
+                    // retire it rather than trust it with another
+                    // candidate.
+                    false
                 } else {
                     *hs = Handshake::Done;
+                    true
                 }
-            }
+            };
             let _ = tx.send(out);
+            reusable
         });
+        if warm::enabled() {
+            self.supervisors.submit(job);
+        } else {
+            std::thread::spawn(move || {
+                let _ = job();
+            });
+        }
         match rx.recv_timeout(self.cfg.timeout) {
             Ok(m) => WorkerFate::Finished(m),
             Err(_) => {
@@ -589,6 +701,43 @@ impl SharedRunner {
             Stage::Validate => self.counters.validate_ns.load(Ordering::Relaxed),
         };
         ns as f64 / 1e9
+    }
+
+    /// Substrate-lease checkouts served warm since this runner was
+    /// created (delta of the process-global counter).
+    pub fn lease_hits(&self) -> u64 {
+        lease::stats().hits.saturating_sub(self.warm_base.lease.hits)
+    }
+
+    /// Substrate-lease checkouts that built a fresh substrate.
+    pub fn lease_misses(&self) -> u64 {
+        lease::stats().misses.saturating_sub(self.warm_base.lease.misses)
+    }
+
+    /// Leased substrates discarded because their candidate unwound
+    /// (panic or cooperative cancellation) while holding them.
+    pub fn pools_poisoned(&self) -> u64 {
+        lease::stats().poisoned.saturating_sub(self.warm_base.lease.poisoned)
+    }
+
+    /// Input-instance lookups served by the memoization cache.
+    pub fn input_cache_hits(&self) -> u64 {
+        input_cache::stats().hits.saturating_sub(self.warm_base.input.hits)
+    }
+
+    /// Seconds spent constructing substrates on lease misses (the warm
+    /// path's analog of per-run pool setup time).
+    pub fn pool_setup_s(&self) -> f64 {
+        (lease::stats().setup_s - self.warm_base.lease.setup_s).max(0.0)
+    }
+}
+
+impl Drop for SharedRunner {
+    fn drop(&mut self) {
+        // Release parked supervisor workers; in-flight executions (and
+        // abandoned ones) keep their own `Arc` to the pool and exit
+        // after their current job.
+        self.supervisors.shutdown();
     }
 }
 

@@ -1,0 +1,83 @@
+//! Warm-path hard constraints.
+//!
+//! The warm execution engine (substrate leasing, input memoization,
+//! supervisor reuse) is a pure performance layer: evaluation records
+//! must be **byte-identical** to the cold path's, at any worker count.
+//! Ratios and stage timings are measured quantities, so the comparison
+//! uses the same determinism projection as `ci/project_records.py` —
+//! task identity, per-sample build/correct flags, and sweep keys.
+//!
+//! One `#[test]` only: the warm flag, the lease cache, and the input
+//! cache are process-global, so the phases must not interleave.
+
+use pcg_core::warm;
+use pcg_harness::eval::{evaluate_with, smoke_tasks};
+use pcg_harness::{EvalConfig, EvalRecord, EvalStats, SharedRunner};
+use pcg_models::SyntheticModel;
+use pcg_problems::{input_cache, lease};
+use std::fmt::Write as _;
+
+/// Mirror of the projection in `ci/project_records.py`.
+fn projection(rec: &EvalRecord) -> String {
+    let mut s = String::new();
+    for m in &rec.models {
+        let _ = writeln!(s, "model={}", m.model);
+        for t in &m.tasks {
+            let _ = writeln!(
+                s,
+                "task={:?} built={:?} correct={:?} high_correct={:?} sweep_ns={:?}",
+                t.task,
+                t.low.built,
+                t.low.correct,
+                t.high.as_ref().map(|h| &h.correct),
+                t.sweep.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+    s
+}
+
+fn run(cfg: &EvalConfig, tasks: &[pcg_core::TaskId], warm_on: bool, jobs: usize) -> (String, EvalStats) {
+    warm::set_enabled(warm_on);
+    let models = vec![SyntheticModel::by_name("CodeLlama-13B").expect("zoo model")];
+    let runner = SharedRunner::new(cfg.clone());
+    let (rec, stats) = evaluate_with(cfg, &models, Some(tasks), jobs, &runner);
+    (projection(&rec), stats)
+}
+
+#[test]
+fn warm_records_are_byte_identical_to_cold_at_any_jobs() {
+    let mut cfg = EvalConfig::smoke();
+    // Flaky candidates fault once per coordinate per *process*; with
+    // retries on, the first (cold) run and the later warm runs both
+    // record the post-retry outcome, keeping projections comparable.
+    cfg.retry_flaky = true;
+    // One problem across all seven execution models: every substrate
+    // (and thus every lease key shape) participates.
+    let tasks: Vec<_> = smoke_tasks().into_iter().take(7).collect();
+
+    // Cold reference.
+    let (cold, cold_stats) = run(&cfg, &tasks, false, 1);
+    assert_eq!(
+        cold_stats.lease_hits + cold_stats.lease_misses,
+        0,
+        "cold path must never touch the lease cache"
+    );
+
+    // Warm runs — serial and oversubscribed — each from a cold cache.
+    lease::flush();
+    input_cache::flush();
+    let (warm1, warm1_stats) = run(&cfg, &tasks, true, 1);
+    lease::flush();
+    input_cache::flush();
+    let (warm8, warm8_stats) = run(&cfg, &tasks, true, 8);
+
+    assert_eq!(cold, warm1, "warm --jobs 1 record must project byte-identical to cold");
+    assert_eq!(cold, warm8, "warm --jobs 8 record must project byte-identical to cold");
+
+    // And the warm path must actually have engaged.
+    assert!(warm1_stats.lease_hits > 0, "repeat executions must reuse substrates: {warm1_stats:?}");
+    assert!(warm1_stats.input_cache_hits > 0, "repeat coordinates must reuse inputs");
+    assert!(warm8_stats.lease_hits > 0);
+    assert!(warm1_stats.pool_setup_s >= 0.0);
+}

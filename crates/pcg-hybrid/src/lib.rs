@@ -34,7 +34,7 @@
 //! ```
 
 use pcg_core::{usage, ExecutionModel, PcgError};
-use pcg_mpisim::{Comm, CostModel, SimOutcome, World};
+use pcg_mpisim::{Comm, CostModel, RankTeam, SimOutcome, World};
 use pcg_shmem::{Pool, Schedule, ThreadCostModel};
 use std::ops::Range;
 
@@ -46,10 +46,44 @@ pub struct HybridWorld {
     cost: CostModel,
 }
 
+/// Warm substrate for hybrid worlds: a persistent [`RankTeam`] plus one
+/// persistent timed pool per rank, so [`HybridWorld::run_on`] reuses
+/// `ranks * threads_per_rank` threads instead of respawning them per
+/// run (a fresh `ranks x threads` spawn storm is the hybrid column's
+/// dominant fixed cost).
+pub struct HybridTeam {
+    team: RankTeam,
+    pools: Vec<Pool>,
+}
+
+impl HybridTeam {
+    /// Spawn rank threads and per-rank timed pools for a
+    /// `ranks x threads_per_rank` hybrid world.
+    pub fn new(ranks: usize, threads_per_rank: usize) -> HybridTeam {
+        assert!(ranks > 0 && threads_per_rank > 0, "hybrid team dims must be nonzero");
+        HybridTeam {
+            team: RankTeam::new(ranks),
+            pools: (0..ranks)
+                .map(|_| Pool::new_timed(threads_per_rank, ThreadCostModel::default()))
+                .collect(),
+        }
+    }
+
+    /// Rank count.
+    pub fn ranks(&self) -> usize {
+        self.team.size()
+    }
+
+    /// Threads per rank pool.
+    pub fn threads_per_rank(&self) -> usize {
+        self.pools[0].num_threads()
+    }
+}
+
 /// Per-rank context: the rank's communicator plus its thread pool.
 pub struct HybridCtx<'w> {
     comm: &'w Comm<'w>,
-    pool: Pool,
+    pool: &'w Pool,
     threads_requested: usize,
 }
 
@@ -88,19 +122,47 @@ impl HybridWorld {
         R: Send,
         F: Fn(&HybridCtx<'_>) -> R + Sync,
     {
-        let cost = CostModel { compute_scale: 0.0, ..self.cost.clone() };
         let threads_requested = self.threads_per_rank;
-        World::new(self.ranks)
-            .with_cost_model(cost)
-            .with_max_tokens(1)
-            .run(move |comm| {
-                let ctx = HybridCtx {
-                    comm,
-                    pool: Pool::new_timed(threads_requested, ThreadCostModel::default()),
-                    threads_requested,
-                };
-                f(&ctx)
-            })
+        self.world().run(move |comm| {
+            let pool = Pool::new_timed(threads_requested, ThreadCostModel::default());
+            let ctx = HybridCtx { comm, pool: &pool, threads_requested };
+            f(&ctx)
+        })
+    }
+
+    /// Run an SPMD hybrid program on a warm [`HybridTeam`]: rank threads
+    /// and per-rank pools are reused; every other per-run structure is
+    /// rebuilt, and each rank pool is re-aimed at the calling candidate
+    /// and clock-cleared before the program starts. Team dims must match
+    /// the world's.
+    pub fn run_on<R, F>(&self, team: &HybridTeam, f: F) -> Result<SimOutcome<R>, PcgError>
+    where
+        R: Send,
+        F: Fn(&HybridCtx<'_>) -> R + Sync,
+    {
+        assert_eq!(team.ranks(), self.ranks, "hybrid team rank count must match world");
+        assert_eq!(
+            team.threads_per_rank(),
+            self.threads_per_rank,
+            "hybrid team thread count must match world"
+        );
+        let threads_requested = self.threads_per_rank;
+        self.world().run_on(&team.team, move |comm| {
+            let pool = &team.pools[comm.rank()];
+            // The rank thread already carries the candidate's sink and
+            // token (installed by the rank team); adopt them on the pool
+            // workers and start the virtual clock from zero, exactly
+            // like the cold path's freshly built pool.
+            pool.retarget();
+            pool.reset_virtual_clock();
+            let ctx = HybridCtx { comm, pool, threads_requested };
+            f(&ctx)
+        })
+    }
+
+    fn world(&self) -> World {
+        let cost = CostModel { compute_scale: 0.0, ..self.cost.clone() };
+        World::new(self.ranks).with_cost_model(cost).with_max_tokens(1)
     }
 }
 
@@ -113,7 +175,7 @@ impl<'w> HybridCtx<'w> {
     /// The rank's thread pool (for constructs without a timed wrapper;
     /// virtual time is then *not* charged for the section).
     pub fn pool(&self) -> &Pool {
-        &self.pool
+        self.pool
     }
 
     /// Requested thread count (the `OMP_NUM_THREADS` analog).
@@ -125,7 +187,7 @@ impl<'w> HybridCtx<'w> {
     /// for it to the rank clock.
     fn charged<R>(&self, f: impl FnOnce(&Pool) -> R) -> R {
         let before = self.pool.virtual_elapsed();
-        let out = f(&self.pool);
+        let out = f(self.pool);
         self.comm.advance(self.pool.virtual_elapsed() - before);
         out
     }
@@ -216,6 +278,35 @@ mod tests {
             })
             .unwrap();
         assert!(out.per_rank[0] > 0.0, "threaded section must advance virtual clock");
+    }
+
+    #[test]
+    fn warm_team_matches_cold_run() {
+        let world = HybridWorld::new(3, 4);
+        let team = HybridTeam::new(3, 4);
+        let n = 3000usize;
+        let prog = |ctx: &HybridCtx<'_>| {
+            let comm = ctx.comm();
+            let range = pcg_mpisim::block_range(n, comm.size(), comm.rank());
+            let partial = ctx.par_reduce(range, 0.0f64, |a, i| a + i as f64, |a, b| a + b);
+            comm.allreduce_one(partial, ReduceOp::Sum)
+        };
+        let want = (n * (n - 1) / 2) as f64;
+        let cold = world.run(prog).unwrap();
+        assert_eq!(*cold.root(), want);
+        // Repeated warm runs produce the same values on reused threads.
+        for _ in 0..3 {
+            let warm = world.run_on(&team, prog).unwrap();
+            assert_eq!(warm.per_rank, cold.per_rank);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count must match")]
+    fn warm_team_dim_mismatch_panics() {
+        let world = HybridWorld::new(2, 4);
+        let team = HybridTeam::new(3, 4);
+        let _ = world.run_on(&team, |ctx| ctx.comm().rank());
     }
 
     #[test]

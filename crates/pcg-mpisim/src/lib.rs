@@ -49,11 +49,13 @@ mod cost;
 mod mailbox;
 mod packet;
 mod sync;
+mod team;
 mod world;
 
 pub use comm::{block_range, Comm};
 pub use cost::CostModel;
 pub use packet::{Elem, Packet, ReduceOp};
+pub use team::RankTeam;
 pub use world::{SimOutcome, World};
 
 /// Receive from any source (the `MPI_ANY_SOURCE` analog).

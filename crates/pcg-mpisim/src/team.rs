@@ -1,0 +1,234 @@
+//! A persistent team of rank threads for warm `World` reuse.
+//!
+//! Cold [`crate::World::run`] spawns one OS thread per rank per
+//! execution — for the paper's 512-rank headline configuration that is
+//! 512 spawns *per candidate run*, the single largest fixed cost in the
+//! evaluation hot path. A [`RankTeam`] keeps those threads alive between
+//! runs: [`crate::World::run_on`] publishes the per-rank body to the
+//! team exactly like `pcg_shmem::Pool` publishes a region, and the
+//! caller blocks until every rank has finished with the borrowed
+//! closure (which is what makes the lifetime erasure sound).
+//!
+//! Per-run state (mailboxes, cost model, compute-token semaphore) lives
+//! in `WorldShared`, rebuilt per `run_on` call, so a reused team starts
+//! every run from a clean slate. The launching candidate's usage sink
+//! and cancel token travel with each published job and are installed on
+//! every rank thread before its body runs, so attribution and kill
+//! delivery match the cold path exactly.
+
+use parking_lot::{Condvar, Mutex};
+use pcg_core::{cancel, usage};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type RankFn<'a> = dyn Fn(usize) + Sync + 'a;
+
+/// Per-run join state plus the candidate identity to install on each
+/// rank thread. Lives on the launching thread's stack for the duration
+/// of the run.
+struct RunState {
+    remaining: AtomicUsize,
+    sink: Option<Arc<usage::Sink>>,
+    token: Option<cancel::CancelToken>,
+}
+
+/// A lifetime-erased pointer pair to the rank body and the run state.
+/// Only dereferenced between publish and the countdown the caller
+/// blocks on.
+#[derive(Clone, Copy)]
+struct TeamJob {
+    f: *const RankFn<'static>,
+    run: *const RunState,
+}
+// SAFETY: the pointers target data the launching thread keeps alive
+// until every rank has decremented the countdown; rank threads never
+// touch them afterwards.
+unsafe impl Send for TeamJob {}
+
+struct Slot {
+    generation: u64,
+    job: Option<TeamJob>,
+}
+
+struct TeamShared {
+    slot: Mutex<Slot>,
+    work_ready: Condvar,
+    finish_lock: Mutex<()>,
+    finished: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent set of `size` rank threads that can host successive
+/// [`crate::World::run_on`] executions without respawning.
+pub struct RankTeam {
+    shared: Arc<TeamShared>,
+    size: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RankTeam {
+    /// Spawn a team of `size` rank threads. Panics if `size == 0`.
+    pub fn new(size: usize) -> RankTeam {
+        assert!(size > 0, "rank team needs at least one rank");
+        let shared = Arc::new(TeamShared {
+            slot: Mutex::new(Slot { generation: 0, job: None }),
+            work_ready: Condvar::new(),
+            finish_lock: Mutex::new(()),
+            finished: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..size)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mpisim-team-{rank}"))
+                    // Match the cold path's reduced rank-thread stacks:
+                    // many-rank worlds must stay cheap.
+                    .stack_size(1 << 21)
+                    .spawn(move || rank_loop(shared, rank))
+                    .expect("failed to spawn team rank thread")
+            })
+            .collect();
+        RankTeam { shared, size, workers }
+    }
+
+    /// Number of rank threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f(rank)` once on every rank thread, blocking until all have
+    /// finished. The caller does not participate (unlike a shmem pool's
+    /// master thread): MPI rank 0 is just another team member, mirroring
+    /// the cold path where every rank gets its own spawned thread.
+    pub(crate) fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let run = RunState {
+            remaining: AtomicUsize::new(self.size),
+            sink: usage::current_sink(),
+            token: cancel::current_token(),
+        };
+        // SAFETY: we erase the lifetime; `run` does not return until
+        // `run.remaining` hits zero, i.e. every rank thread is done with
+        // both pointers. See `TeamJob` safety comment.
+        let job = TeamJob {
+            f: unsafe {
+                std::mem::transmute::<*const RankFn<'_>, *const RankFn<'static>>(
+                    f as *const RankFn<'_>,
+                )
+            },
+            run: &run as *const RunState,
+        };
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.generation += 1;
+            slot.job = Some(job);
+        }
+        self.shared.work_ready.notify_all();
+
+        let mut guard = self.shared.finish_lock.lock();
+        while run.remaining.load(Ordering::Acquire) != 0 {
+            self.shared.finished.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for RankTeam {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.generation += 1;
+            slot.job = None;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn rank_loop(shared: Arc<TeamShared>, rank: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            while slot.generation == last_generation {
+                shared.work_ready.wait(&mut slot);
+            }
+            last_generation = slot.generation;
+            slot.job
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(job) = job else { continue };
+        // SAFETY: the launching thread blocks until we decrement
+        // `remaining`, keeping both pointers alive for this scope.
+        let (f, run) = unsafe { (&*job.f, &*job.run) };
+        // Adopt the launching candidate's identity before running any of
+        // its code — the warm equivalent of the cold path installing the
+        // captured sink/token on each freshly spawned rank thread.
+        usage::set_sink(run.sink.clone());
+        cancel::set_token(run.token.clone());
+        // The body handles candidate failures itself (abort cascades,
+        // cancel markers); a stray unwind here is swallowed exactly like
+        // the cold path's `let _ = handle.join()`.
+        let _ = catch_unwind(AssertUnwindSafe(|| f(rank)));
+        // Signal completion; after this we must not touch `f`/`run`.
+        let was = run.remaining.fetch_sub(1, Ordering::AcqRel);
+        if was == 1 {
+            let _guard = shared.finish_lock.lock();
+            shared.finished.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rank_runs_each_generation() {
+        let team = RankTeam::new(8);
+        for _ in 0..5 {
+            let mask = AtomicUsize::new(0);
+            team.run(&|rank| {
+                mask.fetch_or(1 << rank, Ordering::SeqCst);
+            });
+            assert_eq!(mask.load(Ordering::SeqCst), 0xff);
+        }
+    }
+
+    #[test]
+    fn team_survives_rank_panics() {
+        let team = RankTeam::new(4);
+        team.run(&|rank| {
+            if rank == 2 {
+                panic!("deliberate");
+            }
+        });
+        let hits = AtomicUsize::new(0);
+        team.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn ranks_adopt_the_launching_candidate() {
+        use pcg_core::usage::UsageScope;
+        use pcg_core::ExecutionModel;
+        let team = RankTeam::new(4);
+        let scope = UsageScope::begin();
+        team.run(&|_| usage::record(ExecutionModel::Mpi));
+        assert_eq!(scope.finish().calls(ExecutionModel::Mpi), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = RankTeam::new(0);
+    }
+}

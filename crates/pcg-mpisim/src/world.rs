@@ -4,6 +4,7 @@ use crate::comm::Comm;
 use crate::cost::CostModel;
 use crate::mailbox::Mailbox;
 use crate::sync::Semaphore;
+use crate::team::RankTeam;
 use parking_lot::Mutex;
 use pcg_core::PcgError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -96,6 +97,32 @@ impl World {
         R: Send,
         F: Fn(&Comm<'_>) -> R + Sync,
     {
+        self.run_impl(None, f)
+    }
+
+    /// Run `f` on a warm [`RankTeam`] instead of spawning fresh rank
+    /// threads. Identical semantics to [`World::run`]: all per-run state
+    /// (mailboxes, cost model, token semaphore) is rebuilt here, only
+    /// the OS threads are reused. The team size must equal the world
+    /// size.
+    pub fn run_on<R, F>(&self, team: &RankTeam, f: F) -> Result<SimOutcome<R>, PcgError>
+    where
+        R: Send,
+        F: Fn(&Comm<'_>) -> R + Sync,
+    {
+        assert_eq!(
+            team.size(),
+            self.size,
+            "rank team size must match world size"
+        );
+        self.run_impl(Some(team), f)
+    }
+
+    fn run_impl<R, F>(&self, team: Option<&RankTeam>, f: F) -> Result<SimOutcome<R>, PcgError>
+    where
+        R: Send,
+        F: Fn(&Comm<'_>) -> R + Sync,
+    {
         let wall_start = std::time::Instant::now();
         let shared = WorldShared {
             mailboxes: (0..self.size).map(|_| Mailbox::new()).collect(),
@@ -106,79 +133,84 @@ impl World {
             Mutex::new((0..self.size).map(|_| None).collect());
         let failure: Mutex<Option<String>> = Mutex::new(None);
         let cancelled = std::sync::atomic::AtomicBool::new(false);
-        // Rank threads attribute their API usage to the candidate that
-        // launched the world, not to whoever else runs concurrently, and
-        // inherit its cancel token so a killed candidate's ranks (and any
-        // nested shmem pools they spawn) observe the kill.
-        let usage_sink = pcg_core::usage::current_sink();
-        let cancel_token = pcg_core::cancel::current_token();
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.size);
-            for rank in 0..self.size {
-                let shared = &shared;
-                let results = &results;
-                let failure = &failure;
-                let cancelled = &cancelled;
-                let f = &f;
-                let usage_sink = usage_sink.clone();
-                let cancel_token = cancel_token.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("mpisim-rank-{rank}"))
-                        .stack_size(1 << 21)
-                        .spawn_scoped(scope, move || {
-                            let _usage = pcg_core::usage::install_sink(usage_sink);
-                            let _cancel = pcg_core::cancel::install_token(cancel_token);
-                            let comm = Comm::new(rank, shared.mailboxes.len(), shared);
-                            comm.acquire_token();
-                            if shared.tokens.is_aborted() {
-                                return;
-                            }
-                            let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
-                            match out {
-                                Ok(value) => {
-                                    let clock = comm.final_clock();
-                                    comm.release_token();
-                                    results.lock()[rank] = Some((value, clock));
-                                }
-                                Err(payload) => {
-                                    // `&*payload`: deref the Box so we
-                                    // downcast the payload, not the Box.
-                                    if pcg_core::cancel::is_cancel_payload(&*payload) {
-                                        // Harness-requested kill, not a
-                                        // candidate failure: remember it
-                                        // so the world re-unwinds with
-                                        // the marker after teardown.
-                                        cancelled.store(
-                                            true,
-                                            std::sync::atomic::Ordering::Release,
-                                        );
-                                    } else {
-                                        let msg = panic_message(&*payload);
-                                        let mut slot = failure.lock();
-                                        // First non-abort failure wins;
-                                        // cascade panics from the abort
-                                        // itself are noise.
-                                        let is_cascade = msg.contains("world aborted");
-                                        if slot.is_none() && !is_cascade {
-                                            *slot = Some(format!("rank {rank}: {msg}"));
-                                        }
-                                    }
-                                    if comm.holds_token() {
-                                        comm.release_token();
-                                    }
-                                    shared.abort();
-                                }
-                            }
-                        })
-                        .expect("failed to spawn rank thread"),
-                );
+        // The per-rank program, shared by the cold (scoped-spawn) and
+        // warm (persistent team) paths. Runs on a thread that already
+        // has the candidate's usage sink and cancel token installed.
+        let rank_body = |rank: usize| {
+            let shared = &shared;
+            let comm = Comm::new(rank, shared.mailboxes.len(), shared);
+            comm.acquire_token();
+            if shared.tokens.is_aborted() {
+                return;
             }
-            for h in handles {
-                let _ = h.join();
+            let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+            match out {
+                Ok(value) => {
+                    let clock = comm.final_clock();
+                    comm.release_token();
+                    results.lock()[rank] = Some((value, clock));
+                }
+                Err(payload) => {
+                    // `&*payload`: deref the Box so we downcast the
+                    // payload, not the Box.
+                    if pcg_core::cancel::is_cancel_payload(&*payload) {
+                        // Harness-requested kill, not a candidate
+                        // failure: remember it so the world re-unwinds
+                        // with the marker after teardown.
+                        cancelled.store(true, std::sync::atomic::Ordering::Release);
+                    } else {
+                        let msg = panic_message(&*payload);
+                        let mut slot = failure.lock();
+                        // First non-abort failure wins; cascade panics
+                        // from the abort itself are noise.
+                        let is_cascade = msg.contains("world aborted");
+                        if slot.is_none() && !is_cascade {
+                            *slot = Some(format!("rank {rank}: {msg}"));
+                        }
+                    }
+                    if comm.holds_token() {
+                        comm.release_token();
+                    }
+                    shared.abort();
+                }
             }
-        });
+        };
+
+        match team {
+            Some(team) => team.run(&rank_body),
+            None => {
+                // Rank threads attribute their API usage to the
+                // candidate that launched the world, not to whoever else
+                // runs concurrently, and inherit its cancel token so a
+                // killed candidate's ranks (and any nested shmem pools
+                // they spawn) observe the kill.
+                let usage_sink = pcg_core::usage::current_sink();
+                let cancel_token = pcg_core::cancel::current_token();
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(self.size);
+                    for rank in 0..self.size {
+                        let rank_body = &rank_body;
+                        let usage_sink = usage_sink.clone();
+                        let cancel_token = cancel_token.clone();
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("mpisim-rank-{rank}"))
+                                .stack_size(1 << 21)
+                                .spawn_scoped(scope, move || {
+                                    let _usage = pcg_core::usage::install_sink(usage_sink);
+                                    let _cancel = pcg_core::cancel::install_token(cancel_token);
+                                    rank_body(rank)
+                                })
+                                .expect("failed to spawn rank thread"),
+                        );
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                });
+            }
+        }
 
         if cancelled.load(std::sync::atomic::Ordering::Acquire) {
             // Every rank thread has joined; resume the cooperative
@@ -547,6 +579,43 @@ mod tests {
         for v in out.per_rank {
             assert_eq!(v, 1 << 12);
         }
+    }
+
+    #[test]
+    fn run_on_warm_team_matches_cold_semantics() {
+        let team = RankTeam::new(6);
+        // Successive runs reuse the same rank threads; per-run state
+        // (mailboxes, semaphore) is rebuilt each time.
+        for _ in 0..3 {
+            let warm = det_world(6)
+                .run_on(&team, |comm| comm.allreduce_one(comm.rank() as i64, ReduceOp::Sum))
+                .unwrap();
+            assert_eq!(warm.per_rank, vec![15; 6]);
+        }
+        // A failing run aborts cleanly...
+        let err = det_world(6)
+            .run_on(&team, |comm| {
+                if comm.rank() == 3 {
+                    panic!("deliberate failure");
+                }
+                let _ = comm.recv::<i64>(Some(3), 9);
+            })
+            .unwrap_err();
+        match err {
+            PcgError::Runtime(msg) => assert!(msg.contains("rank 3"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...and the team itself stays functional afterwards (the lease
+        // layer still discards poisoned teams out of caution).
+        let ok = det_world(6).run_on(&team, |comm| comm.rank()).unwrap();
+        assert_eq!(ok.per_rank, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "team size must match")]
+    fn run_on_size_mismatch_panics() {
+        let team = RankTeam::new(2);
+        let _ = det_world(3).run_on(&team, |comm| comm.rank());
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The problem abstraction and the candidate runner.
 
-use crate::{corrupt, fallback};
+use crate::lease::{self, LeaseKey};
+use crate::{corrupt, fallback, input_cache};
 use pcg_core::prompt::PromptSpec;
-use pcg_core::{CandidateKind, ExecutionModel, Output, PcgError, ProblemId, Quality};
+use pcg_core::{warm, CandidateKind, ExecutionModel, Output, PcgError, ProblemId, Quality};
 use pcg_gpusim::Gpu;
-use pcg_hybrid::{HybridCtx, HybridWorld};
-use pcg_mpisim::{Comm, CostModel, World};
+use pcg_hybrid::{HybridCtx, HybridTeam, HybridWorld};
+use pcg_mpisim::{Comm, CostModel, RankTeam, SimOutcome, World};
 use pcg_patterns::ExecSpace;
 use pcg_shmem::{Pool, ThreadCostModel};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resource configuration derived from an execution model and the
@@ -64,8 +66,9 @@ pub struct TimedRun {
 /// One PCGBench problem: generator, baseline, and the seven reference
 /// parallel implementations. Implemented by each of the 60 problems.
 pub trait Spec: Send + Sync {
-    /// The problem's input instance type.
-    type Input: Send + Sync;
+    /// The problem's input instance type. (`'static` so instances can
+    /// be memoized in the type-erased [`input_cache`].)
+    type Input: Send + Sync + 'static;
 
     /// Which of the 60 problems this is.
     fn id(&self) -> ProblemId;
@@ -132,7 +135,7 @@ impl<S: Spec> Problem for S {
     }
 
     fn run_baseline(&self, seed: u64, size: usize) -> TimedRun {
-        let input = self.generate(seed, size);
+        let input = cached_input(self, seed, size);
         let t0 = Instant::now();
         let output = self.serial(&input);
         TimedRun { output, seconds: t0.elapsed().as_secs_f64() }
@@ -172,7 +175,7 @@ impl<S: Spec> Problem for S {
             CandidateKind::SequentialFallback => {
                 // Correct output, zero parallel-API usage: the harness's
                 // instrumentation check flags this for parallel tasks.
-                let input = self.generate(seed, size);
+                let input = cached_input(self, seed, size);
                 let t0 = Instant::now();
                 let output = self.serial(&input);
                 Ok(TimedRun { output, seconds: t0.elapsed().as_secs_f64() })
@@ -195,7 +198,7 @@ impl<S: Spec> Problem for S {
                 )
             }
             CandidateKind::Correct(quality) => {
-                let input = self.generate(seed, size);
+                let input = cached_input(self, seed, size);
                 let res = Resources::for_model(model, n);
                 run_correct(self, model, quality, &input, &res)
             }
@@ -231,6 +234,48 @@ mod flaky_state {
     }
 }
 
+/// Fetch (or generate and memoize) the input instance for a coordinate.
+/// Identical to calling `spec.generate` directly — generators are
+/// seeded and pure — but repeated coordinates share one allocation.
+fn cached_input<S: Spec>(spec: &S, seed: u64, size: usize) -> Arc<S::Input> {
+    input_cache::get_or_generate(
+        Spec::id(spec),
+        seed,
+        size,
+        |input| spec.input_bytes(input),
+        || spec.generate(seed, size),
+    )
+}
+
+/// Run an MPI rank program on a warm team when one is leased, else on
+/// fresh per-run rank threads (identical semantics; see `World::run_on`).
+fn run_world<R, F>(world: &World, team: Option<&RankTeam>, f: F) -> Result<SimOutcome<R>, PcgError>
+where
+    R: Send,
+    F: Fn(&Comm<'_>) -> R + Sync,
+{
+    match team {
+        Some(team) => world.run_on(team, f),
+        None => world.run(f),
+    }
+}
+
+/// Hybrid analog of [`run_world`].
+fn run_hybrid<R, F>(
+    world: &HybridWorld,
+    team: Option<&HybridTeam>,
+    f: F,
+) -> Result<SimOutcome<R>, PcgError>
+where
+    R: Send,
+    F: Fn(&HybridCtx<'_>) -> R + Sync,
+{
+    match team {
+        Some(team) => world.run_on(team, f),
+        None => world.run(f),
+    }
+}
+
 fn run_correct<S: Spec>(
     spec: &S,
     model: ExecutionModel,
@@ -238,6 +283,10 @@ fn run_correct<S: Spec>(
     input: &S::Input,
     res: &Resources,
 ) -> Result<TimedRun, PcgError> {
+    // On the warm path each arm leases its substrate instead of building
+    // one; the `Lease` drop at the end of the arm returns it to the
+    // cache — or poisons it if the candidate unwinds (panic or
+    // cooperative cancellation), so a dirty substrate is never reused.
     match model {
         ExecutionModel::Serial => {
             let t0 = Instant::now();
@@ -245,26 +294,53 @@ fn run_correct<S: Spec>(
             Ok(TimedRun { output, seconds: t0.elapsed().as_secs_f64() })
         }
         ExecutionModel::OpenMp => {
-            let pool = Pool::new_timed(res.threads, ThreadCostModel::default());
+            let lease;
+            let fresh;
+            let pool: &Pool = if warm::enabled() {
+                lease = lease::checkout(LeaseKey::Shmem { threads: res.threads });
+                lease.pool()
+            } else {
+                fresh = Pool::new_timed(res.threads, ThreadCostModel::default());
+                &fresh
+            };
             let output = match quality {
-                Quality::Efficient => spec.solve_shmem(input, &pool),
-                Quality::Inefficient => fallback::lopsided_shmem(&pool, || spec.serial(input)),
+                Quality::Efficient => spec.solve_shmem(input, pool),
+                Quality::Inefficient => fallback::lopsided_shmem(pool, || spec.serial(input)),
             };
             Ok(TimedRun { output, seconds: pool.virtual_elapsed() })
         }
         ExecutionModel::Kokkos => {
-            let space = ExecSpace::new_timed(res.threads);
+            let lease;
+            let fresh;
+            let space: &ExecSpace = if warm::enabled() {
+                lease = lease::checkout(LeaseKey::Patterns { threads: res.threads });
+                lease.space()
+            } else {
+                fresh = ExecSpace::new_timed(res.threads);
+                &fresh
+            };
             let output = match quality {
-                Quality::Efficient => spec.solve_patterns(input, &space),
-                Quality::Inefficient => fallback::lopsided_patterns(&space, || spec.serial(input)),
+                Quality::Efficient => spec.solve_patterns(input, space),
+                Quality::Inefficient => fallback::lopsided_patterns(space, || spec.serial(input)),
             };
             Ok(TimedRun { output, seconds: space.virtual_elapsed() })
         }
         ExecutionModel::Mpi => {
             let world = World::new(res.ranks).with_cost_model(CostModel::cluster());
+            // Oversized teams are never cached (see lease::parkable), and
+            // a fresh team per run costs more than the cold inline spawn,
+            // so only parkable shapes go through the lease at all.
+            let key = LeaseKey::MpiTeam { ranks: res.ranks };
+            let lease;
+            let team: Option<&RankTeam> = if warm::enabled() && lease::parkable(key) {
+                lease = lease::checkout(key);
+                Some(lease.mpi_team())
+            } else {
+                None
+            };
             let outcome = match quality {
-                Quality::Efficient => world.run(|comm| spec.solve_mpi(input, comm))?,
-                Quality::Inefficient => world.run(|comm| {
+                Quality::Efficient => run_world(&world, team, |comm| spec.solve_mpi(input, comm))?,
+                Quality::Inefficient => run_world(&world, team, |comm| {
                     fallback::root_computes_mpi(comm, spec.input_bytes(input), || {
                         spec.serial(input)
                     })
@@ -280,9 +356,20 @@ fn run_correct<S: Spec>(
         }
         ExecutionModel::MpiOpenMp => {
             let world = HybridWorld::new(res.hybrid_ranks, res.hybrid_threads);
+            let key = LeaseKey::HybridTeam {
+                ranks: res.hybrid_ranks,
+                threads: res.hybrid_threads,
+            };
+            let lease;
+            let team: Option<&HybridTeam> = if warm::enabled() && lease::parkable(key) {
+                lease = lease::checkout(key);
+                Some(lease.hybrid_team())
+            } else {
+                None
+            };
             let outcome = match quality {
-                Quality::Efficient => world.run(|ctx| spec.solve_hybrid(input, ctx))?,
-                Quality::Inefficient => world.run(|ctx| {
+                Quality::Efficient => run_hybrid(&world, team, |ctx| spec.solve_hybrid(input, ctx))?,
+                Quality::Inefficient => run_hybrid(&world, team, |ctx| {
                     fallback::root_computes_hybrid(ctx, spec.input_bytes(input), || {
                         spec.serial(input)
                     })
@@ -294,16 +381,24 @@ fn run_correct<S: Spec>(
             Ok(TimedRun { output, seconds: outcome.elapsed })
         }
         ExecutionModel::Cuda | ExecutionModel::Hip => {
-            let gpu = if model == ExecutionModel::Cuda {
-                pcg_gpusim::cuda::device()
+            let lease;
+            let fresh;
+            let gpu: &Gpu = if warm::enabled() {
+                lease = lease::checkout(LeaseKey::Gpu { model });
+                lease.gpu()
             } else {
-                pcg_gpusim::hip::device()
+                fresh = if model == ExecutionModel::Cuda {
+                    pcg_gpusim::cuda::device()
+                } else {
+                    pcg_gpusim::hip::device()
+                };
+                &fresh
             };
             gpu.reset_clock();
             let output = match quality {
-                Quality::Efficient => spec.solve_gpu(input, &gpu),
+                Quality::Efficient => spec.solve_gpu(input, gpu),
                 Quality::Inefficient => {
-                    fallback::single_thread_gpu(&gpu, spec.input_bytes(input), || {
+                    fallback::single_thread_gpu(gpu, spec.input_bytes(input), || {
                         spec.serial(input)
                     })
                 }

@@ -36,6 +36,8 @@
 pub mod corrupt;
 pub mod fallback;
 pub mod framework;
+pub mod input_cache;
+pub mod lease;
 pub mod registry;
 pub mod util;
 
