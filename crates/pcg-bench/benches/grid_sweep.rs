@@ -178,5 +178,82 @@ fn bench_warm_vs_cold(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(grid_sweep, bench_timeout_overlap, bench_compute_grid, bench_warm_vs_cold);
+/// Wall seconds for one MPI world of `ranks` under the current
+/// execution mode: block dot product + allreduce + ring shift, the
+/// paper's bread-and-butter communication shape, on the cluster model.
+fn mpi_world_seconds(ranks: usize) -> f64 {
+    use pcg_mpisim::{CostModel, ReduceOp, World};
+    let t0 = Instant::now();
+    let out = World::new(ranks)
+        .with_cost_model(CostModel::cluster())
+        .run(move |comm| {
+            let rank = comm.rank();
+            let local: Vec<f64> = (0..64).map(|i| (rank * 64 + i) as f64).collect();
+            let dot: f64 = local.iter().map(|x| x * x).sum();
+            let total = comm.allreduce_one(dot, ReduceOp::Sum);
+            let right = (rank + 1) % comm.size();
+            let left = (rank + comm.size() - 1) % comm.size();
+            let shifted = comm.sendrecv(right, 1, &local, left, 1);
+            total + shifted[0]
+        })
+        .unwrap();
+    black_box(out.per_rank);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Oversubscription A/B: thread-per-rank vs the rank multiplexer at
+/// paper-scale world sizes. Thread-per-rank pays one OS thread spawn
+/// (2 MiB stack mmap) per rank per run; the multiplexer runs the same
+/// world on ~2x-cores fiber workers. Records are byte-identical either
+/// way (see `tests/mux_paths.rs`), so wall clock is the whole story.
+/// Writes `target/pcgbench/BENCH_mpiscale.json` and asserts the >=3x
+/// bar on the MPI-512 column from the multiplexer work.
+fn bench_mpi_scale(_c: &mut Criterion) {
+    use pcg_mpisim::sched::{self, ExecMode};
+    let mut rows = Vec::new();
+    let mut speedup_512 = 0.0f64;
+    for ranks in [64usize, 128, 256, 512] {
+        sched::set_exec_mode(ExecMode::ForceThreads);
+        let threads_s = mpi_world_seconds(ranks).min(mpi_world_seconds(ranks));
+        sched::set_exec_mode(ExecMode::ForceMux);
+        let mux_s = mpi_world_seconds(ranks).min(mpi_world_seconds(ranks));
+        let speedup = threads_s / mux_s;
+        if ranks == 512 {
+            speedup_512 = speedup;
+        }
+        println!(
+            "grid_sweep: mpi scale {ranks} ranks: thread-per-rank {threads_s:.4}s, \
+             multiplexed {mux_s:.4}s ({} workers), speedup {speedup:.1}x",
+            sched::workers(),
+        );
+        rows.push(format!(
+            "{{\"ranks\":{ranks},\"thread_per_rank_s\":{threads_s:.6},\
+             \"multiplexed_s\":{mux_s:.6},\"speedup\":{speedup:.3}}}"
+        ));
+    }
+    sched::set_exec_mode(ExecMode::Auto);
+
+    let json = format!(
+        "{{\"workload\":\"block dot + allreduce + ring shift, cluster cost model, best of 2\",\
+         \"mux_workers\":{},\"columns\":[{}]}}",
+        sched::workers(),
+        rows.join(","),
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/pcgbench");
+    std::fs::create_dir_all(&dir).expect("create target/pcgbench");
+    std::fs::write(dir.join("BENCH_mpiscale.json"), &json).expect("write BENCH_mpiscale.json");
+    assert!(
+        speedup_512 >= 3.0,
+        "rank multiplexing must be >=3x over thread-per-rank at 512 ranks, got \
+         {speedup_512:.2}x ({json})"
+    );
+}
+
+criterion_group!(
+    grid_sweep,
+    bench_timeout_overlap,
+    bench_compute_grid,
+    bench_warm_vs_cold,
+    bench_mpi_scale
+);
 criterion_main!(grid_sweep);

@@ -179,6 +179,8 @@ pub fn evaluate_resumable(
         pools_poisoned: runner.pools_poisoned(),
         input_cache_hits: runner.input_cache_hits(),
         pool_setup_s: runner.pool_setup_s(),
+        ranks_multiplexed: runner.ranks_multiplexed(),
+        bytes_zero_copied: runner.bytes_zero_copied(),
     };
     (EvalRecord { config: cfg.clone(), models: model_records }, stats)
 }

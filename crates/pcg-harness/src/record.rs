@@ -118,6 +118,14 @@ pub struct EvalStats {
     /// Seconds constructing substrates on lease misses (summed across
     /// workers) — the surviving share of per-run pool setup.
     pub pool_setup_s: f64,
+    /// Simulated MPI ranks run as multiplexed fibers instead of OS
+    /// threads (zero when every world ran thread-per-rank).
+    #[serde(default)]
+    pub ranks_multiplexed: u64,
+    /// Simulated message payload bytes moved by reference (shared
+    /// buffer forwarding) instead of copied.
+    #[serde(default)]
+    pub bytes_zero_copied: u64,
 }
 
 #[cfg(test)]

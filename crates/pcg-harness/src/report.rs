@@ -135,6 +135,14 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
             stats.pool_setup_s,
         );
     }
+    if stats.ranks_multiplexed + stats.bytes_zero_copied > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   mpi transport: {} ranks multiplexed onto fibers, {:.1} MiB moved zero-copy",
+            stats.ranks_multiplexed,
+            stats.bytes_zero_copied as f64 / (1024.0 * 1024.0),
+        );
+    }
     if stats.cancelled + stats.abandoned + stats.retries + stats.flaky > 0 {
         let _ = writeln!(
             s,

@@ -246,6 +246,7 @@ impl SupervisorPool {
 struct WarmBase {
     lease: LeaseStats,
     input: InputCacheStats,
+    sched: pcg_mpisim::SchedStats,
 }
 
 /// A compute-once cache slot: concurrent requesters for the same key
@@ -276,7 +277,11 @@ impl SharedRunner {
             quarantined: Mutex::new(Vec::new()),
             leaks: Arc::new(LeakTracker::default()),
             supervisors: Arc::new(SupervisorPool::default()),
-            warm_base: WarmBase { lease: lease::stats(), input: input_cache::stats() },
+            warm_base: WarmBase {
+                lease: lease::stats(),
+                input: input_cache::stats(),
+                sched: pcg_mpisim::sched::stats(),
+            },
         }
     }
 
@@ -729,6 +734,22 @@ impl SharedRunner {
     /// path's analog of per-run pool setup time).
     pub fn pool_setup_s(&self) -> f64 {
         (lease::stats().setup_s - self.warm_base.lease.setup_s).max(0.0)
+    }
+
+    /// Simulated MPI ranks run as multiplexed fibers rather than OS
+    /// threads during this evaluation.
+    pub fn ranks_multiplexed(&self) -> u64 {
+        pcg_mpisim::sched::stats()
+            .ranks_multiplexed
+            .saturating_sub(self.warm_base.sched.ranks_multiplexed)
+    }
+
+    /// Payload bytes moved by reference (`Arc` forward) instead of
+    /// copied during this evaluation's simulated message transport.
+    pub fn bytes_zero_copied(&self) -> u64 {
+        pcg_mpisim::sched::stats()
+            .bytes_zero_copied
+            .saturating_sub(self.warm_base.sched.bytes_zero_copied)
     }
 }
 

@@ -1,0 +1,95 @@
+//! Multiplexed-MPI hard constraints at the harness level.
+//!
+//! Rank multiplexing (and the zero-copy transport underneath it) is a
+//! pure performance layer: full-pipeline evaluation records over MPI
+//! and hybrid tasks must be **byte-identical** to thread-per-rank
+//! execution, at any worker count. The comparison uses the same
+//! determinism projection as `ci/project_records.py` — task identity,
+//! per-sample build/correct flags, and sweep keys — because ratios and
+//! stage timings are measured quantities.
+//!
+//! One `#[test]` only: the execution mode, the lease cache, and the
+//! input cache are process-global, so the phases must not interleave.
+
+use pcg_core::warm;
+use pcg_core::ExecutionModel;
+use pcg_harness::eval::{evaluate_with, smoke_tasks};
+use pcg_harness::{EvalConfig, EvalRecord, EvalStats, SharedRunner};
+use pcg_models::SyntheticModel;
+use pcg_mpisim::sched::{self, ExecMode};
+use pcg_problems::{input_cache, lease};
+use std::fmt::Write as _;
+
+/// Mirror of the projection in `ci/project_records.py`.
+fn projection(rec: &EvalRecord) -> String {
+    let mut s = String::new();
+    for m in &rec.models {
+        let _ = writeln!(s, "model={}", m.model);
+        for t in &m.tasks {
+            let _ = writeln!(
+                s,
+                "task={:?} built={:?} correct={:?} high_correct={:?} sweep_ns={:?}",
+                t.task,
+                t.low.built,
+                t.low.correct,
+                t.high.as_ref().map(|h| &h.correct),
+                t.sweep.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+    s
+}
+
+fn run(cfg: &EvalConfig, tasks: &[pcg_core::TaskId], mode: ExecMode, jobs: usize) -> (String, EvalStats) {
+    sched::set_exec_mode(mode);
+    lease::flush();
+    input_cache::flush();
+    let models = vec![SyntheticModel::by_name("CodeLlama-13B").expect("zoo model")];
+    let runner = SharedRunner::new(cfg.clone());
+    let (rec, stats) = evaluate_with(cfg, &models, Some(tasks), jobs, &runner);
+    (projection(&rec), stats)
+}
+
+#[test]
+fn multiplexed_records_match_thread_per_rank_at_any_jobs() {
+    let mut cfg = EvalConfig::smoke();
+    // Flaky candidates fault once per coordinate per *process*; with
+    // retries on, every phase records the post-retry outcome, keeping
+    // projections comparable.
+    cfg.retry_flaky = true;
+    // The message-passing tasks only: those are the ones whose
+    // execution substrate the multiplexer replaces.
+    let tasks: Vec<_> = smoke_tasks()
+        .into_iter()
+        .filter(|t| matches!(t.model, ExecutionModel::Mpi | ExecutionModel::MpiOpenMp))
+        .take(4)
+        .collect();
+    assert!(!tasks.is_empty(), "smoke grid must contain MPI tasks");
+    warm::set_enabled(true);
+
+    // Thread-per-rank reference.
+    let (thr, thr_stats) = run(&cfg, &tasks, ExecMode::ForceThreads, 1);
+    assert_eq!(
+        thr_stats.ranks_multiplexed, 0,
+        "forced thread-per-rank evaluation must not multiplex"
+    );
+
+    // Multiplexed — serial and oversubscribed — each from a cold cache.
+    let (mux1, mux1_stats) = run(&cfg, &tasks, ExecMode::ForceMux, 1);
+    let (mux8, mux8_stats) = run(&cfg, &tasks, ExecMode::ForceMux, 8);
+    sched::set_exec_mode(ExecMode::Auto);
+
+    assert_eq!(thr, mux1, "mux --jobs 1 record must project byte-identical to thread-per-rank");
+    assert_eq!(thr, mux8, "mux --jobs 8 record must project byte-identical to thread-per-rank");
+
+    // And the multiplexer must actually have engaged.
+    assert!(
+        mux1_stats.ranks_multiplexed > 0,
+        "forced mux evaluation must run ranks as fibers: {mux1_stats:?}"
+    );
+    assert!(mux8_stats.ranks_multiplexed > 0);
+    assert!(
+        mux1_stats.bytes_zero_copied > 0,
+        "MPI workloads must move some payload bytes by reference"
+    );
+}

@@ -18,6 +18,17 @@
 //! Communication costs remain those of `pcg-mpisim`'s Hockney model, so
 //! the hybrid column inherits realistic rank-level scaling behavior.
 //!
+//! ## Execution style
+//!
+//! Rank execution is inherited from `pcg-mpisim`: an oversubscribed
+//! world runs its ranks as multiplexed fibers on a bounded worker pool
+//! (see `pcg_mpisim::sched`), with records identical to thread-per-rank.
+//! Only the *ranks* multiplex — each rank's timed compute pool keeps
+//! real OS threads, because chunk wall-timing is the measurement. A
+//! rank fiber blocking on its own pool's completion blocks only pool
+//! progress, never another fiber's scheduling, so the two layers
+//! compose without deadlock.
+//!
 //! ```
 //! use pcg_hybrid::HybridWorld;
 //! use pcg_mpisim::ReduceOp;

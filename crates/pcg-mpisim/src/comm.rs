@@ -7,9 +7,29 @@
 //! algorithms (binomial broadcast/reduce, recursive-doubling allreduce,
 //! Hillis–Steele scan, ring allgather, dissemination barrier), so their
 //! log-P virtual-time scaling emerges from the p2p model.
+//!
+//! ## Transport is zero-copy
+//!
+//! Payloads are `Arc`-shared ([`crate::Packet`]): the tree and ring
+//! collectives forward the *same* buffer from hop to hop (a refcount
+//! bump, counted in `bytes_zero_copied`), and receivers get
+//! copy-on-write ownership — data is duplicated only when a rank
+//! actually takes a mutable copy while another hop still holds the
+//! buffer. Virtual time is charged by logical payload size, so the
+//! sharing is invisible to the cost model.
+//!
+//! ## Two blocking disciplines
+//!
+//! On the thread-per-rank path, a blocked `recv`/token wait parks the
+//! rank's OS thread on a condvar. On the multiplexed path
+//! ([`crate::sched`]), the same wait parks the rank's *fiber* with the
+//! scheduler and the worker thread runs another rank. Both paths
+//! release the compute token on first block and reacquire it after, so
+//! measured-compute accounting is identical.
 
 use crate::mailbox::Envelope;
-use crate::packet::{Elem, ReduceOp};
+use crate::packet::{Elem, Packet, ReduceOp};
+use crate::sched::{self, Wait};
 use crate::world::WorldShared;
 use pcg_core::{usage, ExecutionModel};
 use std::cell::Cell;
@@ -68,7 +88,22 @@ impl<'w> Comm<'w> {
     // ---- token & clock internals -------------------------------------
 
     pub(crate) fn acquire_token(&self) {
-        if !self.shared.tokens.acquire() {
+        if self.shared.is_multiplexed() {
+            // Fiber discipline: spin try_acquire/yield instead of
+            // blocking the worker thread on the semaphore condvar.
+            loop {
+                if let Some(t) = &self.shared.cancel {
+                    t.check();
+                }
+                if self.shared.tokens.is_aborted() {
+                    abort_panic();
+                }
+                if self.shared.tokens.try_acquire() {
+                    break;
+                }
+                sched::yield_fiber(Wait::Token);
+            }
+        } else if !self.shared.tokens.acquire() {
             abort_panic();
         }
         self.has_token.set(true);
@@ -78,6 +113,7 @@ impl<'w> Comm<'w> {
     pub(crate) fn release_token(&self) {
         if self.has_token.replace(false) {
             self.shared.tokens.release();
+            self.shared.notify_token();
         }
     }
 
@@ -114,15 +150,16 @@ impl<'w> Comm<'w> {
         RESERVED_TAG_BASE + (seq << 6)
     }
 
-    // ---- point to point ----------------------------------------------
+    // ---- transport internals -----------------------------------------
 
-    /// Eager (buffered, non-blocking completion) send of a typed slice.
-    pub fn send<T: Elem>(&self, dst: usize, tag: u32, data: &[T]) {
+    /// Charge send costs and deposit `packet` at `dst`. Every send path
+    /// (fresh, moved, forwarded) funnels through here, so virtual-time
+    /// arithmetic is identical regardless of how the buffer travels.
+    fn send_packet(&self, dst: usize, tag: u32, packet: Packet) {
         usage::record(ExecutionModel::Mpi);
         self.check_alive();
         assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
         self.flush_compute();
-        let packet = T::wrap(data.to_vec());
         let bytes = packet.byte_len();
         let t = self.clock.get() + self.shared.cost.send_overhead;
         self.clock.set(t);
@@ -133,12 +170,28 @@ impl<'w> Comm<'w> {
             packet,
             available_at,
         });
+        self.shared.notify_mailbox(dst);
     }
 
-    /// Blocking receive of a typed slice. `src = None` matches any
-    /// source. Panics (aborting the world) on a payload type mismatch,
-    /// mirroring an MPI datatype error.
-    pub fn recv<T: Elem>(&self, src: Option<usize>, tag: u32) -> Vec<T> {
+    /// Send an owned vector: the buffer is moved into the packet, never
+    /// copied (for values the sender will not read again).
+    fn send_vec<T: Elem>(&self, dst: usize, tag: u32, data: Vec<T>) {
+        sched::note_zero_copy(data.len() * T::BYTES);
+        self.send_packet(dst, tag, T::wrap(data));
+    }
+
+    /// Forward an in-flight buffer to the next hop of a collective: an
+    /// `Arc` clone, not a data copy.
+    fn forward(&self, dst: usize, tag: u32, packet: &Packet) {
+        sched::note_zero_copy(packet.byte_len());
+        self.send_packet(dst, tag, packet.clone());
+    }
+
+    /// Blocking receive of a raw envelope, with the token released
+    /// while blocked and reacquired after. Both execution paths meet
+    /// the same postcondition: clock advanced to
+    /// `max(clock, available_at) + recv_overhead`.
+    fn recv_envelope(&self, src: Option<usize>, tag: u32) -> Envelope {
         usage::record(ExecutionModel::Mpi);
         self.check_alive();
         if let Some(s) = src {
@@ -146,21 +199,87 @@ impl<'w> Comm<'w> {
         }
         self.flush_compute();
         let mut released = false;
-        let got = self.shared.mailboxes[self.rank].take_matching(src, tag, &mut || {
-            // Release the compute token before blocking so other rank
-            // threads can run; `release_token` only touches Cells and
-            // the semaphore, never the mailbox lock we hold.
-            if self.has_token.replace(false) {
-                self.shared.tokens.release();
-            }
-            released = true;
-        });
+        let got = if self.shared.is_multiplexed() {
+            self.take_matching_mux(src, tag, &mut released)
+        } else {
+            self.shared.mailboxes[self.rank].take_matching(src, tag, &mut || {
+                // Release the compute token before blocking so other
+                // rank threads can run; `release_token` only touches
+                // Cells and the semaphore, never the mailbox lock we
+                // hold (and no scheduler exists on this path).
+                if self.has_token.replace(false) {
+                    self.shared.tokens.release();
+                }
+                released = true;
+            })
+        };
         let Some((env, _)) = got else { abort_panic() };
         if released {
             self.acquire_token();
         }
         let arrived = self.clock.get().max(env.available_at) + self.shared.cost.recv_overhead;
         self.clock.set(arrived);
+        env
+    }
+
+    /// Fiber-mode receive loop: poll the mailbox, park with the
+    /// scheduler on failure. Mirrors `Mailbox::take_matching` exactly —
+    /// including releasing the token on first block only.
+    fn take_matching_mux(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        released: &mut bool,
+    ) -> Option<(Envelope, bool)> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut blocked = false;
+        loop {
+            if let Some(t) = &self.shared.cancel {
+                t.check();
+            }
+            if mb.is_aborted() {
+                return None;
+            }
+            if let Some(env) = mb.try_take(src, tag) {
+                return Some((env, blocked));
+            }
+            if !blocked {
+                if self.has_token.replace(false) {
+                    self.shared.tokens.release();
+                    self.shared.notify_token();
+                }
+                *released = true;
+                blocked = true;
+            }
+            sched::yield_fiber(Wait::Mailbox { src, tag });
+        }
+    }
+
+    /// Receive a typed packet, panicking (and thus aborting the world)
+    /// on a payload type mismatch, mirroring an MPI datatype error.
+    fn recv_packet<T: Elem>(&self, src: Option<usize>, tag: u32) -> Packet {
+        let env = self.recv_envelope(src, tag);
+        if T::view(&env.packet).is_none() {
+            panic!(
+                "mpisim: recv type mismatch at rank {} (tag {tag}, from {})",
+                self.rank, env.src
+            );
+        }
+        env.packet
+    }
+
+    // ---- point to point ----------------------------------------------
+
+    /// Eager (buffered, non-blocking completion) send of a typed slice.
+    pub fn send<T: Elem>(&self, dst: usize, tag: u32, data: &[T]) {
+        self.send_packet(dst, tag, T::wrap(data.to_vec()));
+    }
+
+    /// Blocking receive of a typed slice. `src = None` matches any
+    /// source. Panics (aborting the world) on a payload type mismatch,
+    /// mirroring an MPI datatype error.
+    pub fn recv<T: Elem>(&self, src: Option<usize>, tag: u32) -> Vec<T> {
+        let env = self.recv_envelope(src, tag);
         match T::unwrap(env.packet) {
             Some(v) => v,
             None => panic!(
@@ -229,7 +348,9 @@ impl<'w> Comm<'w> {
     }
 
     /// Binomial-tree broadcast from `root`. On non-root ranks the buffer
-    /// is replaced by the received data.
+    /// is replaced by the received data. One buffer travels the whole
+    /// tree: the root moves its vector into a packet and every interior
+    /// rank forwards the packet it received, so no hop copies payload.
     pub fn bcast<T: Elem>(&self, root: usize, data: &mut Vec<T>) {
         usage::record(ExecutionModel::Mpi);
         assert!(root < self.size, "bcast root out of range");
@@ -240,21 +361,35 @@ impl<'w> Comm<'w> {
         let relative = (self.rank + self.size - root) % self.size;
         let real = |v: usize| (v + root) % self.size;
         // Receive phase: find parent.
+        let mut received: Option<Packet> = None;
         let mut mask = 1usize;
         while mask < self.size {
             if relative & mask != 0 {
-                *data = self.recv::<T>(Some(real(relative - mask)), base);
+                received = Some(self.recv_packet::<T>(Some(real(relative - mask)), base));
                 break;
             }
             mask <<= 1;
         }
-        // Send phase: forward to children.
+        // Send phase: forward the shared buffer to children.
         mask >>= 1;
-        while mask > 0 {
-            if relative + mask < self.size {
-                self.send::<T>(real(relative + mask), base, data);
+        if mask > 0 {
+            let packet = match received {
+                Some(p) => p,
+                // Root: move its buffer behind the Arc instead of
+                // cloning it once per child.
+                None => T::wrap(std::mem::take(data)),
+            };
+            while mask > 0 {
+                if relative + mask < self.size {
+                    self.forward(real(relative + mask), base, &packet);
+                }
+                mask >>= 1;
             }
-            mask >>= 1;
+            *data = T::unwrap(packet).expect("bcast packet type checked on receive");
+        } else if let Some(p) = received {
+            // Leaf: sole owner by the time children drop their refs, so
+            // this unwrap is usually move-out, not copy.
+            *data = T::unwrap(p).expect("bcast packet type checked on receive");
         }
     }
 
@@ -278,15 +413,18 @@ impl<'w> Comm<'w> {
         let mut mask = 1usize;
         while mask < self.size {
             if relative & mask != 0 {
-                self.send::<T>(real(relative - mask), base, &acc);
+                // The accumulator is never read again: move it up the
+                // tree instead of copying.
+                self.send_vec(real(relative - mask), base, acc);
                 return None;
             }
             let child = relative + mask;
             if child < self.size {
-                let other = self.recv::<T>(Some(real(child)), base);
+                let packet = self.recv_packet::<T>(Some(real(child)), base);
+                let other = T::view(&packet).expect("reduce packet type checked on receive");
                 assert_eq!(other.len(), acc.len(), "reduce length mismatch across ranks");
                 for (a, b) in acc.iter_mut().zip(other) {
-                    *a = T::apply(op, *a, b);
+                    *a = T::apply(op, *a, *b);
                 }
             }
             mask <<= 1;
@@ -368,12 +506,14 @@ impl<'w> Comm<'w> {
         let inclusive = self.scan(local, op);
         let base = self.next_coll_base();
         if self.rank + 1 < self.size {
-            self.send::<T>(self.rank + 1, base, &inclusive);
+            // The inclusive result is not returned from exscan: move it
+            // to the right neighbor instead of copying.
+            self.send_vec(self.rank + 1, base, inclusive);
         }
         if self.rank == 0 {
             local.iter().map(|_| T::identity(op)).collect()
         } else {
-            self.recv::<T>(Some(self.rank - 1), base)
+            self.recv(Some(self.rank - 1), base)
         }
     }
 
@@ -388,7 +528,8 @@ impl<'w> Comm<'w> {
     }
 
     /// Linear gather of variable-length contributions, concatenated in
-    /// rank order at `root` (`MPI_Gatherv` analog).
+    /// rank order at `root` (`MPI_Gatherv` analog). The root reads each
+    /// contribution through a borrowed view — no intermediate vector.
     pub fn gather<T: Elem>(&self, root: usize, local: &[T]) -> Option<Vec<T>> {
         usage::record(ExecutionModel::Mpi);
         assert!(root < self.size, "gather root out of range");
@@ -402,48 +543,58 @@ impl<'w> Comm<'w> {
             if r == root {
                 out.extend_from_slice(local);
             } else {
-                out.extend(self.recv::<T>(Some(r), base));
+                let packet = self.recv_packet::<T>(Some(r), base);
+                out.extend_from_slice(T::view(&packet).expect("gather packet type checked"));
             }
         }
         Some(out)
     }
 
     /// Ring allgather: every rank ends with the rank-order concatenation
-    /// of all contributions.
+    /// of all contributions. Each block travels the ring as one shared
+    /// buffer: every hop forwards the packet it received.
     pub fn allgather<T: Elem>(&self, local: &[T]) -> Vec<T> {
         usage::record(ExecutionModel::Mpi);
         let base = self.next_coll_base();
-        let mut blocks: Vec<Option<Vec<T>>> = vec![None; self.size];
-        blocks[self.rank] = Some(local.to_vec());
+        let mut blocks: Vec<Option<Packet>> = (0..self.size).map(|_| None).collect();
+        blocks[self.rank] = Some(T::wrap(local.to_vec()));
         let right = (self.rank + 1) % self.size;
         let left = (self.rank + self.size - 1) % self.size;
         for step in 0..self.size.saturating_sub(1) {
             let send_idx = (self.rank + self.size - step) % self.size;
             let tag = base + step as u32;
-            self.send::<T>(right, tag, blocks[send_idx].as_ref().expect("ring invariant"));
+            let packet = blocks[send_idx].clone().expect("ring invariant");
+            self.forward(right, tag, &packet);
             let recv_idx = (self.rank + self.size - step - 1) % self.size;
-            blocks[recv_idx] = Some(self.recv::<T>(Some(left), tag));
+            blocks[recv_idx] = Some(self.recv_packet::<T>(Some(left), tag));
         }
-        blocks.into_iter().flat_map(|b| b.expect("ring completed")).collect()
+        let mut out = Vec::new();
+        for b in &blocks {
+            let block = b.as_ref().expect("ring completed");
+            out.extend_from_slice(T::view(block).expect("allgather packet type checked"));
+        }
+        out
     }
 
-    /// Scatter variable-length chunks from `root`: `chunks` is consulted
-    /// only on the root and must contain one `Vec` per rank.
-    pub fn scatter<T: Elem>(&self, root: usize, chunks: Option<&[Vec<T>]>) -> Vec<T> {
+    /// Scatter variable-length chunks from `root`: `chunks` is consumed
+    /// on the root (one `Vec` per rank, each moved to its destination —
+    /// no per-chunk copies) and ignored elsewhere.
+    pub fn scatter<T: Elem>(&self, root: usize, chunks: Option<Vec<Vec<T>>>) -> Vec<T> {
         usage::record(ExecutionModel::Mpi);
         assert!(root < self.size, "scatter root out of range");
         let base = self.next_coll_base();
         if self.rank == root {
-            let chunks = chunks.expect("root must supply scatter chunks");
+            let mut chunks = chunks.expect("root must supply scatter chunks");
             assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
-            for (r, chunk) in chunks.iter().enumerate() {
+            let own = std::mem::take(&mut chunks[root]);
+            for (r, chunk) in chunks.into_iter().enumerate() {
                 if r != root {
-                    self.send::<T>(r, base, chunk);
+                    self.send_vec(r, base, chunk);
                 }
             }
-            chunks[root].clone()
+            own
         } else {
-            self.recv::<T>(Some(root), base)
+            self.recv(Some(root), base)
         }
     }
 
@@ -461,22 +612,23 @@ impl<'w> Comm<'w> {
         } else {
             None
         };
-        self.scatter(root, chunks.as_deref())
+        self.scatter(root, chunks)
     }
 
     /// Pairwise all-to-all personalized exchange: `chunks[r]` goes to
-    /// rank `r`; returns the chunks received, indexed by source rank.
-    pub fn alltoall<T: Elem>(&self, chunks: &[Vec<T>]) -> Vec<Vec<T>> {
+    /// rank `r` (each moved, not copied); returns the chunks received,
+    /// indexed by source rank.
+    pub fn alltoall<T: Elem>(&self, mut chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
         usage::record(ExecutionModel::Mpi);
         assert_eq!(chunks.len(), self.size, "alltoall needs one chunk per rank");
         let base = self.next_coll_base();
-        let mut out: Vec<Vec<T>> = vec![Vec::new(); self.size];
-        out[self.rank] = chunks[self.rank].clone();
+        let mut out: Vec<Vec<T>> = (0..self.size).map(|_| Vec::new()).collect();
+        out[self.rank] = std::mem::take(&mut chunks[self.rank]);
         for offset in 1..self.size {
             let dst = (self.rank + offset) % self.size;
             let src = (self.rank + self.size - offset) % self.size;
             let tag = base + offset as u32;
-            self.send::<T>(dst, tag, &chunks[dst]);
+            self.send_vec(dst, tag, std::mem::take(&mut chunks[dst]));
             out[src] = self.recv::<T>(Some(src), tag);
         }
         out
@@ -495,7 +647,7 @@ pub fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize>
 }
 
 #[cold]
-fn abort_panic() -> ! {
+pub(crate) fn abort_panic() -> ! {
     panic!("mpisim: world aborted");
 }
 

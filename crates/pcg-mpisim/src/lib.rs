@@ -48,6 +48,7 @@ mod comm;
 mod cost;
 mod mailbox;
 mod packet;
+pub mod sched;
 mod sync;
 mod team;
 mod world;
@@ -55,6 +56,7 @@ mod world;
 pub use comm::{block_range, Comm};
 pub use cost::CostModel;
 pub use packet::{Elem, Packet, ReduceOp};
+pub use sched::{ExecMode, SchedStats};
 pub use team::RankTeam;
 pub use world::{SimOutcome, World};
 

@@ -1,6 +1,8 @@
 //! Per-rank mailboxes with tag/source matching.
 
 use crate::packet::Packet;
+#[cfg(test)]
+use crate::packet::Elem;
 use crate::sync::CANCEL_TICK;
 use parking_lot::{Condvar, Mutex};
 use pcg_core::cancel::{self, CancelToken};
@@ -98,6 +100,23 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking take: remove and return the first matching message,
+    /// if any. The multiplexed path's receive primitive — a rank fiber
+    /// that finds nothing parks itself with the scheduler instead of
+    /// waiting on the mailbox condvar.
+    pub fn try_take(&self, src: Option<usize>, tag: u32) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        let pos = q
+            .iter()
+            .position(|e| e.tag == tag && src.map(|s| s == e.src).unwrap_or(true))?;
+        q.remove(pos)
+    }
+
+    /// Whether [`Mailbox::abort`] has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
     /// Non-blocking probe: does a matching message exist?
     pub fn probe(&self, src: Option<usize>, tag: u32) -> bool {
         let q = self.queue.lock();
@@ -122,7 +141,7 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: u32) -> Envelope {
-        Envelope { src, tag, packet: Packet::I64s(vec![src as i64]), available_at: 0.0 }
+        Envelope { src, tag, packet: i64::wrap(vec![src as i64]), available_at: 0.0 }
     }
 
     #[test]
@@ -141,10 +160,10 @@ mod tests {
     #[test]
     fn fifo_within_match() {
         let mb = Mailbox::new();
-        mb.deposit(Envelope { src: 1, tag: 5, packet: Packet::I64s(vec![10]), available_at: 0.0 });
-        mb.deposit(Envelope { src: 1, tag: 5, packet: Packet::I64s(vec![20]), available_at: 0.0 });
+        mb.deposit(Envelope { src: 1, tag: 5, packet: i64::wrap(vec![10]), available_at: 0.0 });
+        mb.deposit(Envelope { src: 1, tag: 5, packet: i64::wrap(vec![20]), available_at: 0.0 });
         let (a, _) = mb.take_matching(Some(1), 5, &mut || {}).unwrap();
-        assert_eq!(a.packet, Packet::I64s(vec![10]));
+        assert_eq!(a.packet, i64::wrap(vec![10]));
     }
 
     #[test]

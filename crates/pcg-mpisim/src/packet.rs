@@ -4,18 +4,28 @@
 //! [`Elem`] trait lets the point-to-point and collective APIs stay
 //! generic while byte counts (for the cost model) and reduction
 //! semantics stay exact.
+//!
+//! Payloads are `Arc`-shared: cloning a [`Packet`] (a collective
+//! forwarding a buffer to its next hop) is a reference-count bump, not a
+//! data copy. A receiver that wants an owned `Vec` gets copy-on-write
+//! semantics from [`Elem::unwrap`] — the data is only duplicated if
+//! another rank still holds a reference. The cost model is unaffected:
+//! it charges by [`Packet::byte_len`], which is a property of the
+//! logical payload, not of how many copies exist in host memory.
+
+use std::sync::Arc;
 
 /// A message payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
     /// 64-bit floats.
-    F64s(Vec<f64>),
+    F64s(Arc<Vec<f64>>),
     /// 64-bit signed integers.
-    I64s(Vec<i64>),
+    I64s(Arc<Vec<i64>>),
     /// 32-bit unsigned integers (graph/sparse indices).
-    U32s(Vec<u32>),
+    U32s(Arc<Vec<u32>>),
     /// Raw bytes.
-    Bytes(Vec<u8>),
+    Bytes(Arc<Vec<u8>>),
 }
 
 impl Packet {
@@ -40,6 +50,13 @@ impl Packet {
     }
 }
 
+/// Unwrap an `Arc` payload without copying when this is the last
+/// reference (the common case for point-to-point receives), cloning
+/// otherwise (a collective hop still holds the buffer).
+fn unshare<T: Clone>(a: Arc<Vec<T>>) -> Vec<T> {
+    Arc::try_unwrap(a).unwrap_or_else(|shared| (*shared).clone())
+}
+
 /// Built-in reduction operators (the `MPI_Op` analog).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -55,10 +72,15 @@ pub enum ReduceOp {
 
 /// An element type that can travel in a [`Packet`] and be reduced.
 pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
-    /// Wrap a vector of elements into a packet.
+    /// Wrap a vector of elements into a packet (no copy: the vector is
+    /// moved behind the `Arc`).
     fn wrap(v: Vec<Self>) -> Packet;
-    /// Unwrap a packet, `None` on type mismatch.
+    /// Unwrap a packet into an owned vector, `None` on type mismatch.
+    /// Copy-on-write: copies only if the buffer is still shared.
     fn unwrap(p: Packet) -> Option<Vec<Self>>;
+    /// Borrow a packet's payload without taking ownership, `None` on
+    /// type mismatch. The zero-copy read path for collectives.
+    fn view(p: &Packet) -> Option<&[Self]>;
     /// Size of one element in bytes.
     const BYTES: usize;
     /// Apply a reduction operator to a pair.
@@ -69,9 +91,15 @@ pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
 
 impl Elem for f64 {
     fn wrap(v: Vec<f64>) -> Packet {
-        Packet::F64s(v)
+        Packet::F64s(Arc::new(v))
     }
     fn unwrap(p: Packet) -> Option<Vec<f64>> {
+        match p {
+            Packet::F64s(v) => Some(unshare(v)),
+            _ => None,
+        }
+    }
+    fn view(p: &Packet) -> Option<&[f64]> {
         match p {
             Packet::F64s(v) => Some(v),
             _ => None,
@@ -98,9 +126,15 @@ impl Elem for f64 {
 
 impl Elem for i64 {
     fn wrap(v: Vec<i64>) -> Packet {
-        Packet::I64s(v)
+        Packet::I64s(Arc::new(v))
     }
     fn unwrap(p: Packet) -> Option<Vec<i64>> {
+        match p {
+            Packet::I64s(v) => Some(unshare(v)),
+            _ => None,
+        }
+    }
+    fn view(p: &Packet) -> Option<&[i64]> {
         match p {
             Packet::I64s(v) => Some(v),
             _ => None,
@@ -127,9 +161,15 @@ impl Elem for i64 {
 
 impl Elem for u32 {
     fn wrap(v: Vec<u32>) -> Packet {
-        Packet::U32s(v)
+        Packet::U32s(Arc::new(v))
     }
     fn unwrap(p: Packet) -> Option<Vec<u32>> {
+        match p {
+            Packet::U32s(v) => Some(unshare(v)),
+            _ => None,
+        }
+    }
+    fn view(p: &Packet) -> Option<&[u32]> {
         match p {
             Packet::U32s(v) => Some(v),
             _ => None,
@@ -160,18 +200,42 @@ mod tests {
 
     #[test]
     fn byte_lengths() {
-        assert_eq!(Packet::F64s(vec![0.0; 3]).byte_len(), 24);
-        assert_eq!(Packet::I64s(vec![0; 2]).byte_len(), 16);
-        assert_eq!(Packet::U32s(vec![0; 5]).byte_len(), 20);
-        assert_eq!(Packet::Bytes(vec![0; 7]).byte_len(), 7);
+        assert_eq!(f64::wrap(vec![0.0; 3]).byte_len(), 24);
+        assert_eq!(i64::wrap(vec![0; 2]).byte_len(), 16);
+        assert_eq!(u32::wrap(vec![0; 5]).byte_len(), 20);
+        assert_eq!(Packet::Bytes(Arc::new(vec![0; 7])).byte_len(), 7);
     }
 
     #[test]
     fn wrap_unwrap_roundtrip() {
         let v = vec![1.5f64, -2.0];
         assert_eq!(f64::unwrap(f64::wrap(v.clone())), Some(v));
-        assert_eq!(i64::unwrap(Packet::F64s(vec![1.0])), None);
+        assert_eq!(i64::unwrap(f64::wrap(vec![1.0])), None);
         assert_eq!(u32::unwrap(u32::wrap(vec![7])), Some(vec![7]));
+    }
+
+    #[test]
+    fn view_borrows_without_copy() {
+        let p = i64::wrap(vec![3, 4, 5]);
+        assert_eq!(i64::view(&p), Some(&[3i64, 4, 5][..]));
+        assert_eq!(f64::view(&p), None);
+        // Still intact afterwards.
+        assert_eq!(i64::unwrap(p), Some(vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn unwrap_is_copy_on_write() {
+        let p = f64::wrap(vec![1.0, 2.0]);
+        let q = p.clone();
+        // Shared: unwrap must copy, leaving the other reference intact.
+        let owned = f64::unwrap(p).unwrap();
+        assert_eq!(owned, vec![1.0, 2.0]);
+        assert_eq!(f64::view(&q), Some(&[1.0, 2.0][..]));
+        // Sole reference: unwrap reuses the allocation (observable via
+        // the data pointer surviving the unwrap).
+        let addr = f64::view(&q).unwrap().as_ptr();
+        let owned = f64::unwrap(q).unwrap();
+        assert_eq!(owned.as_ptr(), addr, "sole-owner unwrap must not copy");
     }
 
     #[test]

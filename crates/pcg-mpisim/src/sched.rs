@@ -1,0 +1,637 @@
+//! Rank-multiplexing cooperative scheduler.
+//!
+//! Thread-per-rank execution spawns one OS thread per simulated rank,
+//! which makes the paper's 512-rank sweep column cost 512 spawns plus a
+//! condvar storm per run on a machine with a few dozen cores. This
+//! module runs the same rank programs as **stackful fibers** multiplexed
+//! onto `W ≤ ~2×cores` worker threads: a rank that blocks in
+//! `recv`/token acquisition parks its continuation (a saved stack) in a
+//! blocked-rank queue instead of parking an OS thread, and a worker
+//! resumes the next runnable rank.
+//!
+//! Scheduling is *run-to-block*: fibers yield only at the exact points
+//! where the thread-per-rank path would block on a condvar (mailbox
+//! waits and compute-token waits). Virtual time is governed solely by
+//! [`crate::CostModel`] arithmetic on message metadata, which is
+//! identical in both execution paths, so simulation records are
+//! byte-identical to thread-per-rank at any worker count.
+//!
+//! ## Wakeup protocol
+//!
+//! All scheduler state sits behind one mutex. A rank only ever waits on
+//! its *own* mailbox, so mailbox wakeups are keyed by rank: a sender
+//! deposits (mailbox lock, dropped) and then notifies the scheduler
+//! (scheduler lock). The lost-wakeup race — a deposit landing between a
+//! fiber's failed `try_take` and the worker filing it as blocked — is
+//! closed by the worker re-probing the wait condition *under the
+//! scheduler lock* after the fiber has switched out: deposits are
+//! ordered either before the probe (rank goes straight back to ready)
+//! or after it (the sender's notify finds the filed waiter). No path
+//! holds a mailbox or semaphore lock while taking the scheduler lock,
+//! so the two lock orders never form a cycle.
+//!
+//! ## Cancellation and abort
+//!
+//! Idle workers tick at [`CANCEL_TICK`] when the launching candidate
+//! has a cancel token, and on observing a kill wake every parked fiber;
+//! resumed fibers hit their cancel check and unwind with the marker,
+//! exactly like parked rank threads do. `WorldShared::abort` likewise
+//! wakes all parked fibers so they observe the abort and unwind. The
+//! scheduler only terminates once every rank has run to completion, so
+//! fibers are never dropped mid-stack in normal operation.
+
+use crate::sync::CANCEL_TICK;
+use crate::world::WorldShared;
+use parking_lot::{Condvar, Mutex};
+use pcg_core::{cancel, usage, warm};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+// ---- policy ----------------------------------------------------------
+
+/// How worlds choose between thread-per-rank and multiplexed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Multiplex oversubscribed worlds (`ranks > workers()`) when the
+    /// warm path is enabled (`PCG_COLD=1` restores thread-per-rank).
+    Auto,
+    /// Always thread-per-rank (the A/B baseline).
+    ForceThreads,
+    /// Multiplex every multi-rank world, however small (tests/benches).
+    ForceMux,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-global execution mode (benches and tests; the
+/// default is [`ExecMode::Auto`]).
+pub fn set_exec_mode(mode: ExecMode) {
+    MODE.store(mode as u8, Ordering::Release);
+}
+
+/// The current execution mode.
+pub fn exec_mode() -> ExecMode {
+    match MODE.load(Ordering::Acquire) {
+        1 => ExecMode::ForceThreads,
+        2 => ExecMode::ForceMux,
+        _ => ExecMode::Auto,
+    }
+}
+
+/// Whether fiber multiplexing is implemented for this target.
+pub fn supported() -> bool {
+    cfg!(all(target_arch = "x86_64", unix))
+}
+
+/// Number of multiplexer worker threads: `PCG_MPI_WORKERS` if set to a
+/// positive integer, else twice the available parallelism (min 2). Read
+/// once per process.
+pub fn workers() -> usize {
+    static W: OnceLock<usize> = OnceLock::new();
+    *W.get_or_init(|| {
+        if let Ok(v) = std::env::var("PCG_MPI_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        (2 * cores).max(2)
+    })
+}
+
+/// Whether a world of `ranks` ranks runs multiplexed under the current
+/// mode.
+pub fn should_multiplex(ranks: usize) -> bool {
+    if !supported() {
+        return false;
+    }
+    match exec_mode() {
+        ExecMode::ForceThreads => false,
+        ExecMode::ForceMux => ranks > 1,
+        ExecMode::Auto => warm::enabled() && ranks > workers(),
+    }
+}
+
+/// OS threads a world of `ranks` ranks actually occupies under the
+/// current mode — the quantity the lease layer budgets by.
+pub fn os_threads_for(ranks: usize) -> usize {
+    if should_multiplex(ranks) {
+        workers()
+    } else {
+        ranks
+    }
+}
+
+// ---- stats -----------------------------------------------------------
+
+static RANKS_MULTIPLEXED: AtomicU64 = AtomicU64::new(0);
+static BYTES_ZERO_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide multiplexer counters (monotonic; the harness snapshots
+/// and diffs them per evaluation, like the lease stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Simulated ranks that ran as fibers instead of OS threads.
+    pub ranks_multiplexed: u64,
+    /// Payload bytes forwarded or moved by reference in transport
+    /// (collective hops, moved sends) instead of being copied.
+    pub bytes_zero_copied: u64,
+}
+
+/// Snapshot the counters.
+pub fn stats() -> SchedStats {
+    SchedStats {
+        ranks_multiplexed: RANKS_MULTIPLEXED.load(Ordering::Relaxed),
+        bytes_zero_copied: BYTES_ZERO_COPIED.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_ranks_multiplexed(n: u64) {
+    RANKS_MULTIPLEXED.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_zero_copy(bytes: usize) {
+    BYTES_ZERO_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+// ---- yield reasons ---------------------------------------------------
+
+/// Why a fiber switched back to its worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Wait {
+    /// Blocked receiving on the rank's own mailbox.
+    Mailbox { src: Option<usize>, tag: u32 },
+    /// Blocked acquiring a compute token.
+    Token,
+    /// The rank body ran to completion (or unwound into the fiber's
+    /// catch).
+    Done,
+}
+
+// ---- fibers ----------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod fiber {
+    use super::Wait;
+    use std::alloc::Layout;
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Matches the thread-per-rank path's reduced rank-thread stacks.
+    const STACK_SIZE: usize = 1 << 21;
+    const STACK_CANARY: u64 = 0xF1BE_75AC_CA4A_11D8;
+
+    // Minimal SysV x86_64 context switch: save the callee-saved integer
+    // registers and the stack pointer, load the target's. Everything
+    // else is caller-saved at the (extern "C") call boundary. `save`
+    // receives the suspended context's rsp; `to` is the context to
+    // enter.
+    std::arch::global_asm!(
+        r#"
+        .text
+        .globl pcg_mpisim_fiber_switch
+        .type pcg_mpisim_fiber_switch, @function
+pcg_mpisim_fiber_switch:
+        push rbp
+        push rbx
+        push r12
+        push r13
+        push r14
+        push r15
+        mov [rdi], rsp
+        mov rsp, rsi
+        pop r15
+        pop r14
+        pop r13
+        pop r12
+        pop rbx
+        pop rbp
+        ret
+        .size pcg_mpisim_fiber_switch, . - pcg_mpisim_fiber_switch
+
+        .globl pcg_mpisim_fiber_trampoline
+        .type pcg_mpisim_fiber_trampoline, @function
+pcg_mpisim_fiber_trampoline:
+        mov rdi, r12
+        and rsp, -16
+        call r13
+        ud2
+        .size pcg_mpisim_fiber_trampoline, . - pcg_mpisim_fiber_trampoline
+        "#
+    );
+
+    extern "C" {
+        fn pcg_mpisim_fiber_switch(save: *mut *mut u8, to: *mut u8);
+        fn pcg_mpisim_fiber_trampoline();
+    }
+
+    /// The live link between a worker and the fiber it is running,
+    /// stack-allocated in `resume` and published through worker TLS so
+    /// `yield_fiber` (called from arbitrarily deep in the rank body)
+    /// can find the worker's saved context.
+    struct SwitchPair {
+        worker_rsp: *mut u8,
+        fiber_rsp: *mut u8,
+        reason: Wait,
+    }
+
+    thread_local! {
+        static CURRENT: Cell<*mut SwitchPair> = const { Cell::new(std::ptr::null_mut()) };
+    }
+
+    struct EntryData {
+        body: Option<Box<dyn FnOnce() + 'static>>,
+    }
+
+    extern "C" fn fiber_entry(data: *mut EntryData) -> ! {
+        // Contain every unwind inside the fiber: panics (candidate
+        // failures, abort cascades, cancel markers) are already handled
+        // by the rank body's own catch in `world.rs`; this outer catch
+        // only guarantees nothing ever unwinds across the switch
+        // boundary, where there is no frame to unwind into.
+        let body = unsafe { (*data).body.take().expect("fiber body taken twice") };
+        let _ = catch_unwind(AssertUnwindSafe(body));
+        unsafe { switch_out_done() }
+    }
+
+    // `#[inline(never)]` on everything touching `CURRENT` from fiber
+    // context is load-bearing: LLVM models a thread-local's address as
+    // constant within a function body (a function cannot change threads
+    // under normal execution), so if these reads inline into a caller
+    // that spans a context switch — e.g. a blocking-recv retry loop that
+    // yields more than once — the hoisted address keeps pointing at the
+    // *previous* worker thread's cell after the fiber migrates, which
+    // that worker has already nulled. Keeping each access inside its own
+    // uninlinable call recomputes the TLS address on whatever thread the
+    // fiber currently runs on.
+    #[inline(never)]
+    unsafe fn switch_out_done() -> ! {
+        let pair = CURRENT.with(|c| c.get());
+        assert!(!pair.is_null(), "mpisim: fiber finishing without a worker");
+        (*pair).reason = Wait::Done;
+        let mut scratch: *mut u8 = std::ptr::null_mut();
+        pcg_mpisim_fiber_switch(&mut scratch, (*pair).worker_rsp);
+        unreachable!("finished fiber resumed")
+    }
+
+    /// Park the calling fiber with `reason`; returns when a worker
+    /// resumes it. Must only be called from inside a fiber.
+    #[inline(never)]
+    pub(super) fn yield_fiber(reason: Wait) {
+        let pair = CURRENT.with(|c| c.get());
+        assert!(!pair.is_null(), "mpisim: blocking yield outside a rank fiber");
+        unsafe {
+            (*pair).reason = reason;
+            let worker = (*pair).worker_rsp;
+            // After this returns we may be on a different worker thread;
+            // `pair` points into the *previous* resume's stack and must
+            // not be touched again.
+            pcg_mpisim_fiber_switch(&mut (*pair).fiber_rsp, worker);
+        }
+    }
+
+    /// A suspended rank: its stack plus the saved stack pointer.
+    pub(super) struct Fiber {
+        stack: *mut u8,
+        rsp: *mut u8,
+        // Kept alive (stable address) until the fiber finishes; the
+        // trampoline reads it through a raw pointer planted in the
+        // initial frame.
+        _entry: Box<EntryData>,
+        finished: bool,
+    }
+
+    // SAFETY: a fiber is only ever run by one worker at a time (the
+    // scheduler moves it between workers with a mutex in between, which
+    // orders all accesses), and its body closure is built from
+    // `&(dyn Fn(usize) + Sync)`.
+    unsafe impl Send for Fiber {}
+
+    fn stack_layout() -> Layout {
+        Layout::from_size_align(STACK_SIZE, 16).expect("fiber stack layout")
+    }
+
+    impl Fiber {
+        /// Build a fiber whose first resume runs `body` on a fresh
+        /// stack. The stack is allocated uninitialized so the pages are
+        /// faulted in lazily; there is no guard page (the canary word at
+        /// the low end detects gross overflows after the fact).
+        pub(super) fn new(body: Box<dyn FnOnce() + 'static>) -> Fiber {
+            let stack = unsafe { std::alloc::alloc(stack_layout()) };
+            assert!(!stack.is_null(), "mpisim: fiber stack allocation failed");
+            let mut entry = Box::new(EntryData { body: Some(body) });
+            let entry_fn: extern "C" fn(*mut EntryData) -> ! = fiber_entry;
+            unsafe {
+                (stack as *mut u64).write(STACK_CANARY);
+                // Seed the frame `pcg_mpisim_fiber_switch` restores:
+                // six callee-saved slots below a return slot aiming at
+                // the trampoline, which forwards r12 (entry data) as the
+                // first argument and calls r13 (fiber_entry).
+                let top = stack.add(STACK_SIZE) as *mut u64;
+                top.sub(1).write(0); // padding: trampoline enters at call-site alignment
+                top.sub(2).write(pcg_mpisim_fiber_trampoline as *const () as usize as u64);
+                top.sub(3).write(0); // rbp
+                top.sub(4).write(0); // rbx
+                top.sub(5).write(&mut *entry as *mut EntryData as u64); // r12
+                top.sub(6).write(entry_fn as usize as u64); // r13
+                top.sub(7).write(0); // r14
+                top.sub(8).write(0); // r15
+                Fiber { stack, rsp: top.sub(8) as *mut u8, _entry: entry, finished: false }
+            }
+        }
+
+        /// Run the fiber until it yields or finishes.
+        ///
+        /// Not inlined for the same TLS-address reason as `yield_fiber`:
+        /// both `CURRENT` accesses here are on the worker's own thread
+        /// (a worker's saved context is only ever re-entered from its
+        /// own TLS pair), but an inlined copy inside a caller's loop
+        /// could still merge with fiber-side accesses.
+        #[inline(never)]
+        pub(super) fn resume(&mut self) -> Wait {
+            debug_assert!(!self.finished, "resumed a finished fiber");
+            let mut pair = SwitchPair {
+                worker_rsp: std::ptr::null_mut(),
+                fiber_rsp: self.rsp,
+                reason: Wait::Done,
+            };
+            CURRENT.with(|c| c.set(&mut pair));
+            unsafe {
+                pcg_mpisim_fiber_switch(&mut pair.worker_rsp, pair.fiber_rsp);
+            }
+            CURRENT.with(|c| c.set(std::ptr::null_mut()));
+            unsafe {
+                assert_eq!(
+                    (self.stack as *const u64).read(),
+                    STACK_CANARY,
+                    "mpisim: fiber stack overflow detected"
+                );
+            }
+            self.rsp = pair.fiber_rsp;
+            if matches!(pair.reason, Wait::Done) {
+                self.finished = true;
+            }
+            pair.reason
+        }
+    }
+
+    impl Drop for Fiber {
+        fn drop(&mut self) {
+            // Normal scheduling drains every fiber to Done (even under
+            // abort/cancel) before dropping it; an unfinished drop can
+            // only follow a scheduler-internal panic, in which case the
+            // frames on the stack leak but the stack itself is freed.
+            unsafe { std::alloc::dealloc(self.stack, stack_layout()) }
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+mod fiber {
+    //! Stub for targets without a context switch: `supported()` is
+    //! false there, so none of this is reachable.
+    use super::Wait;
+
+    pub(super) struct Fiber;
+
+    impl Fiber {
+        pub(super) fn new(_body: Box<dyn FnOnce() + 'static>) -> Fiber {
+            unreachable!("fiber multiplexing is not supported on this target")
+        }
+        pub(super) fn resume(&mut self) -> Wait {
+            unreachable!("fiber multiplexing is not supported on this target")
+        }
+    }
+
+    pub(super) fn yield_fiber(_reason: Wait) {
+        unreachable!("fiber multiplexing is not supported on this target")
+    }
+}
+
+/// Park the calling rank fiber; see [`fiber::yield_fiber`].
+pub(crate) fn yield_fiber(reason: Wait) {
+    fiber::yield_fiber(reason);
+}
+
+// ---- scheduler -------------------------------------------------------
+
+enum RankSlot {
+    /// Not started yet; no stack exists.
+    Fresh,
+    /// Suspended (ready or waiting); the stack lives here.
+    Parked(fiber::Fiber),
+    /// Currently running on some worker.
+    Active,
+    /// Ran to completion.
+    Done,
+}
+
+struct SchedState {
+    /// Runnable ranks, FIFO. Initially all ranks in rank order.
+    ready: VecDeque<usize>,
+    slots: Vec<RankSlot>,
+    /// `Some((src, tag))` iff the rank is parked on its own mailbox.
+    mailbox_wait: Vec<Option<(Option<usize>, u32)>>,
+    /// Ranks parked waiting for a compute token, FIFO.
+    token_wait: VecDeque<usize>,
+    finished: usize,
+    size: usize,
+}
+
+impl SchedState {
+    /// Move every parked waiter to the ready queue (abort/cancel).
+    fn wake_all(&mut self) {
+        for rank in 0..self.size {
+            if self.mailbox_wait[rank].take().is_some() {
+                self.ready.push_back(rank);
+            }
+        }
+        while let Some(rank) = self.token_wait.pop_front() {
+            self.ready.push_back(rank);
+        }
+    }
+}
+
+/// Per-run scheduler for one multiplexed world. Owned by `WorldShared`.
+pub(crate) struct Sched {
+    pub(crate) workers: usize,
+    state: Mutex<SchedState>,
+    ready_cv: Condvar,
+}
+
+impl Sched {
+    pub(crate) fn new(size: usize, workers: usize) -> Sched {
+        Sched {
+            workers: workers.max(1),
+            state: Mutex::new(SchedState {
+                ready: (0..size).collect(),
+                slots: (0..size).map(|_| RankSlot::Fresh).collect(),
+                mailbox_wait: vec![None; size],
+                token_wait: VecDeque::new(),
+                finished: 0,
+                size,
+            }),
+            ready_cv: Condvar::new(),
+        }
+    }
+
+    /// A deposit landed in `dst`'s mailbox: wake it if parked there.
+    pub(crate) fn notify_mailbox(&self, dst: usize) {
+        let mut st = self.state.lock();
+        if st.mailbox_wait[dst].take().is_some() {
+            st.ready.push_back(dst);
+            drop(st);
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// A compute token was released: wake one token waiter.
+    pub(crate) fn notify_token(&self) {
+        let mut st = self.state.lock();
+        if let Some(rank) = st.token_wait.pop_front() {
+            st.ready.push_back(rank);
+            drop(st);
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// Abort/cancel: wake every parked fiber so it can observe the
+    /// condition and unwind.
+    pub(crate) fn wake_all(&self) {
+        let mut st = self.state.lock();
+        st.wake_all();
+        drop(st);
+        self.ready_cv.notify_all();
+    }
+}
+
+fn cancel_requested(shared: &WorldShared) -> bool {
+    shared.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+}
+
+/// One worker's scheduling loop: resume runnable ranks until every rank
+/// in the world has finished. Runs on a thread that already has the
+/// candidate's usage sink and cancel token installed.
+pub(crate) fn worker_loop(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
+    let sched = shared.sched.as_ref().expect("worker_loop on a non-multiplexed world");
+    loop {
+        // Pick the next runnable rank.
+        let (rank, parked) = {
+            let mut st = sched.state.lock();
+            loop {
+                if st.finished == st.size {
+                    return;
+                }
+                if let Some(rank) = st.ready.pop_front() {
+                    let slot = std::mem::replace(&mut st.slots[rank], RankSlot::Active);
+                    let parked = match slot {
+                        RankSlot::Fresh => None,
+                        RankSlot::Parked(f) => Some(f),
+                        RankSlot::Active | RankSlot::Done => {
+                            unreachable!("rank {rank} on ready queue while active/done")
+                        }
+                    };
+                    break (rank, parked);
+                }
+                if cancel_requested(shared) {
+                    st.wake_all();
+                    if !st.ready.is_empty() {
+                        continue;
+                    }
+                }
+                match &shared.cancel {
+                    Some(_) => {
+                        let _ = sched.ready_cv.wait_for(&mut st, CANCEL_TICK);
+                    }
+                    None => sched.ready_cv.wait(&mut st),
+                }
+            }
+        };
+
+        let mut fib = match parked {
+            Some(f) => f,
+            None => {
+                // First resume: give the rank a stack. The lifetime
+                // erasure is sound because worker_loop only returns
+                // after every fiber has finished and been dropped, and
+                // the launching frame (which owns `body` and `shared`)
+                // outlives all workers.
+                let closure: Box<dyn FnOnce() + '_> = Box::new(move || body(rank));
+                let closure: Box<dyn FnOnce() + 'static> =
+                    unsafe { std::mem::transmute(closure) };
+                fiber::Fiber::new(closure)
+            }
+        };
+
+        let reason = fib.resume();
+
+        let mut st = sched.state.lock();
+        match reason {
+            Wait::Done => {
+                st.slots[rank] = RankSlot::Done;
+                st.finished += 1;
+                if st.finished == st.size {
+                    drop(st);
+                    // Everyone still picking/waiting must observe
+                    // completion and return.
+                    sched.ready_cv.notify_all();
+                }
+                drop(fib);
+            }
+            Wait::Mailbox { src, tag } => {
+                st.slots[rank] = RankSlot::Parked(fib);
+                // Re-probe under the scheduler lock: any deposit that
+                // raced with the fiber switching out is either visible
+                // now, or its notify_mailbox is ordered after us and
+                // will find the filed waiter.
+                let mb = &shared.mailboxes[rank];
+                if mb.probe(src, tag) || mb.is_aborted() || cancel_requested(shared) {
+                    st.ready.push_back(rank);
+                    drop(st);
+                    sched.ready_cv.notify_one();
+                } else {
+                    st.mailbox_wait[rank] = Some((src, tag));
+                }
+            }
+            Wait::Token => {
+                st.slots[rank] = RankSlot::Parked(fib);
+                if shared.tokens.available() > 0
+                    || shared.tokens.is_aborted()
+                    || cancel_requested(shared)
+                {
+                    st.ready.push_back(rank);
+                    drop(st);
+                    sched.ready_cv.notify_one();
+                } else {
+                    st.token_wait.push_back(rank);
+                }
+            }
+        }
+    }
+}
+
+/// Transient multiplexed execution: spawn the worker threads for one
+/// run (the warm path keeps them alive in a team instead).
+pub(crate) fn run_multiplexed(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
+    let sched = shared.sched.as_ref().expect("run_multiplexed without a scheduler");
+    let sink = usage::current_sink();
+    let token = cancel::current_token();
+    std::thread::scope(|scope| {
+        for w in 0..sched.workers {
+            let sink = sink.clone();
+            let token = token.clone();
+            std::thread::Builder::new()
+                .name(format!("mpisim-mux-{w}"))
+                .stack_size(1 << 21)
+                .spawn_scoped(scope, move || {
+                    let _usage = usage::install_sink(sink);
+                    let _cancel = cancel::install_token(token);
+                    worker_loop(shared, body);
+                })
+                .expect("failed to spawn mux worker");
+        }
+    });
+}

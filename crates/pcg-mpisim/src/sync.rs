@@ -61,6 +61,27 @@ impl Semaphore {
         }
     }
 
+    /// Non-blocking acquire: take a permit if one is free. Returns
+    /// `false` when none are free *or* the semaphore is aborted — the
+    /// multiplexed caller distinguishes via [`Semaphore::is_aborted`].
+    pub fn try_acquire(&self) -> bool {
+        if self.aborted.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut permits = self.permits.lock();
+        if *permits > 0 {
+            *permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current free-permit count (scheduler wakeup re-check).
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+
     /// Return a permit.
     pub fn release(&self) {
         let mut permits = self.permits.lock();

@@ -1,21 +1,33 @@
-//! A persistent team of rank threads for warm `World` reuse.
+//! A persistent team of threads for warm `World` reuse.
 //!
-//! Cold [`crate::World::run`] spawns one OS thread per rank per
-//! execution — for the paper's 512-rank headline configuration that is
-//! 512 spawns *per candidate run*, the single largest fixed cost in the
-//! evaluation hot path. A [`RankTeam`] keeps those threads alive between
-//! runs: [`crate::World::run_on`] publishes the per-rank body to the
-//! team exactly like `pcg_shmem::Pool` publishes a region, and the
-//! caller blocks until every rank has finished with the borrowed
-//! closure (which is what makes the lifetime erasure sound).
+//! Cold [`crate::World::run`] spawns its execution threads per run —
+//! for the paper's 512-rank headline configuration that is hundreds of
+//! spawns *per candidate run*, the single largest fixed cost in the
+//! evaluation hot path. A [`RankTeam`] keeps those threads alive
+//! between runs: [`crate::World::run_on`] publishes the per-rank body
+//! to the team exactly like `pcg_shmem::Pool` publishes a region, and
+//! the caller blocks until the run completes (which is what makes the
+//! lifetime erasure sound).
 //!
-//! Per-run state (mailboxes, cost model, compute-token semaphore) lives
-//! in `WorldShared`, rebuilt per `run_on` call, so a reused team starts
-//! every run from a clean slate. The launching candidate's usage sink
-//! and cancel token travel with each published job and are installed on
-//! every rank thread before its body runs, so attribution and kill
-//! delivery match the cold path exactly.
+//! A team comes in the same two execution styles as a cold run, fixed
+//! at construction by [`crate::sched::should_multiplex`]:
+//!
+//! * **per-rank** — one persistent OS thread per rank, each running the
+//!   rank body directly (the original warm path);
+//! * **multiplexed** — `sched::workers()` persistent worker threads,
+//!   each running the fiber scheduler loop; ranks run as fibers. This
+//!   is what makes MPI-256/512 warm-leasable: the parked footprint is
+//!   the worker count, not the rank count.
+//!
+//! Per-run state (mailboxes, cost model, compute-token semaphore, the
+//! scheduler) lives in `WorldShared`, rebuilt per `run_on` call, so a
+//! reused team starts every run from a clean slate. The launching
+//! candidate's usage sink and cancel token travel with each published
+//! job and are installed on every team thread before any candidate code
+//! runs, so attribution and kill delivery match the cold path exactly.
 
+use crate::sched::{self, worker_loop};
+use crate::world::WorldShared;
 use parking_lot::{Condvar, Mutex};
 use pcg_core::{cancel, usage};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -26,7 +38,7 @@ use std::thread::JoinHandle;
 type RankFn<'a> = dyn Fn(usize) + Sync + 'a;
 
 /// Per-run join state plus the candidate identity to install on each
-/// rank thread. Lives on the launching thread's stack for the duration
+/// team thread. Lives on the launching thread's stack for the duration
 /// of the run.
 struct RunState {
     remaining: AtomicUsize,
@@ -34,17 +46,19 @@ struct RunState {
     token: Option<cancel::CancelToken>,
 }
 
-/// A lifetime-erased pointer pair to the rank body and the run state.
-/// Only dereferenced between publish and the countdown the caller
-/// blocks on.
+/// A lifetime-erased pointer set to the rank body, the world state, and
+/// the run state. Only dereferenced between publish and the countdown
+/// the caller blocks on. `shared` is null on per-rank teams (their
+/// threads never need it).
 #[derive(Clone, Copy)]
 struct TeamJob {
     f: *const RankFn<'static>,
+    shared: *const WorldShared,
     run: *const RunState,
 }
 // SAFETY: the pointers target data the launching thread keeps alive
-// until every rank has decremented the countdown; rank threads never
-// touch them afterwards.
+// until every team thread has decremented the countdown; team threads
+// never touch them afterwards.
 unsafe impl Send for TeamJob {}
 
 struct Slot {
@@ -60,63 +74,95 @@ struct TeamShared {
     shutdown: AtomicBool,
 }
 
-/// A persistent set of `size` rank threads that can host successive
+fn new_team_shared() -> Arc<TeamShared> {
+    Arc::new(TeamShared {
+        slot: Mutex::new(Slot { generation: 0, job: None }),
+        work_ready: Condvar::new(),
+        finish_lock: Mutex::new(()),
+        finished: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    })
+}
+
+/// A persistent set of threads that can host successive
 /// [`crate::World::run_on`] executions without respawning.
 pub struct RankTeam {
     shared: Arc<TeamShared>,
+    /// World size this team serves (= rank count, not thread count).
     size: usize,
+    /// `Some(W)` iff this team multiplexes ranks onto `W` workers.
+    mux_workers: Option<usize>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl RankTeam {
-    /// Spawn a team of `size` rank threads. Panics if `size == 0`.
+    /// Spawn a team serving worlds of `size` ranks. Panics if
+    /// `size == 0`. Whether the team is per-rank or multiplexed is
+    /// decided here, by the current scheduler policy.
     pub fn new(size: usize) -> RankTeam {
         assert!(size > 0, "rank team needs at least one rank");
-        let shared = Arc::new(TeamShared {
-            slot: Mutex::new(Slot { generation: 0, job: None }),
-            work_ready: Condvar::new(),
-            finish_lock: Mutex::new(()),
-            finished: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let workers = (0..size)
-            .map(|rank| {
+        let mux_workers = sched::should_multiplex(size).then(sched::workers);
+        let threads = mux_workers.unwrap_or(size);
+        let shared = new_team_shared();
+        let workers = (0..threads)
+            .map(|idx| {
                 let shared = Arc::clone(&shared);
+                let mux = mux_workers.is_some();
                 std::thread::Builder::new()
-                    .name(format!("mpisim-team-{rank}"))
+                    .name(format!("mpisim-team-{idx}"))
                     // Match the cold path's reduced rank-thread stacks:
                     // many-rank worlds must stay cheap.
                     .stack_size(1 << 21)
-                    .spawn(move || rank_loop(shared, rank))
-                    .expect("failed to spawn team rank thread")
+                    .spawn(move || team_loop(shared, idx, mux))
+                    .expect("failed to spawn team thread")
             })
             .collect();
-        RankTeam { shared, size, workers }
+        RankTeam { shared, size, mux_workers, workers }
     }
 
-    /// Number of rank threads.
+    /// Number of ranks this team serves.
     pub fn size(&self) -> usize {
         self.size
     }
 
-    /// Run `f(rank)` once on every rank thread, blocking until all have
-    /// finished. The caller does not participate (unlike a shmem pool's
-    /// master thread): MPI rank 0 is just another team member, mirroring
-    /// the cold path where every rank gets its own spawned thread.
-    pub(crate) fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+    /// OS threads this team keeps parked — the lease layer's budgeting
+    /// quantity. Equals `size()` for per-rank teams, the worker count
+    /// for multiplexed ones.
+    pub fn os_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `Some(worker count)` iff this team multiplexes.
+    pub(crate) fn mux_workers(&self) -> Option<usize> {
+        self.mux_workers
+    }
+
+    /// Run `f(rank)` once per rank, blocking until the run completes.
+    /// The caller does not participate (unlike a shmem pool's master
+    /// thread): MPI rank 0 is just another simulated rank, mirroring
+    /// the cold path. `shared` must carry a scheduler iff this team is
+    /// multiplexed (guaranteed by `World::run_impl`, which builds it
+    /// from `mux_workers()`).
+    pub(crate) fn run(&self, shared: &WorldShared, f: &(dyn Fn(usize) + Sync)) {
+        debug_assert_eq!(shared.is_multiplexed(), self.mux_workers.is_some());
         let run = RunState {
-            remaining: AtomicUsize::new(self.size),
+            remaining: AtomicUsize::new(self.workers.len()),
             sink: usage::current_sink(),
             token: cancel::current_token(),
         };
-        // SAFETY: we erase the lifetime; `run` does not return until
-        // `run.remaining` hits zero, i.e. every rank thread is done with
-        // both pointers. See `TeamJob` safety comment.
+        // SAFETY: we erase the lifetimes; `run` does not return until
+        // `run.remaining` hits zero, i.e. every team thread is done
+        // with all three pointers. See `TeamJob` safety comment.
         let job = TeamJob {
             f: unsafe {
                 std::mem::transmute::<*const RankFn<'_>, *const RankFn<'static>>(
                     f as *const RankFn<'_>,
                 )
+            },
+            shared: if self.mux_workers.is_some() {
+                shared as *const WorldShared
+            } else {
+                std::ptr::null()
             },
             run: &run as *const RunState,
         };
@@ -149,7 +195,10 @@ impl Drop for RankTeam {
     }
 }
 
-fn rank_loop(shared: Arc<TeamShared>, rank: usize) {
+/// The persistent thread body. On a per-rank team, `idx` is the rank
+/// this thread plays every run; on a multiplexed team it is just a
+/// worker id and the thread runs the fiber scheduler loop instead.
+fn team_loop(shared: Arc<TeamShared>, idx: usize, mux: bool) {
     let mut last_generation = 0u64;
     loop {
         let job = {
@@ -165,18 +214,26 @@ fn rank_loop(shared: Arc<TeamShared>, rank: usize) {
         }
         let Some(job) = job else { continue };
         // SAFETY: the launching thread blocks until we decrement
-        // `remaining`, keeping both pointers alive for this scope.
+        // `remaining`, keeping the pointers alive for this scope.
         let (f, run) = unsafe { (&*job.f, &*job.run) };
         // Adopt the launching candidate's identity before running any of
         // its code — the warm equivalent of the cold path installing the
-        // captured sink/token on each freshly spawned rank thread.
+        // captured sink/token on each freshly spawned thread.
         usage::set_sink(run.sink.clone());
         cancel::set_token(run.token.clone());
         // The body handles candidate failures itself (abort cascades,
         // cancel markers); a stray unwind here is swallowed exactly like
         // the cold path's `let _ = handle.join()`.
-        let _ = catch_unwind(AssertUnwindSafe(|| f(rank)));
-        // Signal completion; after this we must not touch `f`/`run`.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            if mux {
+                // SAFETY: `shared` outlives the run like `f`/`run` do.
+                let world = unsafe { &*job.shared };
+                worker_loop(world, f);
+            } else {
+                f(idx);
+            }
+        }));
+        // Signal completion; after this we must not touch the job.
         let was = run.remaining.fetch_sub(1, Ordering::AcqRel);
         if was == 1 {
             let _guard = shared.finish_lock.lock();
@@ -188,13 +245,23 @@ fn rank_loop(shared: Arc<TeamShared>, rank: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CostModel, World};
+
+    fn run_on_team(team: &RankTeam, size: usize, f: &(dyn Fn(usize) + Sync)) {
+        // Drive through the World API so `shared` is built consistently
+        // with the team's execution style.
+        World::new(size)
+            .with_cost_model(CostModel::deterministic())
+            .run_on(team, |comm| f(comm.rank()))
+            .unwrap();
+    }
 
     #[test]
     fn every_rank_runs_each_generation() {
         let team = RankTeam::new(8);
         for _ in 0..5 {
             let mask = AtomicUsize::new(0);
-            team.run(&|rank| {
+            run_on_team(&team, 8, &|rank| {
                 mask.fetch_or(1 << rank, Ordering::SeqCst);
             });
             assert_eq!(mask.load(Ordering::SeqCst), 0xff);
@@ -204,13 +271,15 @@ mod tests {
     #[test]
     fn team_survives_rank_panics() {
         let team = RankTeam::new(4);
-        team.run(&|rank| {
-            if rank == 2 {
-                panic!("deliberate");
-            }
-        });
+        let _ = World::new(4)
+            .with_cost_model(CostModel::deterministic())
+            .run_on(&team, |comm| {
+                if comm.rank() == 2 {
+                    panic!("deliberate");
+                }
+            });
         let hits = AtomicUsize::new(0);
-        team.run(&|_| {
+        run_on_team(&team, 4, &|_| {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 4);
@@ -222,8 +291,18 @@ mod tests {
         use pcg_core::ExecutionModel;
         let team = RankTeam::new(4);
         let scope = UsageScope::begin();
-        team.run(&|_| usage::record(ExecutionModel::Mpi));
-        assert_eq!(scope.finish().calls(ExecutionModel::Mpi), 4);
+        run_on_team(&team, 4, &|_| usage::record(ExecutionModel::Mpi));
+        // At least one call per rank (the World itself records more).
+        assert!(scope.finish().calls(ExecutionModel::Mpi) >= 4);
+    }
+
+    #[test]
+    fn os_threads_reflect_execution_style() {
+        let team = RankTeam::new(3);
+        match team.mux_workers() {
+            Some(w) => assert_eq!(team.os_threads(), w),
+            None => assert_eq!(team.os_threads(), 3),
+        }
     }
 
     #[test]

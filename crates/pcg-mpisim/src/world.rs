@@ -3,9 +3,11 @@
 use crate::comm::Comm;
 use crate::cost::CostModel;
 use crate::mailbox::Mailbox;
+use crate::sched::{self, Sched};
 use crate::sync::Semaphore;
 use crate::team::RankTeam;
 use parking_lot::Mutex;
+use pcg_core::cancel::CancelToken;
 use pcg_core::PcgError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -14,13 +16,39 @@ pub(crate) struct WorldShared {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) cost: CostModel,
     pub(crate) tokens: Semaphore,
+    /// Present iff this run multiplexes ranks onto worker threads.
+    pub(crate) sched: Option<Sched>,
+    /// The launching candidate's cancel token (also captured by each
+    /// mailbox/semaphore; kept here so the scheduler and fiber blocking
+    /// loops can check it without reaching into those).
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl WorldShared {
+    pub(crate) fn is_multiplexed(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    pub(crate) fn notify_mailbox(&self, dst: usize) {
+        if let Some(s) = &self.sched {
+            s.notify_mailbox(dst);
+        }
+    }
+
+    pub(crate) fn notify_token(&self) {
+        if let Some(s) = &self.sched {
+            s.notify_token();
+        }
+    }
+
     fn abort(&self) {
         self.tokens.abort();
         for mb in &self.mailboxes {
             mb.abort();
+        }
+        // Parked fibers must observe the abort and unwind.
+        if let Some(s) = &self.sched {
+            s.wake_all();
         }
     }
 }
@@ -124,11 +152,22 @@ impl World {
         F: Fn(&Comm<'_>) -> R + Sync,
     {
         let wall_start = std::time::Instant::now();
+        // A warm team fixes the execution style at team construction;
+        // transient runs consult the process-global policy per run.
+        let mux_workers = match team {
+            Some(t) => t.mux_workers(),
+            None => sched::should_multiplex(self.size).then(sched::workers),
+        };
         let shared = WorldShared {
             mailboxes: (0..self.size).map(|_| Mailbox::new()).collect(),
             cost: self.cost.clone(),
             tokens: Semaphore::new(self.max_tokens.min(self.size.max(1))),
+            sched: mux_workers.map(|w| Sched::new(self.size, w)),
+            cancel: pcg_core::cancel::current_token(),
         };
+        if shared.is_multiplexed() {
+            sched::note_ranks_multiplexed(self.size as u64);
+        }
         let results: Mutex<Vec<Option<(R, f64)>>> =
             Mutex::new((0..self.size).map(|_| None).collect());
         let failure: Mutex<Option<String>> = Mutex::new(None);
@@ -178,7 +217,13 @@ impl World {
         };
 
         match team {
-            Some(team) => team.run(&rank_body),
+            Some(team) => team.run(&shared, &rank_body),
+            None if shared.is_multiplexed() => {
+                // Oversubscribed world: run all ranks as fibers on a
+                // small transient worker pool instead of one OS thread
+                // per rank.
+                sched::run_multiplexed(&shared, &rank_body);
+            }
             None => {
                 // Rank threads attribute their API usage to the
                 // candidate that launched the world, not to whoever else
@@ -431,7 +476,7 @@ mod tests {
                 let chunks: Vec<Vec<i64>> = (0..comm.size())
                     .map(|dst| vec![(comm.rank() * 10 + dst) as i64])
                     .collect();
-                comm.alltoall(&chunks)
+                comm.alltoall(chunks)
             })
             .unwrap();
         // Rank d receives chunk [s*10 + d] from each source s.

@@ -134,7 +134,7 @@ proptest! {
                 let chunks: Vec<Vec<i64>> = (0..comm.size())
                     .map(|dst| vec![(comm.rank() * 100 + dst) as i64])
                     .collect();
-                comm.alltoall(&chunks)
+                comm.alltoall(chunks)
             })
             .unwrap();
         for (dst, got) in out.per_rank.iter().enumerate() {

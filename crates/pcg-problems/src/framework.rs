@@ -329,7 +329,9 @@ fn run_correct<S: Spec>(
             let world = World::new(res.ranks).with_cost_model(CostModel::cluster());
             // Oversized teams are never cached (see lease::parkable), and
             // a fresh team per run costs more than the cold inline spawn,
-            // so only parkable shapes go through the lease at all.
+            // so only parkable shapes go through the lease at all. With
+            // rank multiplexing the paper-scale worlds (MPI-256/512)
+            // account at the fiber-worker count and are parkable too.
             let key = LeaseKey::MpiTeam { ranks: res.ranks };
             let lease;
             let team: Option<&RankTeam> = if warm::enabled() && lease::parkable(key) {

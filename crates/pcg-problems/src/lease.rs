@@ -93,9 +93,13 @@ impl LeaseKey {
             LeaseKey::Shmem { threads } | LeaseKey::Patterns { threads } => {
                 threads.saturating_sub(1)
             }
-            LeaseKey::MpiTeam { ranks } => ranks,
+            // Rank teams that the multiplexer would adopt park only the
+            // fiber worker pool (~2x cores), not one thread per rank —
+            // which is what makes MPI-256/512 and hybrid 4x64 teams fit
+            // the budget at all.
+            LeaseKey::MpiTeam { ranks } => pcg_mpisim::sched::os_threads_for(ranks),
             LeaseKey::HybridTeam { ranks, threads } => {
-                ranks + ranks * threads.saturating_sub(1)
+                pcg_mpisim::sched::os_threads_for(ranks) + ranks * threads.saturating_sub(1)
             }
             LeaseKey::Gpu { .. } => {
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) - 1
@@ -112,13 +116,13 @@ impl LeaseKey {
 pub const PARKED_THREAD_BUDGET: usize = 2048;
 
 /// Substrates that keep more OS threads than this alive are never
-/// parked: a returned lease drops them instead of caching them. The
-/// paper-scale rank teams (MPI at 512) are simulation-bound — their
-/// wall time is the collective simulation itself, not the spawn — so
-/// reuse buys nothing there, while parking them inflates the process
-/// thread count enough to slow every *other* substrate spawn (stack
-/// mmaps contend on the process memory map). Keep the cache for the
-/// substrates whose fixed spawn cost actually dominates.
+/// parked: a returned lease drops them instead of caching them. Parking
+/// an oversized team inflates the process thread count enough to slow
+/// every *other* substrate spawn (stack mmaps contend on the process
+/// memory map). With rank multiplexing, the paper-scale MPI teams
+/// (256/512 ranks) account only their fiber worker pool and therefore
+/// fit under this cap — only genuinely thread-per-unit shapes (large
+/// shmem pools, wide hybrid pools) remain excluded.
 pub const MAX_PARKED_THREADS_PER_SUBSTRATE: usize = 256;
 
 /// Whether a substrate of this shape is worth leasing at all. Oversized
@@ -469,7 +473,10 @@ mod tests {
     #[test]
     fn oversized_substrates_are_never_parked() {
         let _s = serial();
-        let key = LeaseKey::MpiTeam { ranks: MAX_PARKED_THREADS_PER_SUBSTRATE + 1 };
+        // MPI teams are no longer a reliable oversized shape: the rank
+        // multiplexer accounts them at the fiber-worker count. Shmem
+        // pools are genuinely thread-per-unit.
+        let key = LeaseKey::Shmem { threads: MAX_PARKED_THREADS_PER_SUBSTRATE + 2 };
         let first = checkout(key);
         let id = first.instance_id();
         drop(first);
@@ -479,6 +486,22 @@ mod tests {
             id,
             "substrates over the parked-size cap must not be cached"
         );
+    }
+
+    #[test]
+    fn multiplexed_rank_teams_fit_the_parked_budget() {
+        // Whenever the scheduler would multiplex a paper-scale world,
+        // its lease accounting must make the team parkable. (On a host
+        // with >= 256 cores, Auto runs 512 ranks thread-per-rank and
+        // the team is rightly not parkable — hence the guard.)
+        for ranks in [256usize, 512] {
+            if pcg_mpisim::sched::should_multiplex(ranks) {
+                assert!(
+                    parkable(LeaseKey::MpiTeam { ranks }),
+                    "multiplexed {ranks}-rank team must be parkable"
+                );
+            }
+        }
     }
 
     #[test]

@@ -190,7 +190,7 @@ impl Spec for DenseProblem {
                         })
                         .collect()
                 });
-                let local_a = comm.scatter(0, chunks.as_deref());
+                let local_a = comm.scatter(0, chunks);
                 let local_b = if self.dist == Dist::ScatterBoth {
                     comm.scatter_blocks(0, (comm.rank() == 0).then_some(&input.b[..]), input.b.len())
                 } else {

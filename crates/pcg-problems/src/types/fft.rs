@@ -235,7 +235,7 @@ impl Spec for RowFft {
                     })
                     .collect()
             });
-            comm.scatter(0, chunks.as_deref())
+            comm.scatter(0, chunks)
         };
         let lre = scatter_rows(&input.re);
         let lim = scatter_rows(&input.im);
@@ -509,7 +509,7 @@ impl Spec for Fft2d {
                     })
                     .collect()
             });
-            comm.scatter(0, chunks.as_deref())
+            comm.scatter(0, chunks)
         };
         let mut lre = scatter_rows(&input.re);
         let mut lim = scatter_rows(&input.im);
@@ -532,7 +532,7 @@ impl Spec for Fft2d {
                 buf
             })
             .collect();
-        let recv = comm.alltoall(&send);
+        let recv = comm.alltoall(send);
         // Assemble my column block: columns cols_mine, each of length
         // `rows`, ordered by sender rank (senders hold consecutive row
         // blocks).

@@ -162,7 +162,7 @@ impl Spec for PointReduce {
                 })
                 .collect()
         });
-        let local_flat = comm.scatter(0, chunks.as_deref());
+        let local_flat = comm.scatter(0, chunks);
         let local: Vec<Point> =
             local_flat.chunks_exact(2).map(|c| Point { x: c[0], y: c[1] }).collect();
         let acc = self.fold_slice(&local);

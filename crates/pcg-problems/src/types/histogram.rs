@@ -137,7 +137,7 @@ impl Spec for HistProblem {
                 })
                 .collect()
         });
-        let local = comm.scatter(0, chunks.as_deref());
+        let local = comm.scatter(0, chunks);
         let hist = self.hist_range(&local, 0, local.len() / self.stride);
         comm.reduce(0, &hist, ReduceOp::Sum).map(|h| self.finish(h))
     }

@@ -197,7 +197,7 @@ impl Spec for ScanProblem {
                 })
                 .collect()
         });
-        let local_flat = comm.scatter(0, chunks.as_deref());
+        let local_flat = comm.scatter(0, chunks);
         let local: Vec<Pair> =
             local_flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         // Local inclusive scan + total.

@@ -32,7 +32,7 @@ fn scatter_csr(comm: &Comm<'_>, m: &Csr) -> Csr {
                 })
                 .collect()
         });
-        comm.scatter(0, chunks.as_deref())
+        comm.scatter(0, chunks)
     };
     let vals = build(&|nz| m.vals[nz].to_vec());
     let cols_f = build(&|nz| m.col_idx[nz.start..nz.end].iter().map(|&c| c as f64).collect());
@@ -45,7 +45,7 @@ fn scatter_csr(comm: &Comm<'_>, m: &Csr) -> Csr {
             })
             .collect()
     });
-    let counts = comm.scatter(0, count_chunks.as_deref());
+    let counts = comm.scatter(0, count_chunks);
     let mut row_ptr = Vec::with_capacity(counts.len() + 1);
     row_ptr.push(0usize);
     for c in &counts {

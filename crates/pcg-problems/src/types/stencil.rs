@@ -401,7 +401,7 @@ impl Spec for Stencil2D {
                 })
                 .collect()
         });
-        let local = comm.scatter(0, chunks.as_deref());
+        let local = comm.scatter(0, chunks);
         let my_rows = block_range(rows, comm.size(), comm.rank());
         let padded = exchange_halo(comm, &local, cols, 30);
         // `padded` holds rows [my_rows.start-1, my_rows.end+1) with zero

@@ -7,10 +7,14 @@
 //! - structs with named fields → JSON objects in declaration order
 //! - enums whose variants are unit or one-field tuples → externally
 //!   tagged (`"Variant"` or `{"Variant": payload}`), like real serde
+//! - `#[serde(default)]` on a named struct field → `Default::default()`
+//!   when the field is absent from the input (matching real serde), so
+//!   records written before a field existed still deserialize
 //!
-//! Anything else (generics, tuple structs, struct variants, `#[serde]`
-//! attributes) is rejected with a compile-time panic so a future change
-//! that needs it fails loudly instead of serializing wrongly.
+//! Anything else (generics, tuple structs, struct variants, other
+//! `#[serde]` attributes) is rejected with a compile-time panic so a
+//! future change that needs it fails loudly instead of serializing
+//! wrongly.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -20,14 +24,20 @@ struct Input {
 }
 
 enum Kind {
-    /// Field names, in declaration order.
-    Struct(Vec<String>),
+    /// Fields in declaration order.
+    Struct(Vec<Field>),
     /// (variant name, has one tuple payload).
     Enum(Vec<(String, bool)>),
 }
 
+struct Field {
+    name: String,
+    /// Marked `#[serde(default)]`: absent input → `Default::default()`.
+    default: bool,
+}
+
 /// Derives `serde::Serialize` via the stub's `to_value`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_serialize(&parsed)
@@ -36,7 +46,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` via the stub's `from_value`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_deserialize(&parsed)
@@ -86,18 +96,41 @@ fn parse(input: TokenStream) -> Input {
     Input { name, kind }
 }
 
-fn skip_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+/// Consume leading attributes; report whether one was `#[serde(default)]`.
+/// Other `#[serde(...)]` contents are rejected (unimplemented here).
+fn skip_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut default = false;
     while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         iter.next();
-        iter.next(); // the [...] group
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut attr = g.stream().into_iter();
+                let is_serde =
+                    matches!(attr.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+                if is_serde {
+                    match attr.next() {
+                        Some(TokenTree::Group(args))
+                            if args.to_string().replace(' ', "") == "(default)" =>
+                        {
+                            default = true;
+                        }
+                        other => panic!(
+                            "serde_derive: only #[serde(default)] is supported, got {other:?}"
+                        ),
+                    }
+                }
+            }
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        }
     }
+    default
 }
 
-fn parse_fields(body: TokenStream, ty: &str) -> Vec<String> {
+fn parse_fields(body: TokenStream, ty: &str) -> Vec<Field> {
     let mut out = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        skip_attrs(&mut iter);
+        let default = skip_attrs(&mut iter);
         // Skip visibility.
         if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
             iter.next();
@@ -106,7 +139,7 @@ fn parse_fields(body: TokenStream, ty: &str) -> Vec<String> {
             }
         }
         match iter.next() {
-            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => out.push(Field { name: id.to_string(), default }),
             None => break,
             other => panic!("serde_derive: unexpected token in {ty} fields: {other:?}"),
         }
@@ -181,7 +214,7 @@ fn gen_serialize(input: &Input) -> String {
         Kind::Struct(fields) => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|Field { name: f, .. }| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -225,7 +258,22 @@ fn gen_deserialize(input: &Input) -> String {
         Kind::Struct(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?,"))
+                .map(|Field { name: f, default }| {
+                    if *default {
+                        // Absent field → Default::default(); present but
+                        // malformed still errors.
+                        format!(
+                            "{f}: match __v.field(\"{f}\") {{\n\
+                                 ::std::result::Result::Ok(__x) => \
+                                     ::serde::Deserialize::from_value(__x)?,\n\
+                                 ::std::result::Result::Err(_) => \
+                                     ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?,")
+                    }
+                })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
         }

@@ -460,4 +460,22 @@ mod tests {
         let json = to_string(&n).unwrap();
         assert_eq!(from_str::<u64>(&json).unwrap(), n);
     }
+
+    #[test]
+    fn serde_default_fills_missing_fields() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Versioned {
+            old: u64,
+            #[serde(default)]
+            added_later: u64,
+        }
+        // A record written before `added_later` existed still parses.
+        let v: Versioned = from_str("{\"old\":7}").unwrap();
+        assert_eq!(v, Versioned { old: 7, added_later: 0 });
+        // Present fields are honored, and absence of a non-default
+        // field is still an error.
+        let v: Versioned = from_str("{\"old\":7,\"added_later\":9}").unwrap();
+        assert_eq!(v.added_later, 9);
+        assert!(from_str::<Versioned>("{\"added_later\":9}").is_err());
+    }
 }
