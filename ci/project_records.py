@@ -1,34 +1,31 @@
 #!/usr/bin/env python3
 """Project an EvalRecord JSON file to its cross-process-deterministic fields.
 
-Separate cold runs legitimately differ in the measured timing floats
-(performance ratios, sweep values): the virtual-time clocks contain a
-genuinely measured compute component. Everything else -- model order,
-task identity and order, build flags, correctness flags, which sweep
-resource counts were collected -- must be identical between a clean run
-and a killed-then---resume run. CI diffs this projection.
+This script used to carry its own copy of the projection, which could
+(and did threaten to) drift from the Rust copies in the warm-path and
+mux tests. It is now a thin shim over the `project_records` binary,
+which calls `pcg_harness::record::projection` -- the single definition
+the tests use -- so the projection cannot diverge between CI and the
+test suite. Pass --stats to project an EvalStats sidecar instead.
 """
-import json
+import os
+import subprocess
 import sys
 
-with open(sys.argv[1]) as f:
-    rec = json.load(f)
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+BIN = os.path.join(REPO, "target", "release", "project_records")
 
-proj = [
-    {
-        "model": m["model"],
-        "tasks": [
-            {
-                "task": t["task"],
-                "built": t["low"]["built"],
-                "correct": t["low"]["correct"],
-                "high_correct": (t.get("high") or {}).get("correct"),
-                "sweep_ns": sorted(t["sweep"], key=int),
-            }
-            for t in m["tasks"]
-        ],
-    }
-    for m in rec["models"]
-]
-json.dump(proj, sys.stdout, indent=1, sort_keys=True)
-print()
+args = sys.argv[1:]
+if not args:
+    print("usage: project_records.py [--stats] <records.json>", file=sys.stderr)
+    sys.exit(2)
+
+if os.path.exists(BIN):
+    cmd = [BIN, *args]
+else:
+    cmd = [
+        "cargo", "run", "-q", "--release",
+        "-p", "pcg-harness", "--bin", "project_records", "--", *args,
+    ]
+sys.exit(subprocess.run(cmd, cwd=REPO).returncode)

@@ -18,6 +18,9 @@
 //!   runaway candidates at the time limit,
 //! * [`warm`] — the process-wide switch for the warm execution path
 //!   (substrate leasing, input memoization, supervisor reuse),
+//! * [`plan`] — the cell-addressed work model: globally stable
+//!   [`CellId`]s for every (config, model, task) cell and deterministic
+//!   [`WorkPlan`]s that the harness shards across processes,
 //! * [`rng`] — deterministic per-task random streams,
 //! * [`PcgError`] — the failure taxonomy shared by substrates and harness.
 //!
@@ -31,6 +34,7 @@ pub mod candidate;
 pub mod error;
 pub mod exec;
 pub mod output;
+pub mod plan;
 pub mod problem_type;
 pub mod prompt;
 pub mod rng;
@@ -44,6 +48,7 @@ pub use candidate::{CandidateKind, Corruption, Quality};
 pub use error::PcgError;
 pub use exec::ExecutionModel;
 pub use output::Output;
+pub use plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 pub use problem_type::ProblemType;
 pub use stage::Stage;
 pub use task::{ProblemId, TaskId};

@@ -1,0 +1,51 @@
+//! Print the cross-process-deterministic projection of an `EvalRecord`
+//! JSON file (and, with `--stats`, of an `EvalStats` sidecar).
+//!
+//! This binary is the projection CI diffs across processes — after a
+//! kill-and-resume cycle, and between a merged sharded run and a
+//! single-process run. It delegates to
+//! [`pcg_harness::record::projection`], the same function the
+//! warm-path, mux, and shard projection-equality tests call, so there
+//! is exactly one definition of "deterministic fields" in the repo
+//! (`ci/project_records.py` execs this binary instead of carrying a
+//! hand-written copy).
+
+use pcg_harness::record::{projection, stats_projection, EvalStats};
+use pcg_harness::EvalRecord;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (stats_mode, path) = match args.as_slice() {
+        [p] => (false, p.clone()),
+        [flag, p] if flag == "--stats" => (true, p.clone()),
+        _ => {
+            eprintln!("usage: project_records [--stats] <records.json>");
+            std::process::exit(2);
+        }
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("project_records: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let projected = if stats_mode {
+        match serde_json::from_slice::<EvalStats>(&bytes) {
+            Ok(stats) => stats_projection(&stats),
+            Err(e) => {
+                eprintln!("project_records: {path} is not an EvalStats sidecar: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match serde_json::from_slice::<EvalRecord>(&bytes) {
+            Ok(rec) => projection(&rec),
+            Err(e) => {
+                eprintln!("project_records: {path} is not an EvalRecord: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    print!("{projected}");
+}

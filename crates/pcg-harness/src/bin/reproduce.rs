@@ -1,6 +1,13 @@
 //! Run the full PCGBench evaluation and print every table and figure
 //! plus the paper-vs-measured summary. Set PCG_FULL=1 for paper-scale
 //! settings; the evaluation record is cached under target/pcgbench/.
+//!
+//! Multi-process evaluation: `reproduce --shard k/N` (or `PCG_SHARD`)
+//! runs one deterministic slice of the grid into a shard journal and
+//! exits; after all N workers finish, `reproduce --merge-shards N` (or
+//! `PCG_MERGE_SHARDS`) stitches the shard journals into the records
+//! cache and prints the figures from it. `--jobs`, `--resume`, and the
+//! warm path all compose with both modes.
 
 use pcg_harness::{pipeline, report, EvalConfig};
 

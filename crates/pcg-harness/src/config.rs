@@ -87,6 +87,13 @@ impl EvalConfig {
     }
 
     /// Pick quick/full from the `PCG_FULL` environment variable.
+    ///
+    /// `PCG_SEED` overrides the seed. `PCG_TIMEOUT` (whole seconds)
+    /// overrides the per-candidate time limit — multi-process CI runs
+    /// set it so that wall-clock verdicts stay load-independent when N
+    /// worker processes contend for the same cores (the timeout is part
+    /// of the config, so workers, merge, and the reference run must all
+    /// share one value).
     pub fn from_env() -> EvalConfig {
         let mut cfg = if std::env::var_os("PCG_FULL").is_some() {
             EvalConfig::full()
@@ -96,6 +103,11 @@ impl EvalConfig {
         if let Ok(seed) = std::env::var("PCG_SEED") {
             if let Ok(seed) = seed.parse() {
                 cfg.seed = seed;
+            }
+        }
+        if let Ok(secs) = std::env::var("PCG_TIMEOUT") {
+            if let Ok(secs) = secs.parse() {
+                cfg.timeout = Duration::from_secs(secs);
             }
         }
         cfg

@@ -1,23 +1,62 @@
-//! The evaluation orchestrator: models x tasks -> [`EvalRecord`].
+//! The evaluation coordinator: a [`WorkPlan`] subset -> task records.
 //!
-//! The (model × task) grid is fanned over the work-stealing scheduler
-//! (`scheduler::run_grid`); every cell draws its sample stream from the
-//! model keyed by `(seed, task, model)` — never by worker identity — so
-//! the resulting record is byte-identical at any `--jobs` count. One
-//! [`SharedRunner`] backs the whole grid: executions are deduplicated
-//! across concurrent cells, and per-stage times are collected into an
-//! [`EvalStats`].
+//! Evaluation is organized around the cell-addressed work model
+//! (`pcg_core::plan`): the (model × task) grid is enumerated into a
+//! [`WorkPlan`] whose cells carry globally stable [`CellId`]s, and the
+//! coordinator ([`evaluate_cells`]) executes **any subset** of that
+//! plan — the whole grid for a single-process run, one deterministic
+//! shard (`id % shard_count`) for a multi-process worker, or an
+//! arbitrary gap-fill list for `merge`. Cells are fanned over the
+//! work-stealing scheduler (`scheduler::run_grid`); every cell draws
+//! its sample stream from the model keyed by `(seed, task, model)` —
+//! never by worker identity — so the resulting records are
+//! byte-identical at any `--jobs` count *and* across any shard
+//! topology. One [`SharedRunner`] backs each invocation: executions
+//! are deduplicated across concurrent cells, and per-stage times are
+//! collected into an [`EvalStats`].
 
 use crate::config::EvalConfig;
+use crate::journal::Replay;
 use crate::record::{EvalRecord, EvalStats, ModelRecord, TaskRecord};
 use crate::runner::SharedRunner;
 use crate::scheduler;
+use pcg_core::plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 use pcg_core::task::all_tasks;
 use pcg_core::{CandidateKind, ExecutionModel, Stage, TaskId};
 use pcg_metrics::TaskSamples;
 use pcg_models::SyntheticModel;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// The deterministic [`WorkPlan`] for `models` × `tasks` under `cfg`
+/// (pass `None` for the full 420-task grid). Every process that holds
+/// the same config derives the identical plan — cell ids included —
+/// which is what makes sharded execution coordination-free.
+pub fn plan_for(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    tasks: Option<&[TaskId]>,
+) -> WorkPlan {
+    let task_list: Vec<TaskId> = match tasks {
+        Some(t) => t.to_vec(),
+        None => all_tasks().collect(),
+    };
+    WorkPlan::new(
+        crate::journal::config_hash(cfg),
+        models.iter().map(|m| m.card().name.to_string()).collect(),
+        task_list,
+    )
+}
+
+/// The outcome of evaluating one plan subset: each owned cell paired
+/// with its record (plan order), plus the run's statistics.
+pub struct SubsetRun {
+    /// `(cell, record)` for every cell this invocation owned —
+    /// replayed or freshly evaluated — in plan order.
+    pub cells: Vec<(PlanCell, TaskRecord)>,
+    /// Scheduler/runner statistics for the invocation.
+    pub stats: EvalStats,
+}
 
 /// Evaluate `models` over `tasks` (pass `None` for the full 420),
 /// serially. Identical results to [`evaluate_jobs`] at any worker
@@ -56,15 +95,15 @@ pub fn evaluate_with(
     jobs: usize,
     runner: &SharedRunner,
 ) -> (EvalRecord, EvalStats) {
-    evaluate_resumable(cfg, models, tasks, jobs, runner, &crate::journal::Replay::new(), |_, _| {})
+    evaluate_resumable(cfg, models, tasks, jobs, runner, &Replay::new(), |_, _, _| {})
 }
 
 /// [`evaluate_with`] plus crash-safety hooks: cells present in `replay`
-/// (keyed by `(model name, task)`, typically recovered from a
-/// write-ahead journal) are spliced into the record without being
-/// re-evaluated, and `on_cell` is invoked on the calling thread — in
-/// completion order, one cell at a time — for every cell that *was*
-/// evaluated, so the pipeline can journal it durably.
+/// (keyed by [`CellId`], typically recovered from a write-ahead
+/// journal) are spliced into the record without being re-evaluated,
+/// and `on_cell` is invoked on the calling thread — in completion
+/// order, one cell at a time — for every cell that *was* evaluated, so
+/// the pipeline can journal it durably.
 ///
 /// Because sample streams are keyed by grid coordinates (never by
 /// worker identity, time, or which cells ran before), the merged
@@ -78,46 +117,75 @@ pub fn evaluate_resumable(
     tasks: Option<&[TaskId]>,
     jobs: usize,
     runner: &SharedRunner,
-    replay: &crate::journal::Replay,
-    mut on_cell: impl FnMut(&str, &TaskRecord),
+    replay: &Replay,
+    on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> (EvalRecord, EvalStats) {
-    let task_list: Vec<TaskId> = match tasks {
-        Some(t) => t.to_vec(),
-        None => all_tasks().collect(),
-    };
+    let plan = plan_for(cfg, models, tasks);
+    let run = evaluate_plan(cfg, models, &plan, ShardSpec::WHOLE, jobs, runner, replay, on_cell);
+    let mut records = run.cells.into_iter().map(|(_, rec)| rec);
+    let record = assemble(cfg, &plan, |_| records.next().expect("whole grid covered"));
+    (record, run.stats)
+}
 
-    // Model-major grid: slot = model_idx * tasks + task_idx, so results
-    // regroup into records by simple slicing. Replayed cells fill their
-    // slot up front; only the remainder is scheduled.
-    let nt = task_list.len();
-    let n_cells = models.len() * nt;
+/// Evaluate the cells of `plan` that belong to `shard`. The whole-grid
+/// spec ([`ShardSpec::WHOLE`]) makes this the single-process
+/// coordinator; any other spec makes it a shard worker executing its
+/// deterministic `id % shard_count` slice.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_plan(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    plan: &WorkPlan,
+    shard: ShardSpec,
+    jobs: usize,
+    runner: &SharedRunner,
+    replay: &Replay,
+    on_cell: impl FnMut(CellId, &str, &TaskRecord),
+) -> SubsetRun {
+    evaluate_cells(cfg, models, plan.shard(shard), jobs, runner, replay, on_cell)
+}
+
+/// The core coordinator: evaluate an explicit subset of plan cells.
+///
+/// `models` must be the model list the plan was built from (cells
+/// index into it). Cells found in `replay` are spliced in without
+/// re-evaluation; the rest are fanned over the scheduler. Results come
+/// back in `owned` order regardless of completion order.
+pub fn evaluate_cells(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    owned: Vec<PlanCell>,
+    jobs: usize,
+    runner: &SharedRunner,
+    replay: &Replay,
+    mut on_cell: impl FnMut(CellId, &str, &TaskRecord),
+) -> SubsetRun {
+    let n_cells = owned.len();
     let mut slots: Vec<Option<TaskRecord>> = Vec::with_capacity(n_cells);
-    let mut pending: Vec<(usize, TaskId)> = Vec::new();
+    let mut pending: Vec<PlanCell> = Vec::new();
     let mut pending_slots: Vec<usize> = Vec::new();
-    for (mi, model) in models.iter().enumerate() {
-        let name = model.card().name;
-        for (ti, &task) in task_list.iter().enumerate() {
-            match replay.get(&(name.to_string(), task)) {
-                Some(rec) => slots.push(Some(rec.clone())),
-                None => {
-                    pending.push((mi, task));
-                    pending_slots.push(mi * nt + ti);
-                    slots.push(None);
-                }
+    for (i, cell) in owned.iter().enumerate() {
+        match replay.get(&cell.id) {
+            Some(r) => slots.push(Some(r.record.clone())),
+            None => {
+                pending.push(*cell);
+                pending_slots.push(i);
+                slots.push(None);
             }
         }
     }
     let resumed_cells = n_cells - pending.len();
+    let pending_cells = pending.clone();
 
     let t0 = Instant::now();
     let results = scheduler::run_grid_observed(
         pending,
         jobs,
-        |_, &(mi, task)| evaluate_task(cfg, runner, &models[mi], task),
+        |_, cell| evaluate_task(cfg, runner, &models[cell.model], cell.task),
         |local, cell| {
             if let Ok(rec) = &cell.value {
-                let mi = pending_slots[local] / nt;
-                on_cell(models[mi].card().name, rec);
+                let c = pending_cells[local];
+                on_cell(c.id, models[c.model].card().name, rec);
             }
         },
     );
@@ -128,32 +196,24 @@ pub fn evaluate_resumable(
     for (local, cell) in results.into_iter().enumerate() {
         queue_wait_s += cell.queue_wait.as_secs_f64();
         max_queue_wait_s = max_queue_wait_s.max(cell.queue_wait.as_secs_f64());
-        let slot = pending_slots[local];
         match cell.value {
-            Ok(rec) => slots[slot] = Some(rec),
+            Ok(rec) => slots[pending_slots[local]] = Some(rec),
             Err(msg) => {
-                let (mi, ti) = (slot / nt, slot % nt);
+                let c = pending_cells[local];
                 panic!(
-                    "evaluation cell for model {} task {:?} panicked: {msg}",
-                    models[mi].card().name,
-                    task_list[ti],
+                    "evaluation cell {} for model {} task {:?} panicked: {msg}",
+                    c.id,
+                    models[c.model].card().name,
+                    c.task,
                 );
             }
         }
     }
-    let task_records: Vec<TaskRecord> =
-        slots.into_iter().map(|s| s.expect("every slot filled")).collect();
-
-    let mut model_records = Vec::with_capacity(models.len());
-    let mut rest = task_records;
-    for model in models {
-        let tail = rest.split_off(task_list.len());
-        model_records.push(ModelRecord {
-            model: model.card().name.to_string(),
-            tasks: rest,
-        });
-        rest = tail;
-    }
+    let cells: Vec<(PlanCell, TaskRecord)> = owned
+        .into_iter()
+        .zip(slots)
+        .map(|(c, s)| (c, s.expect("every slot filled")))
+        .collect();
 
     let stats = EvalStats {
         jobs: jobs.max(1),
@@ -181,8 +241,33 @@ pub fn evaluate_resumable(
         pool_setup_s: runner.pool_setup_s(),
         ranks_multiplexed: runner.ranks_multiplexed(),
         bytes_zero_copied: runner.bytes_zero_copied(),
+        journal_compactions: 0,
     };
-    (EvalRecord { config: cfg.clone(), models: model_records }, stats)
+    SubsetRun { cells, stats }
+}
+
+/// Assemble a whole-grid [`EvalRecord`] from per-cell records, pulling
+/// each cell's record from `take` in plan (model-major) order. The
+/// caller guarantees coverage: single-process runs pass their ordered
+/// results, `merge` passes a map filled from shard journals plus
+/// gap-fill evaluation.
+pub fn assemble(
+    cfg: &EvalConfig,
+    plan: &WorkPlan,
+    mut take: impl FnMut(&PlanCell) -> TaskRecord,
+) -> EvalRecord {
+    let mut model_records: Vec<ModelRecord> = plan
+        .models()
+        .iter()
+        .map(|name| ModelRecord {
+            model: name.clone(),
+            tasks: Vec::with_capacity(plan.tasks().len()),
+        })
+        .collect();
+    for cell in plan.cells() {
+        model_records[cell.model].tasks.push(take(&cell));
+    }
+    EvalRecord { config: cfg.clone(), models: model_records }
 }
 
 fn evaluate_task(
@@ -318,5 +403,55 @@ mod tests {
         assert_eq!(stats.timeouts, 0);
         assert!(stats.wall_s > 0.0);
         assert!(stats.run_s > 0.0);
+    }
+
+    #[test]
+    fn sharded_subsets_reassemble_to_the_unsharded_record() {
+        // The in-process shape of the multi-process contract: three
+        // disjoint plan shards, each evaluated by its own coordinator
+        // call, reassemble into a record byte-identical to the
+        // whole-grid evaluation. Byte-identity is the
+        // *shared-measurement* guarantee (the discipline
+        // `crash_resume` documents): records embed candidate timings,
+        // so every phase draws from one [`SharedRunner`]'s execution
+        // cache. Partitioning and reassembly themselves must be
+        // lossless and ordering-exact.
+        let cfg = EvalConfig::smoke();
+        let models = [
+            SyntheticModel::by_name("CodeLlama-13B").unwrap(),
+            SyntheticModel::by_name("GPT-4").unwrap(),
+        ];
+        let p = ProblemId::new(ProblemType::Transform, 0);
+        let tasks: Vec<TaskId> = [
+            ExecutionModel::Serial,
+            ExecutionModel::OpenMp,
+            ExecutionModel::Cuda,
+        ]
+        .iter()
+        .map(|&m| p.task(m))
+        .collect();
+
+        let plan = plan_for(&cfg, &models, Some(&tasks));
+        let runner = SharedRunner::new(cfg.clone());
+        let (whole, _) = evaluate_with(&cfg, &models, Some(&tasks), 2, &runner);
+
+        let mut map = std::collections::HashMap::new();
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            let run = evaluate_plan(
+                &cfg, &models, &plan, spec, 1, &runner, &Replay::new(), |_, _, _| {},
+            );
+            assert_eq!(run.stats.cells, plan.shard(spec).len());
+            for (cell, rec) in run.cells {
+                map.insert(cell.id, rec);
+            }
+        }
+        assert_eq!(map.len(), plan.len(), "shards must cover the grid");
+        let merged = assemble(&cfg, &plan, |c| map[&c.id].clone());
+        assert_eq!(
+            serde_json::to_string(&whole).unwrap(),
+            serde_json::to_string(&merged).unwrap(),
+            "sharded evaluation must reassemble byte-identically"
+        );
     }
 }

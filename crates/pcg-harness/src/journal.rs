@@ -1,19 +1,37 @@
-//! Write-ahead journal for crash-safe evaluation.
+//! Write-ahead journal for crash-safe (and sharded) evaluation.
 //!
 //! The pipeline appends one JSONL line per completed grid cell, fsync'd
 //! before the scheduler hands out more work from that point, so a
 //! killed run loses at most the cells that were in flight. On startup
-//! with `--resume`, a journal whose header matches the active config is
-//! replayed: completed cells are skipped and only the remainder is
-//! scheduled. Replay is *keyed* — `(model, task)`, with the config
-//! pinned by the header hash — not positional, so a journal written at
-//! `--jobs 8` (completion order) resumes correctly at any worker count.
+//! with `--resume`, a journal whose header matches the active config
+//! (and shard) is replayed: completed cells are skipped and only the
+//! remainder is scheduled.
 //!
-//! Format: line 1 is `{"version":1,"config_hash":<fnv64>}`; every
-//! other line is `{"model":"GPT-4","record":{...TaskRecord...}}`.
+//! Replay is **cell-addressed**: every entry carries its
+//! [`pcg_core::CellId`] — the FNV-1a hash of `(config hash, model,
+//! task)` — and the replay map is keyed by that id. The id is
+//! recomputed from the entry's own fields on load, so each line is
+//! self-checking: a line whose stored id disagrees with its recomputed
+//! id is corrupt and truncates the replay there. Because the same ids
+//! partition the grid across shards (`id % shard_count`), a shard
+//! worker's journal is simply the slice of the global journal it owns,
+//! and `merge` can stitch shard journals back into a whole-grid record
+//! with no coordination beyond the shared config.
+//!
+//! Format: line 1 is `{"version":2,"config_hash":<fnv64>,
+//! "shard_index":k,"shard_count":n}`; every other line is
+//! `{"cell":<fnv64>,"model":"GPT-4","record":{...TaskRecord...}}`.
 //! A torn final line (the crash happened mid-append) or any other
 //! malformed entry truncates the replay at the first bad line — the
 //! cells after it are simply re-evaluated.
+//!
+//! **Compaction:** a journal that survived one or more crashes can
+//! carry stale bytes — the torn line itself, lines shadowed by a
+//! re-append after an earlier truncated replay, or a tail beyond the
+//! first corruption that can never be trusted again. [`compact`]
+//! rewrites the journal atomically (temp file + rename) with exactly
+//! the replayable generation folded in, so long grids stop replaying
+//! (or even parsing) stale lines on every subsequent resume.
 //!
 //! Byte-identity contract: replaying a cell reproduces the exact bytes
 //! an uninterrupted run would have recorded, because (a) the vendored
@@ -22,12 +40,13 @@
 //! and strings. The cells evaluated *after* resume reuse the same
 //! deterministic sample streams (keyed by grid coordinates, never by
 //! worker identity or time), extending the jobs-agnostic determinism
-//! guarantee across a crash.
+//! guarantee across a crash — and, with cell addressing, across
+//! process boundaries.
 
 use crate::config::EvalConfig;
 use crate::record::TaskRecord;
 use parking_lot::Mutex;
-use pcg_core::TaskId;
+use pcg_core::plan::{fnv1a, CellId, ShardSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -35,30 +54,43 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// (v1 keyed entries by `(model, task)` with no cell address; v2 is
+/// cell-addressed and shard-aware.)
+const VERSION: u32 = 2;
 
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
 struct Header {
     version: u32,
     config_hash: u64,
+    #[serde(default)]
+    shard_index: u32,
+    #[serde(default)]
+    shard_count: u32,
+}
+
+impl Header {
+    fn new(cfg: &EvalConfig, shard: ShardSpec) -> Header {
+        Header {
+            version: VERSION,
+            config_hash: config_hash(cfg),
+            shard_index: shard.index,
+            shard_count: shard.count,
+        }
+    }
 }
 
 #[derive(Serialize, Deserialize)]
 struct Entry {
+    cell: u64,
     model: String,
     record: TaskRecord,
 }
 
 /// FNV-1a over the config's canonical JSON: journals are only replayed
-/// into the exact configuration that wrote them.
+/// into the exact configuration that wrote them, and every
+/// [`CellId`] in the run is derived from this hash.
 pub fn config_hash(cfg: &EvalConfig) -> u64 {
-    let bytes = serde_json::to_vec(cfg).unwrap_or_default();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv1a(&serde_json::to_vec(cfg).unwrap_or_default())
 }
 
 /// Journal path for a record cache path (`records-quick.json` →
@@ -69,8 +101,43 @@ pub fn journal_path(cache_path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-/// Completed cells recovered from a journal, keyed by `(model, task)`.
-pub type Replay = HashMap<(String, TaskId), TaskRecord>;
+/// Journal path for one shard of a sharded run
+/// (`records-quick.json.journal.shard-0-of-3`). The whole-grid spec
+/// maps to the plain [`journal_path`], so single-process runs and
+/// `0/1`-sharded runs are the same artifact.
+pub fn shard_journal_path(cache_path: &Path, shard: ShardSpec) -> PathBuf {
+    if shard.is_whole() {
+        return journal_path(cache_path);
+    }
+    let mut os = cache_path.as_os_str().to_os_string();
+    os.push(format!(".journal.shard-{}-of-{}", shard.index, shard.count));
+    PathBuf::from(os)
+}
+
+/// One replayed cell: the model that owns the record (needed to
+/// rewrite the entry on compaction and to label merge output).
+#[derive(Debug, Clone)]
+pub struct ReplayCell {
+    /// Model display name the cell belongs to.
+    pub model: String,
+    /// The journaled record, byte-identical to a fresh evaluation.
+    pub record: TaskRecord,
+}
+
+/// Completed cells recovered from a journal, keyed by cell address.
+pub type Replay = HashMap<CellId, ReplayCell>;
+
+/// What [`load_counting`] recovered, plus how much of the file it had
+/// to discard or fold.
+pub struct Loaded {
+    /// The replayable cells.
+    pub replay: Replay,
+    /// Lines that carried no replayable information: torn/corrupt
+    /// lines, anything after the first corruption, and duplicate
+    /// appends shadowed by a later line. When positive, the journal is
+    /// worth compacting.
+    pub stale_lines: usize,
+}
 
 /// Append handle for one run's journal.
 pub struct Journal {
@@ -78,14 +145,14 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Start a fresh journal for `cfg`, truncating any previous file.
-    pub fn create(path: &Path, cfg: &EvalConfig) -> std::io::Result<Journal> {
+    /// Start a fresh journal for `cfg`'s shard `shard`, truncating any
+    /// previous file.
+    pub fn create(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut file = File::create(path)?;
-        let header = Header { version: VERSION, config_hash: config_hash(cfg) };
-        let line = serde_json::to_string(&header).map_err(std::io::Error::other)?;
+        let line = serde_json::to_string(&Header::new(cfg, shard)).map_err(std::io::Error::other)?;
         writeln!(file, "{line}")?;
         file.sync_data()?;
         Ok(Journal { file: Mutex::new(file) })
@@ -101,8 +168,8 @@ impl Journal {
     /// Durably append one completed cell: the line is written, flushed,
     /// and fsync'd before this returns, so a crash at any later point
     /// cannot lose it.
-    pub fn append(&self, model: &str, record: &TaskRecord) -> std::io::Result<()> {
-        let entry = Entry { model: model.to_string(), record: record.clone() };
+    pub fn append(&self, cell: CellId, model: &str, record: &TaskRecord) -> std::io::Result<()> {
+        let entry = Entry { cell: cell.0, model: model.to_string(), record: record.clone() };
         let line = serde_json::to_string(&entry).map_err(std::io::Error::other)?;
         let mut file = self.file.lock();
         writeln!(file, "{line}")?;
@@ -111,39 +178,111 @@ impl Journal {
     }
 }
 
-/// Load the replayable cells of the journal at `path` for `cfg`.
+/// Load the replayable cells of the journal at `path` for `cfg`'s
+/// shard `shard`.
 ///
 /// Returns an empty map when the file is missing, unreadable, or
-/// carries a header for a different config/version. A malformed or torn
-/// line truncates the replay there: everything before it is kept,
-/// everything after it is discarded (it may describe cells appended
-/// after the corruption, but trusting a journal past its first bad
-/// byte is how resumed runs diverge — re-evaluating is always safe).
-pub fn load(path: &Path, cfg: &EvalConfig) -> Replay {
-    let mut replay = Replay::new();
+/// carries a header for a different config/version/shard. A malformed
+/// or torn line — including a line whose stored cell id disagrees with
+/// the id recomputed from its `(model, task)` under `cfg` — truncates
+/// the replay there: everything before it is kept, everything after it
+/// is discarded (it may describe cells appended after the corruption,
+/// but trusting a journal past its first bad byte is how resumed runs
+/// diverge — re-evaluating is always safe).
+pub fn load(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Replay {
+    load_counting(path, cfg, shard).replay
+}
+
+/// [`load`], additionally reporting how many stale lines the file
+/// carries (the compaction trigger).
+pub fn load_counting(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
+    let mut loaded = Loaded { replay: Replay::new(), stale_lines: 0 };
     let file = match File::open(path) {
         Ok(f) => f,
-        Err(_) => return replay,
+        Err(_) => return loaded,
     };
+    let chash = config_hash(cfg);
     let mut lines = BufReader::new(file).lines();
     let header: Header = match lines.next() {
         Some(Ok(line)) => match serde_json::from_str(&line) {
             Ok(h) => h,
-            Err(_) => return replay,
+            Err(_) => return loaded,
         },
-        _ => return replay,
+        _ => return loaded,
     };
-    if header != (Header { version: VERSION, config_hash: config_hash(cfg) }) {
-        return replay;
+    if header != Header::new(cfg, shard) {
+        return loaded;
     }
-    for line in lines {
+    while let Some(line) = lines.next() {
         let entry: Entry = match line.as_deref().map(serde_json::from_str) {
             Ok(Ok(e)) => e,
-            _ => break, // torn or corrupt line: truncate replay here
+            _ => {
+                // Torn or corrupt line: truncate replay here. The bad
+                // line and everything after it are stale.
+                loaded.stale_lines += 1 + lines.count();
+                return loaded;
+            }
         };
-        replay.insert((entry.model, entry.record.task), entry.record);
+        let id = CellId::new(chash, &entry.model, entry.record.task);
+        if id.0 != entry.cell {
+            // Self-check failed: the line decoded as JSON but does not
+            // describe the cell it claims to. Same corruption policy.
+            loaded.stale_lines += 1 + lines.count();
+            return loaded;
+        }
+        if loaded
+            .replay
+            .insert(id, ReplayCell { model: entry.model, record: entry.record })
+            .is_some()
+        {
+            // A duplicate append (an earlier resume re-evaluated this
+            // cell after a truncated replay). Last write wins; the
+            // shadowed line is stale.
+            loaded.stale_lines += 1;
+        }
     }
-    replay
+    loaded
+}
+
+/// Rewrite the journal at `path` atomically with exactly `replay`
+/// folded in — one line per completed cell, in deterministic (cell id)
+/// order, no torn bytes, no shadowed duplicates. Returns the number of
+/// entries written. Readers (and crashes) observe either the old
+/// journal or the compacted one, never a hybrid.
+pub fn compact(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    replay: &Replay,
+) -> std::io::Result<usize> {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".compact.{}", std::process::id()));
+    let tmp = PathBuf::from(os);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        let line =
+            serde_json::to_string(&Header::new(cfg, shard)).map_err(std::io::Error::other)?;
+        writeln!(file, "{line}")?;
+        let mut cells: Vec<(&CellId, &ReplayCell)> = replay.iter().collect();
+        cells.sort_by_key(|(id, _)| **id);
+        for (id, cell) in &cells {
+            let entry = Entry {
+                cell: id.0,
+                model: cell.model.clone(),
+                record: cell.record.clone(),
+            };
+            let line = serde_json::to_string(&entry).map_err(std::io::Error::other)?;
+            writeln!(file, "{line}")?;
+        }
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(replay.len())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Delete a journal (after its run committed the final record).
@@ -171,6 +310,10 @@ mod tests {
         }
     }
 
+    fn cell_of(cfg: &EvalConfig, model: &str, r: &TaskRecord) -> CellId {
+        CellId::new(config_hash(cfg), model, r.task)
+    }
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("pcgbench-journal-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -178,22 +321,23 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_and_keyed_replay() {
+    fn roundtrip_and_cell_keyed_replay() {
         let cfg = EvalConfig::smoke();
         let path = tmp("roundtrip");
-        let j = Journal::create(&path, &cfg).unwrap();
-        j.append("GPT-4", &rec(0)).unwrap();
-        j.append("GPT-4", &rec(1)).unwrap();
-        j.append("CodeLlama-7B", &rec(0)).unwrap();
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
+        j.append(cell_of(&cfg, "CodeLlama-7B", &rec(0)), "CodeLlama-7B", &rec(0)).unwrap();
         drop(j);
 
-        let replay = load(&path, &cfg);
+        let replay = load(&path, &cfg, ShardSpec::WHOLE);
         assert_eq!(replay.len(), 3);
-        let got = &replay[&("GPT-4".to_string(), rec(1).task)];
-        assert_eq!(got.low.built, vec![true, false]);
-        assert_eq!(got.low.ratio, vec![3.5, 0.0]);
+        let got = &replay[&cell_of(&cfg, "GPT-4", &rec(1))];
+        assert_eq!(got.model, "GPT-4");
+        assert_eq!(got.record.low.built, vec![true, false]);
+        assert_eq!(got.record.low.ratio, vec![3.5, 0.0]);
         remove(&path);
-        assert!(load(&path, &cfg).is_empty());
+        assert!(load(&path, &cfg, ShardSpec::WHOLE).is_empty());
     }
 
     #[test]
@@ -201,47 +345,50 @@ mod tests {
         let cfg = EvalConfig::smoke();
         let path = tmp("bytes");
         let original = rec(2);
-        let j = Journal::create(&path, &cfg).unwrap();
-        j.append("GPT-4", &original).unwrap();
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &original), "GPT-4", &original).unwrap();
         drop(j);
-        let replay = load(&path, &cfg);
-        let back = &replay[&("GPT-4".to_string(), original.task)];
+        let replay = load(&path, &cfg, ShardSpec::WHOLE);
+        let back = &replay[&cell_of(&cfg, "GPT-4", &original)];
         assert_eq!(
             serde_json::to_string(&original).unwrap(),
-            serde_json::to_string(back).unwrap(),
+            serde_json::to_string(&back.record).unwrap(),
         );
         remove(&path);
     }
 
     #[test]
-    fn config_mismatch_replays_nothing() {
+    fn config_or_shard_mismatch_replays_nothing() {
         let cfg = EvalConfig::smoke();
         let path = tmp("mismatch");
-        let j = Journal::create(&path, &cfg).unwrap();
-        j.append("GPT-4", &rec(0)).unwrap();
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
         drop(j);
         let mut other = EvalConfig::smoke();
         other.seed += 1;
         assert_ne!(config_hash(&cfg), config_hash(&other));
-        assert!(load(&path, &other).is_empty());
-        assert_eq!(load(&path, &cfg).len(), 1);
+        assert!(load(&path, &other, ShardSpec::WHOLE).is_empty());
+        // A whole-grid journal must not replay into a shard worker.
+        assert!(load(&path, &cfg, ShardSpec::new(0, 3)).is_empty());
+        assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 1);
         remove(&path);
     }
 
     #[test]
-    fn torn_line_truncates_replay() {
+    fn torn_line_truncates_replay_and_counts_stale() {
         let cfg = EvalConfig::smoke();
         let path = tmp("torn");
-        let j = Journal::create(&path, &cfg).unwrap();
-        j.append("GPT-4", &rec(0)).unwrap();
-        j.append("GPT-4", &rec(1)).unwrap();
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
         drop(j);
         // Simulate a crash mid-append: a torn third line, then a valid
         // fourth line that must NOT be trusted.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes.extend_from_slice(b"{\"model\":\"GPT-4\",\"rec");
+        bytes.extend_from_slice(b"{\"cell\":1,\"model\":\"GPT-4\",\"rec");
         bytes.push(b'\n');
         let whole = serde_json::to_string(&super::Entry {
+            cell: cell_of(&cfg, "CodeLlama-7B", &rec(3)).0,
             model: "CodeLlama-7B".into(),
             record: rec(3),
         })
@@ -250,9 +397,66 @@ mod tests {
         bytes.push(b'\n');
         std::fs::write(&path, bytes).unwrap();
 
-        let replay = load(&path, &cfg);
-        assert_eq!(replay.len(), 2, "replay stops at the torn line");
-        assert!(!replay.contains_key(&("CodeLlama-7B".to_string(), rec(3).task)));
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 2, "replay stops at the torn line");
+        assert!(!loaded.replay.contains_key(&cell_of(&cfg, "CodeLlama-7B", &rec(3))));
+        assert_eq!(loaded.stale_lines, 2, "the torn line and the untrusted tail are stale");
+        remove(&path);
+    }
+
+    #[test]
+    fn forged_cell_id_is_treated_as_corruption() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("forged");
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        // An entry whose stored id belongs to a different cell.
+        j.append(cell_of(&cfg, "GPT-4", &rec(2)), "GPT-4", &rec(1)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(3)), "GPT-4", &rec(3)).unwrap();
+        drop(j);
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 1, "replay truncates at the forged line");
+        assert_eq!(loaded.stale_lines, 2);
+        remove(&path);
+    }
+
+    #[test]
+    fn duplicate_appends_fold_to_last_write_and_compact() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("dup");
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        let mut first = rec(0);
+        first.low.ratio = vec![1.0, 0.0];
+        j.append(cell_of(&cfg, "GPT-4", &first), "GPT-4", &first).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
+        // The same cell re-appended (post-truncation re-evaluation).
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        drop(j);
+
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 2);
+        assert_eq!(loaded.stale_lines, 1, "the shadowed first append is stale");
+        assert_eq!(
+            loaded.replay[&cell_of(&cfg, "GPT-4", &rec(0))].record.low.ratio,
+            rec(0).low.ratio,
+            "last write wins"
+        );
+
+        // Compaction rewrites to exactly the replayable generation...
+        compact(&path, &cfg, ShardSpec::WHOLE, &loaded.replay).unwrap();
+        let again = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(again.stale_lines, 0, "a compacted journal has no stale lines");
+        assert_eq!(again.replay.len(), 2);
+        // ...and the compacted journal still replays byte-identically.
+        assert_eq!(
+            serde_json::to_string(&again.replay[&cell_of(&cfg, "GPT-4", &rec(1))].record).unwrap(),
+            serde_json::to_string(&rec(1)).unwrap(),
+        );
+        // Appending after compaction still works (resume continues).
+        let j = Journal::open_append(&path).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(4)), "GPT-4", &rec(4)).unwrap();
+        drop(j);
+        assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 3);
         remove(&path);
     }
 
@@ -260,19 +464,45 @@ mod tests {
     fn append_after_resume_extends_the_same_journal() {
         let cfg = EvalConfig::smoke();
         let path = tmp("extend");
-        let j = Journal::create(&path, &cfg).unwrap();
-        j.append("GPT-4", &rec(0)).unwrap();
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
         drop(j);
         let j = Journal::open_append(&path).unwrap();
-        j.append("GPT-4", &rec(1)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
         drop(j);
-        assert_eq!(load(&path, &cfg).len(), 2);
+        assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 2);
         remove(&path);
     }
 
     #[test]
-    fn journal_path_derives_from_cache_path() {
+    fn journal_paths_derive_from_cache_path() {
         let p = journal_path(Path::new("target/pcgbench/records-quick.json"));
         assert_eq!(p, Path::new("target/pcgbench/records-quick.json.journal"));
+        let s = shard_journal_path(
+            Path::new("target/pcgbench/records-quick.json"),
+            ShardSpec::new(1, 3),
+        );
+        assert_eq!(
+            s,
+            Path::new("target/pcgbench/records-quick.json.journal.shard-1-of-3")
+        );
+        assert_eq!(
+            shard_journal_path(Path::new("x.json"), ShardSpec::WHOLE),
+            journal_path(Path::new("x.json")),
+        );
+    }
+
+    #[test]
+    fn shard_journals_replay_into_their_own_spec_only() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("shard");
+        let spec = ShardSpec::new(1, 3);
+        let j = Journal::create(&path, &cfg, spec).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        drop(j);
+        assert_eq!(load(&path, &cfg, spec).len(), 1);
+        assert!(load(&path, &cfg, ShardSpec::new(0, 3)).is_empty());
+        assert!(load(&path, &cfg, ShardSpec::WHOLE).is_empty());
+        remove(&path);
     }
 }

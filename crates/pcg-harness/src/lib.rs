@@ -27,6 +27,14 @@
 //! pool ([`scheduler`]); `--jobs N` / `PCG_JOBS` picks the worker
 //! count, and records are byte-identical at any setting because every
 //! sample stream is keyed by grid coordinates, never worker identity.
+//!
+//! The grid itself is **cell-addressed** (`pcg_core::plan`): every
+//! (config, model, task) cell has a globally stable [`pcg_core::CellId`],
+//! and a deterministic `WorkPlan` enumerates and partitions the grid.
+//! That makes evaluation multi-process for free — `--shard k/N` runs
+//! one coordination-free slice into its own write-ahead journal
+//! ([`shard`]), and a merge step stitches shard journals into records
+//! byte-identical to a single-process run.
 
 pub mod config;
 pub mod eval;
@@ -37,6 +45,7 @@ pub mod record;
 pub mod report;
 pub mod runner;
 pub mod scheduler;
+pub mod shard;
 
 pub use config::EvalConfig;
 pub use record::{EvalRecord, EvalStats, ModelRecord, TaskRecord};

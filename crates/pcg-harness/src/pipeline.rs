@@ -1,12 +1,20 @@
 //! Disk-cached end-to-end evaluation used by the figure binaries.
 //!
 //! Crash safety: while a grid runs, every completed cell is appended to
-//! a write-ahead journal next to the cache file (fsync'd per line).
-//! The final cache and stats sidecar are committed atomically
-//! (temp file + rename), so readers never observe a torn record; the
-//! journal is deleted only after the cache commit succeeds. A run
-//! killed at any point can be restarted with `--resume` and will
-//! re-evaluate only the cells the journal does not already hold.
+//! a cell-addressed write-ahead journal next to the cache file
+//! (fsync'd per line, keyed by the cell's globally stable
+//! [`pcg_core::plan::CellId`]). The final cache and stats sidecar are
+//! committed atomically (temp file + rename), so readers never observe
+//! a torn record; the journal is deleted only after the cache commit
+//! succeeds. A run killed at any point can be restarted with `--resume`
+//! and will re-evaluate only the cells the journal does not already
+//! hold — and, if the journal accumulated stale lines (torn tails,
+//! shadowed duplicate appends), resume first compacts it in place.
+//!
+//! Multi-process mode: `--shard k/N` runs one deterministic slice of
+//! the grid into its own journal and exits; `--merge-shards N` stitches
+//! the N shard journals into a records cache byte-identical to a
+//! single-process run (see [`crate::shard`]).
 
 use crate::config::EvalConfig;
 use crate::eval::evaluate_resumable;
@@ -14,6 +22,7 @@ use crate::journal::{self, Journal};
 use crate::record::{EvalRecord, EvalStats};
 use crate::runner::SharedRunner;
 use crate::scheduler;
+use pcg_core::plan::ShardSpec;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -45,25 +54,79 @@ pub struct RunOptions {
     /// Keep a write-ahead journal while running (`--no-journal`
     /// disables it, trading crash safety for fewer fsyncs).
     pub journal: bool,
+    /// Run only the cells of one shard (`--shard k/N`) into a shard
+    /// journal, then exit — worker mode for multi-process evaluation.
+    pub shard: Option<ShardSpec>,
+    /// Merge N shard journals into the records cache instead of
+    /// evaluating (`--merge-shards N`).
+    pub merge_shards: Option<u32>,
 }
 
 impl RunOptions {
     /// Options for `jobs` workers with journaling on and resume off.
     pub fn new(jobs: usize) -> RunOptions {
-        RunOptions { jobs, resume: false, journal: true }
+        RunOptions { jobs, resume: false, journal: true, shard: None, merge_shards: None }
     }
 
-    /// Parse `--jobs N`, `--resume`, and `--no-journal` from the
-    /// process arguments (exits with code 2 on a malformed `--jobs`,
-    /// like [`scheduler::jobs_from_cli`]).
+    /// Parse `--jobs N`, `--resume`, `--no-journal`, `--shard k/N`
+    /// (env fallback `PCG_SHARD`), and `--merge-shards N` (env
+    /// fallback `PCG_MERGE_SHARDS`) from the process arguments (exits
+    /// with code 2 on a malformed value, like
+    /// [`scheduler::jobs_from_cli`]).
     pub fn from_cli() -> RunOptions {
         let has = |flag: &str| std::env::args().any(|a| a == flag);
         RunOptions {
             jobs: scheduler::jobs_from_cli(),
             resume: has("--resume"),
             journal: !has("--no-journal"),
+            shard: shard_from_cli(),
+            merge_shards: merge_from_cli(),
         }
     }
+}
+
+/// `--shard k/N` / `--shard=k/N` from the arguments, else the
+/// `PCG_SHARD` environment variable. Exits with code 2 on a malformed
+/// spec.
+fn shard_from_cli() -> Option<ShardSpec> {
+    let raw = flag_value("--shard").or_else(|| std::env::var("PCG_SHARD").ok())?;
+    match ShardSpec::parse(&raw) {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("[pcgbench] invalid shard spec {raw:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--merge-shards N` / `--merge-shards=N` from the arguments, else
+/// the `PCG_MERGE_SHARDS` environment variable. Exits with code 2 on a
+/// malformed count.
+fn merge_from_cli() -> Option<u32> {
+    let raw = flag_value("--merge-shards").or_else(|| std::env::var("PCG_MERGE_SHARDS").ok())?;
+    match raw.parse::<u32>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("[pcgbench] invalid shard count {raw:?}: expected a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The value of `--flag value` or `--flag=value` in the process args.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
 }
 
 /// [`load_or_run_jobs`] at the default worker count (`PCG_JOBS` env var
@@ -81,8 +144,19 @@ pub fn load_or_run_jobs(path: Option<&Path>, cfg: &EvalConfig, jobs: usize) -> E
 /// full evaluation (all 7 models, all 420 tasks) and cache it. The
 /// cache is jobs-agnostic: records are byte-identical at any worker
 /// count, so a cache written at `--jobs 8` serves `--jobs 1` — and,
-/// with `--resume`, a run resumed from a journal serves both.
+/// with `--resume`, a run resumed from a journal serves both. In shard
+/// worker mode the process runs its slice and exits; in merge mode the
+/// shard journals are stitched into the cache instead of evaluating.
 pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions) -> EvalRecord {
+    if let Some(spec) = opts.shard {
+        if !spec.is_whole() {
+            // Worker mode: the process exists to produce one shard
+            // journal, not a figure. Exit before touching the cache so
+            // concurrent workers cannot race on it.
+            crate::shard::run_shard(path, cfg, opts, spec, None);
+            std::process::exit(0);
+        }
+    }
     let path = path.map(Path::to_path_buf).unwrap_or_else(|| default_cache_path(cfg));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(rec) = serde_json::from_slice::<EvalRecord>(&bytes) {
@@ -96,6 +170,9 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
             let _ = std::fs::remove_file(stats_path(cfg));
         }
     }
+    if let Some(count) = opts.merge_shards {
+        return crate::shard::merge_shards(Some(&path), cfg, opts, count, None);
+    }
     eprintln!(
         "[pcgbench] running evaluation (7 models x 420 tasks, size/{}, {} low samples, {} worker{})...",
         cfg.size_divisor,
@@ -105,10 +182,29 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     );
 
     let jpath = journal::journal_path(&path);
-    let replay = if opts.resume {
-        journal::load(&jpath, cfg)
+    let (replay, compacted) = if opts.resume {
+        let loaded = journal::load_counting(&jpath, cfg, ShardSpec::WHOLE);
+        let folded = if loaded.stale_lines > 0 {
+            match journal::compact(&jpath, cfg, ShardSpec::WHOLE, &loaded.replay) {
+                Ok(_) => {
+                    eprintln!(
+                        "[pcgbench] compacted journal: {} stale line{} folded away",
+                        loaded.stale_lines,
+                        if loaded.stale_lines == 1 { "" } else { "s" },
+                    );
+                    loaded.stale_lines as u64
+                }
+                Err(e) => {
+                    eprintln!("[pcgbench] warning: journal compaction failed: {e}");
+                    0
+                }
+            }
+        } else {
+            0
+        };
+        (loaded.replay, folded)
     } else {
-        journal::Replay::new()
+        (journal::Replay::new(), 0)
     };
     if !replay.is_empty() {
         eprintln!(
@@ -120,7 +216,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     }
     let wal = if opts.journal {
         let opened = if replay.is_empty() {
-            Journal::create(&jpath, cfg)
+            Journal::create(&jpath, cfg, ShardSpec::WHOLE)
         } else {
             Journal::open_append(&jpath)
         };
@@ -136,14 +232,22 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     };
 
     let runner = SharedRunner::new(cfg.clone());
-    let (record, stats) =
-        evaluate_resumable(cfg, &pcg_models::zoo(), None, opts.jobs, &runner, &replay, |model, rec| {
+    let (record, mut stats) = evaluate_resumable(
+        cfg,
+        &pcg_models::zoo(),
+        None,
+        opts.jobs,
+        &runner,
+        &replay,
+        |cell, model, rec| {
             if let Some(j) = &wal {
-                if let Err(e) = j.append(model, rec) {
+                if let Err(e) = j.append(cell, model, rec) {
                     eprintln!("[pcgbench] warning: journal append failed: {e}");
                 }
             }
-        });
+        },
+    );
+    stats.journal_compactions = compacted;
     eprintln!("[pcgbench] evaluation finished in {:.1}s", stats.wall_s);
     eprint!("{}", crate::report::stats_summary(&stats));
 
@@ -179,7 +283,7 @@ fn write_stats(cfg: &EvalConfig, stats: &EvalStats) {
 
 /// Write `bytes` to `path` atomically: readers (and crashes) see either
 /// the previous file or the complete new one, never a torn write.
-fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -230,10 +334,12 @@ mod tests {
     }
 
     #[test]
-    fn run_options_default_to_journal_on_resume_off() {
+    fn run_options_default_to_journal_on_resume_off_unsharded() {
         let o = RunOptions::new(3);
         assert_eq!(o.jobs, 3);
         assert!(o.journal);
         assert!(!o.resume);
+        assert!(o.shard.is_none());
+        assert!(o.merge_shards.is_none());
     }
 }

@@ -126,6 +126,63 @@ pub struct EvalStats {
     /// buffer forwarding) instead of copied.
     #[serde(default)]
     pub bytes_zero_copied: u64,
+    /// Stale journal lines (torn bytes, untrusted tails, shadowed
+    /// duplicate appends) folded away by compaction on resume. Zero on
+    /// a clean run.
+    #[serde(default)]
+    pub journal_compactions: u64,
+}
+
+/// The cross-process-deterministic projection of an [`EvalRecord`].
+///
+/// Separate cold runs legitimately differ in the measured timing floats
+/// (performance ratios, sweep values): the virtual-time clocks contain
+/// a genuinely measured compute component. Everything else — model
+/// order, task identity and order, build flags, correctness flags,
+/// which sweep resource counts were collected — must be identical
+/// between a clean run and a killed-then-resumed run, between warm and
+/// cold execution, between thread-per-rank and multiplexed MPI, and
+/// between a sharded and a single-process run.
+///
+/// This is the **single definition** of that projection: the
+/// warm-path, mux, and shard projection-equality tests all call it,
+/// and CI diffs it across processes via the `project_records` binary —
+/// so the copies that used to live in each test and in
+/// `ci/project_records.py` can no longer drift.
+pub fn projection(rec: &EvalRecord) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for m in &rec.models {
+        let _ = writeln!(s, "model={}", m.model);
+        for t in &m.tasks {
+            let _ = writeln!(
+                s,
+                "task={:?} built={:?} correct={:?} high_correct={:?} sweep_ns={:?}",
+                t.task,
+                t.low.built,
+                t.low.correct,
+                t.high.as_ref().map(|h| &h.correct),
+                t.sweep.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+    s
+}
+
+/// The deterministic projection of an [`EvalStats`] sidecar: the
+/// fields that must agree between a sharded run (after merge) and a
+/// single-process run. Timing floats and cache-locality counters
+/// (executions, cache hits) legitimately differ across process
+/// topologies — each worker process dedups executions only within its
+/// own shard — but the grid shape and the quarantine verdicts may not.
+pub fn stats_projection(stats: &EvalStats) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "cells={}", stats.cells);
+    for q in &stats.quarantined {
+        let _ = writeln!(s, "quarantined={:?} kind={} n={} error={}", q.task, q.kind, q.n, q.error);
+    }
+    s
 }
 
 #[cfg(test)]

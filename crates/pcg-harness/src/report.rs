@@ -158,6 +158,14 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
             if stats.resumed_cells == 1 { "" } else { "s" },
         );
     }
+    if stats.journal_compactions > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   journal: {} stale line{} compacted on resume",
+            stats.journal_compactions,
+            if stats.journal_compactions == 1 { "" } else { "s" },
+        );
+    }
     for q in &stats.quarantined {
         let _ = writeln!(
             s,

@@ -1,0 +1,363 @@
+//! Multi-process sharded evaluation: shard workers and the merge step.
+//!
+//! The (model × task) grid is partitioned by cell address
+//! (`CellId % shard_count`, see `pcg_core::plan`), so any number of
+//! worker processes can each run `--shard k/N` with **no coordination
+//! beyond the shared configuration**: every worker derives the
+//! identical [`WorkPlan`] and owns a disjoint, exhaustive slice of it.
+//!
+//! A worker's output is its cell-addressed write-ahead journal (plus an
+//! [`EvalStats`] sidecar) — the same journal format a single-process
+//! run keeps for crash safety, just scoped to the shard. That means
+//! every durability property composes for free: a killed worker
+//! resumes with `--resume`, stale journal generations are compacted,
+//! and torn lines truncate replay instead of corrupting it.
+//!
+//! [`merge_shards`] stitches N shard journals back into the records
+//! cache and stats sidecar. The merged records file is **byte-identical
+//! to a single-process run** of the same config: journaled records
+//! round-trip losslessly, fresh evaluations are keyed by grid
+//! coordinates only, and assembly order is the plan order both code
+//! paths share. Cells missing from the shard journals (a worker died
+//! mid-shard and was never resumed, or a journal lost its tail to a
+//! torn line) are evaluated locally by the merge process itself, so a
+//! merge always produces the complete, correct record. Stats sidecars
+//! are *combined* (counters summed, wall clock maxed); their
+//! deterministic projection (`record::stats_projection`) matches a
+//! single-process run, while cache-locality counters legitimately
+//! differ — each process dedups executions only within its own shard.
+
+use crate::config::EvalConfig;
+use crate::eval;
+use crate::journal::{self, Journal};
+use crate::pipeline::{self, RunOptions};
+use crate::record::{EvalRecord, EvalStats, TaskRecord};
+use crate::runner::SharedRunner;
+use pcg_core::plan::{CellId, ShardSpec};
+use pcg_core::TaskId;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Stats-sidecar path for one shard of a sharded run. Like the shard
+/// journal, it derives from the records cache path
+/// (`records-quick.json.stats.shard-0-of-3`), so every artifact of a
+/// sharded run lives next to the cache it will be merged into.
+pub fn shard_stats_path(cache_path: &Path, shard: ShardSpec) -> PathBuf {
+    let mut os = cache_path.as_os_str().to_os_string();
+    os.push(format!(".stats.shard-{}-of-{}", shard.index, shard.count));
+    PathBuf::from(os)
+}
+
+/// Run one shard of the full evaluation grid as a worker process.
+///
+/// The shard's journal (created fresh, or resumed and compacted when
+/// `opts.resume` is set) is the output artifact: it is *not* deleted on
+/// completion — `merge` consumes it. A stats sidecar is committed
+/// atomically next to it. Journaling cannot be disabled in worker mode
+/// (a worker without a journal would produce nothing).
+pub fn run_shard(
+    path: Option<&Path>,
+    cfg: &EvalConfig,
+    opts: &RunOptions,
+    shard: ShardSpec,
+    tasks: Option<&[TaskId]>,
+) -> EvalStats {
+    let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
+    let models = pcg_models::zoo();
+    let plan = eval::plan_for(cfg, &models, tasks);
+    let jpath = journal::shard_journal_path(&cache, shard);
+
+    let (replay, folded) = if opts.resume {
+        let loaded = journal::load_counting(&jpath, cfg, shard);
+        let folded = if loaded.stale_lines > 0 {
+            match journal::compact(&jpath, cfg, shard, &loaded.replay) {
+                Ok(_) => loaded.stale_lines as u64,
+                Err(e) => {
+                    eprintln!("[pcgbench] warning: journal compaction failed: {e}");
+                    0
+                }
+            }
+        } else {
+            0
+        };
+        (loaded.replay, folded)
+    } else {
+        (journal::Replay::new(), 0)
+    };
+    let owned = plan.shard(shard).len();
+    eprintln!(
+        "[pcgbench] shard {shard}: {owned} of {} cells ({} replayed from {})",
+        plan.len(),
+        replay.len(),
+        jpath.display(),
+    );
+
+    let wal = if replay.is_empty() {
+        Journal::create(&jpath, cfg, shard)
+    } else {
+        Journal::open_append(&jpath)
+    };
+    let wal = match wal {
+        Ok(j) => j,
+        Err(e) => {
+            // Unlike the single-process pipeline (where the journal is
+            // optional crash insurance), a shard worker exists to
+            // produce its journal; running on without one would only
+            // burn CPU to produce nothing.
+            eprintln!("[pcgbench] error: could not open shard journal: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let runner = SharedRunner::new(cfg.clone());
+    let run = eval::evaluate_plan(
+        cfg,
+        &models,
+        &plan,
+        shard,
+        opts.jobs,
+        &runner,
+        &replay,
+        |cell, model, rec| {
+            if let Err(e) = wal.append(cell, model, rec) {
+                eprintln!("[pcgbench] warning: journal append failed: {e}");
+            }
+        },
+    );
+    let mut stats = run.stats;
+    stats.journal_compactions = folded;
+    eprintln!("[pcgbench] shard {shard} finished in {:.1}s", stats.wall_s);
+    eprint!("{}", crate::report::stats_summary(&stats));
+    if let Ok(bytes) = serde_json::to_vec(&stats) {
+        if let Err(e) = pipeline::atomic_write(&shard_stats_path(&cache, shard), &bytes) {
+            eprintln!("[pcgbench] warning: could not write shard stats: {e}");
+        }
+    }
+    stats
+}
+
+/// Merge `count` shard journals into the records cache and stats
+/// sidecar, returning the merged record.
+///
+/// Missing cells (never journaled, or lost to a torn journal line) are
+/// evaluated locally at `opts.jobs` workers, so the merge is tolerant
+/// of partial and torn shard journals and its output is always the
+/// complete grid — byte-identical to a single-process run. On a
+/// successful cache commit the consumed shard journals and sidecars
+/// are deleted.
+pub fn merge_shards(
+    path: Option<&Path>,
+    cfg: &EvalConfig,
+    opts: &RunOptions,
+    count: u32,
+    tasks: Option<&[TaskId]>,
+) -> EvalRecord {
+    let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
+    let models = pcg_models::zoo();
+    let plan = eval::plan_for(cfg, &models, tasks);
+
+    let mut map: HashMap<CellId, TaskRecord> = HashMap::with_capacity(plan.len());
+    let mut parts: Vec<EvalStats> = Vec::new();
+    for k in 0..count {
+        let spec = ShardSpec::new(k, count);
+        let jpath = journal::shard_journal_path(&cache, spec);
+        let loaded = journal::load_counting(&jpath, cfg, spec);
+        eprintln!(
+            "[pcgbench] merge: shard {spec}: {} cells from {}{}",
+            loaded.replay.len(),
+            jpath.display(),
+            if loaded.stale_lines > 0 {
+                format!(" ({} stale lines ignored)", loaded.stale_lines)
+            } else {
+                String::new()
+            },
+        );
+        for (id, cell) in loaded.replay {
+            map.insert(id, cell.record);
+        }
+        if let Ok(bytes) = std::fs::read(shard_stats_path(&cache, spec)) {
+            if let Ok(stats) = serde_json::from_slice::<EvalStats>(&bytes) {
+                parts.push(stats);
+            }
+        }
+    }
+
+    // Gap fill: whatever the shard journals did not deliver is
+    // evaluated here, with the same deterministic streams any worker
+    // would have used.
+    let missing: Vec<_> = plan.cells().filter(|c| !map.contains_key(&c.id)).collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "[pcgbench] merge: {} cell{} missing from shard journals; evaluating locally",
+            missing.len(),
+            if missing.len() == 1 { "" } else { "s" },
+        );
+        let runner = SharedRunner::new(cfg.clone());
+        let fill = eval::evaluate_cells(
+            cfg,
+            &models,
+            missing,
+            opts.jobs,
+            &runner,
+            &journal::Replay::new(),
+            |_, _, _| {},
+        );
+        for (cell, rec) in fill.cells {
+            map.insert(cell.id, rec);
+        }
+        parts.push(fill.stats);
+    }
+
+    let record = eval::assemble(cfg, &plan, |c| {
+        map.get(&c.id).cloned().expect("every cell journaled or gap-filled")
+    });
+    let stats = combine_stats(&parts, plan.len());
+    eprint!("{}", crate::report::stats_summary(&stats));
+
+    let committed = match serde_json::to_vec(&record) {
+        Ok(bytes) => match pipeline::atomic_write(&cache, &bytes) {
+            Ok(()) => {
+                eprintln!("[pcgbench] merge: cached records at {}", cache.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("[pcgbench] warning: could not cache merged records: {e}");
+                false
+            }
+        },
+        Err(e) => {
+            eprintln!("[pcgbench] warning: could not serialize merged records: {e}");
+            false
+        }
+    };
+    if let Ok(bytes) = serde_json::to_vec(&stats) {
+        let _ = pipeline::atomic_write(&pipeline::stats_path(cfg), &bytes);
+    }
+    if committed {
+        // The cache now holds everything the shard journals were
+        // protecting.
+        for k in 0..count {
+            let spec = ShardSpec::new(k, count);
+            journal::remove(&journal::shard_journal_path(&cache, spec));
+            let _ = std::fs::remove_file(shard_stats_path(&cache, spec));
+        }
+    }
+    record
+}
+
+/// Combine per-process [`EvalStats`] into one merged sidecar: counters
+/// and summed stage seconds add, wall clock is the max (processes ran
+/// concurrently), and the quarantine lists union deterministically
+/// (two shards can independently quarantine the same shared candidate;
+/// the single-process run records it once).
+pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
+    let mut quarantined: Vec<crate::runner::QuarantineEntry> =
+        parts.iter().flat_map(|p| p.quarantined.iter().cloned()).collect();
+    quarantined.sort_by(|a, b| {
+        a.task.cmp(&b.task).then_with(|| a.kind.cmp(&b.kind)).then_with(|| a.n.cmp(&b.n))
+    });
+    quarantined.dedup_by(|a, b| a.task == b.task && a.kind == b.kind && a.n == b.n);
+    let sum = |f: fn(&EvalStats) -> u64| parts.iter().map(f).sum::<u64>();
+    let sum_f = |f: fn(&EvalStats) -> f64| parts.iter().map(f).sum::<f64>();
+    let max_f = |f: fn(&EvalStats) -> f64| parts.iter().map(f).fold(0.0f64, f64::max);
+    EvalStats {
+        jobs: parts.iter().map(|p| p.jobs).sum::<usize>().max(1),
+        cells,
+        executions: sum(|p| p.executions),
+        cache_hits: sum(|p| p.cache_hits),
+        panics: sum(|p| p.panics),
+        timeouts: sum(|p| p.timeouts),
+        cancelled: sum(|p| p.cancelled),
+        abandoned: sum(|p| p.abandoned),
+        retries: sum(|p| p.retries),
+        flaky: sum(|p| p.flaky),
+        resumed_cells: parts.iter().map(|p| p.resumed_cells).sum(),
+        quarantined,
+        queue_wait_s: sum_f(|p| p.queue_wait_s),
+        max_queue_wait_s: max_f(|p| p.max_queue_wait_s),
+        baseline_s: sum_f(|p| p.baseline_s),
+        run_s: sum_f(|p| p.run_s),
+        validate_s: sum_f(|p| p.validate_s),
+        wall_s: max_f(|p| p.wall_s),
+        lease_hits: sum(|p| p.lease_hits),
+        lease_misses: sum(|p| p.lease_misses),
+        pools_poisoned: sum(|p| p.pools_poisoned),
+        input_cache_hits: sum(|p| p.input_cache_hits),
+        pool_setup_s: sum_f(|p| p.pool_setup_s),
+        ranks_multiplexed: sum(|p| p.ranks_multiplexed),
+        bytes_zero_copied: sum(|p| p.bytes_zero_copied),
+        journal_compactions: sum(|p| p.journal_compactions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_stats_paths_are_distinct_per_shard() {
+        let cache = pipeline::default_cache_path(&EvalConfig::quick());
+        let a = shard_stats_path(&cache, ShardSpec::new(0, 3));
+        let b = shard_stats_path(&cache, ShardSpec::new(1, 3));
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().ends_with(".stats.shard-0-of-3"));
+        assert_ne!(a, journal::shard_journal_path(&cache, ShardSpec::new(0, 3)));
+    }
+
+    #[test]
+    fn combine_stats_sums_counters_and_unions_quarantine() {
+        use crate::runner::QuarantineEntry;
+        use pcg_core::{ExecutionModel, ProblemId, ProblemType};
+        let t = ProblemId::new(ProblemType::Sort, 0).task(ExecutionModel::OpenMp);
+        let q = |n: u32| QuarantineEntry {
+            task: t,
+            kind: "timeout".into(),
+            n,
+            error: "timeout".into(),
+        };
+        let mut a = base_stats();
+        a.executions = 10;
+        a.wall_s = 2.0;
+        a.quarantined = vec![q(4), q(8)];
+        let mut b = base_stats();
+        b.executions = 5;
+        b.wall_s = 3.0;
+        b.quarantined = vec![q(4)]; // duplicate of a's entry
+        let merged = combine_stats(&[a, b], 42);
+        assert_eq!(merged.cells, 42);
+        assert_eq!(merged.executions, 15);
+        assert_eq!(merged.wall_s, 3.0, "concurrent processes: wall is the max");
+        assert_eq!(merged.quarantined.len(), 2, "shared candidates quarantine once");
+    }
+
+    fn base_stats() -> EvalStats {
+        EvalStats {
+            jobs: 1,
+            cells: 0,
+            executions: 0,
+            cache_hits: 0,
+            panics: 0,
+            timeouts: 0,
+            cancelled: 0,
+            abandoned: 0,
+            retries: 0,
+            flaky: 0,
+            resumed_cells: 0,
+            quarantined: Vec::new(),
+            queue_wait_s: 0.0,
+            max_queue_wait_s: 0.0,
+            baseline_s: 0.0,
+            run_s: 0.0,
+            validate_s: 0.0,
+            wall_s: 0.0,
+            lease_hits: 0,
+            lease_misses: 0,
+            pools_poisoned: 0,
+            input_cache_hits: 0,
+            pool_setup_s: 0.0,
+            ranks_multiplexed: 0,
+            bytes_zero_copied: 0,
+            journal_compactions: 0,
+        }
+    }
+}

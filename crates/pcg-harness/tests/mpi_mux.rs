@@ -3,8 +3,8 @@
 //! Rank multiplexing (and the zero-copy transport underneath it) is a
 //! pure performance layer: full-pipeline evaluation records over MPI
 //! and hybrid tasks must be **byte-identical** to thread-per-rank
-//! execution, at any worker count. The comparison uses the same
-//! determinism projection as `ci/project_records.py` — task identity,
+//! execution, at any worker count. The comparison uses the single
+//! determinism projection in `pcg_harness::record::projection` — task identity,
 //! per-sample build/correct flags, and sweep keys — because ratios and
 //! stage timings are measured quantities.
 //!
@@ -14,31 +14,11 @@
 use pcg_core::warm;
 use pcg_core::ExecutionModel;
 use pcg_harness::eval::{evaluate_with, smoke_tasks};
-use pcg_harness::{EvalConfig, EvalRecord, EvalStats, SharedRunner};
+use pcg_harness::record::projection;
+use pcg_harness::{EvalConfig, EvalStats, SharedRunner};
 use pcg_models::SyntheticModel;
 use pcg_mpisim::sched::{self, ExecMode};
 use pcg_problems::{input_cache, lease};
-use std::fmt::Write as _;
-
-/// Mirror of the projection in `ci/project_records.py`.
-fn projection(rec: &EvalRecord) -> String {
-    let mut s = String::new();
-    for m in &rec.models {
-        let _ = writeln!(s, "model={}", m.model);
-        for t in &m.tasks {
-            let _ = writeln!(
-                s,
-                "task={:?} built={:?} correct={:?} high_correct={:?} sweep_ns={:?}",
-                t.task,
-                t.low.built,
-                t.low.correct,
-                t.high.as_ref().map(|h| &h.correct),
-                t.sweep.keys().collect::<Vec<_>>(),
-            );
-        }
-    }
-    s
-}
 
 fn run(cfg: &EvalConfig, tasks: &[pcg_core::TaskId], mode: ExecMode, jobs: usize) -> (String, EvalStats) {
     sched::set_exec_mode(mode);

@@ -4,7 +4,7 @@
 //! supervisor reuse) is a pure performance layer: evaluation records
 //! must be **byte-identical** to the cold path's, at any worker count.
 //! Ratios and stage timings are measured quantities, so the comparison
-//! uses the same determinism projection as `ci/project_records.py` —
+//! uses the single determinism projection `pcg_harness::record::projection` —
 //! task identity, per-sample build/correct flags, and sweep keys.
 //!
 //! One `#[test]` only: the warm flag, the lease cache, and the input
@@ -12,30 +12,10 @@
 
 use pcg_core::warm;
 use pcg_harness::eval::{evaluate_with, smoke_tasks};
-use pcg_harness::{EvalConfig, EvalRecord, EvalStats, SharedRunner};
+use pcg_harness::record::projection;
+use pcg_harness::{EvalConfig, EvalStats, SharedRunner};
 use pcg_models::SyntheticModel;
 use pcg_problems::{input_cache, lease};
-use std::fmt::Write as _;
-
-/// Mirror of the projection in `ci/project_records.py`.
-fn projection(rec: &EvalRecord) -> String {
-    let mut s = String::new();
-    for m in &rec.models {
-        let _ = writeln!(s, "model={}", m.model);
-        for t in &m.tasks {
-            let _ = writeln!(
-                s,
-                "task={:?} built={:?} correct={:?} high_correct={:?} sweep_ns={:?}",
-                t.task,
-                t.low.built,
-                t.low.correct,
-                t.high.as_ref().map(|h| &h.correct),
-                t.sweep.keys().collect::<Vec<_>>(),
-            );
-        }
-    }
-    s
-}
 
 fn run(cfg: &EvalConfig, tasks: &[pcg_core::TaskId], warm_on: bool, jobs: usize) -> (String, EvalStats) {
     warm::set_enabled(warm_on);

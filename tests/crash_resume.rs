@@ -9,6 +9,7 @@
 //! cache. Everything else — sample streams, outcome kinds, record
 //! ordering — is scheduling- and crash-independent by construction.
 
+use pcgbench::core::plan::ShardSpec;
 use pcgbench::core::{ExecutionModel, ProblemId, ProblemType, TaskId};
 use pcgbench::harness::journal::{self, Journal, Replay};
 use pcgbench::harness::{eval, EvalConfig, SharedRunner};
@@ -62,7 +63,7 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
     // deliberately not grid order), then a simulated SIGKILL that tears
     // the journal mid-append.
     let path = tmp_journal("kill");
-    let wal = Journal::create(&path, &cfg).unwrap();
+    let wal = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
     let (journaled, _) = eval::evaluate_resumable(
         &cfg,
         &models,
@@ -70,7 +71,7 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
         8,
         &runner,
         &Replay::new(),
-        |model, rec| wal.append(model, rec).unwrap(),
+        |cell, model, rec| wal.append(cell, model, rec).unwrap(),
     );
     drop(wal);
     assert_eq!(
@@ -82,7 +83,7 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
     simulate_crash(&path, keep);
 
     // Resume at a different worker count: keyed replay must not care.
-    let replay = journal::load(&path, &cfg);
+    let replay = journal::load(&path, &cfg, ShardSpec::WHOLE);
     assert_eq!(replay.len(), keep, "replay survives up to the torn line");
     let (resumed, stats) = eval::evaluate_resumable(
         &cfg,
@@ -91,7 +92,7 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
         1,
         &runner,
         &replay,
-        |_, _| {},
+        |_, _, _| {},
     );
     assert_eq!(stats.resumed_cells, keep);
     assert_eq!(stats.cells, models.len() * tasks.len());
@@ -111,7 +112,7 @@ fn journal_from_a_different_config_is_not_replayed() {
     let runner = SharedRunner::new(cfg.clone());
 
     let path = tmp_journal("mismatch");
-    let wal = Journal::create(&path, &cfg).unwrap();
+    let wal = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
     let (_, _) = eval::evaluate_resumable(
         &cfg,
         &models,
@@ -119,7 +120,7 @@ fn journal_from_a_different_config_is_not_replayed() {
         2,
         &runner,
         &Replay::new(),
-        |model, rec| wal.append(model, rec).unwrap(),
+        |cell, model, rec| wal.append(cell, model, rec).unwrap(),
     );
     drop(wal);
 
@@ -128,7 +129,7 @@ fn journal_from_a_different_config_is_not_replayed() {
     // replay any of them.
     let mut other = cfg.clone();
     other.seed += 1;
-    assert!(journal::load(&path, &other).is_empty());
-    assert_eq!(journal::load(&path, &cfg).len(), tasks.len());
+    assert!(journal::load(&path, &other, ShardSpec::WHOLE).is_empty());
+    assert_eq!(journal::load(&path, &cfg, ShardSpec::WHOLE).len(), tasks.len());
     journal::remove(&path);
 }
