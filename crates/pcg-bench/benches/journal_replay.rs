@@ -1,0 +1,147 @@
+//! Journal replay A/B: v2 JSONL vs v3 binary frames.
+//!
+//! The v3 rewrite's entire reason to exist is the resume/merge hot
+//! path: `--resume`, `--merge-shards`, and compaction all start by
+//! replaying every completed cell from disk, and in v2 that meant one
+//! `serde_json` parse per line. This bench builds the same full-grid
+//! replay in both formats — every zoo model × the paper's task grid,
+//! with paper-shaped samples (20 low, 200 high, Figure-5 sweeps) —
+//! and times [`pcg_harness::journal::load_counting`] on each.
+//!
+//! Writes `target/pcgbench/BENCH_journal.json` and asserts the >=3x
+//! floor from the journal-v3 work. `-- --quick` shrinks the grid for
+//! smoke runs (the floor still applies: the speedup is per-byte, not
+//! per-file).
+
+use pcg_core::plan::{CellId, ShardSpec};
+use pcg_core::task::all_tasks;
+use pcg_core::TaskId;
+use pcg_harness::journal::{self, config_hash, Replay, ReplayCell};
+use pcg_harness::record::TaskRecord;
+use pcg_harness::EvalConfig;
+use pcg_metrics::TaskSamples;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Deterministic paper-shaped record for grid row `i`: 20 low samples,
+/// a 200-sample high set on even rows, and a 3-point sweep on every
+/// third row — roughly the mix a real full run commits.
+fn synth_record(task: TaskId, i: usize) -> TaskRecord {
+    let flag = |k: usize| !(i * 31 + k * 7).is_multiple_of(3);
+    let ratio = |k: usize| ((i * 13 + k * 5) % 97) as f64 * 0.371 + 0.25;
+    let samples = |n: usize| TaskSamples {
+        built: (0..n).map(flag).collect(),
+        correct: (0..n).map(|k| flag(k) && flag(k + 1)).collect(),
+        ratio: (0..n).map(ratio).collect(),
+    };
+    TaskRecord {
+        task,
+        low: samples(20),
+        high: i.is_multiple_of(2).then(|| samples(200)),
+        sweep: if i.is_multiple_of(3) {
+            BTreeMap::from([
+                (2u32, (0..20).map(ratio).collect()),
+                (4u32, (0..20).map(|k| ratio(k) / 2.0).collect()),
+                (8u32, (0..20).map(|k| ratio(k) / 4.0).collect()),
+            ])
+        } else {
+            BTreeMap::new()
+        },
+    }
+}
+
+fn bench_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pcgbench-journal-replay");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir.join(format!("{name}-{}.journal", std::process::id()))
+}
+
+/// Best-of-`reps` wall seconds to fully replay the journal at `path`,
+/// verifying each pass recovers every cell cleanly.
+fn replay_seconds(path: &Path, cfg: &EvalConfig, expected: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let loaded = journal::load_counting(path, cfg, ShardSpec::WHOLE);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(loaded.replay.len(), expected, "replay must recover every cell");
+        assert!(loaded.rejects.is_empty(), "a clean journal must replay without rejects");
+        best = best.min(dt);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (task_cap, reps) = if quick { (60, 3) } else { (420, 5) };
+
+    let cfg = EvalConfig::quick();
+    let chash = config_hash(&cfg);
+    let models: Vec<String> =
+        pcg_models::zoo().into_iter().map(|m| m.card().name.to_string()).collect();
+    let tasks: Vec<TaskId> = all_tasks().take(task_cap).collect();
+
+    let mut entries: Vec<(CellId, String, TaskRecord)> = Vec::new();
+    for model in &models {
+        for &task in &tasks {
+            let i = entries.len();
+            entries.push((CellId::new(chash, model, task), model.clone(), synth_record(task, i)));
+        }
+    }
+    let replay: Replay = entries
+        .iter()
+        .map(|(id, model, rec)| {
+            (*id, ReplayCell { model: model.clone(), record: rec.clone() })
+        })
+        .collect();
+
+    // Materialise the identical replay in both formats.
+    let v2_path = bench_path("v2");
+    let v3_path = bench_path("v3");
+    journal::write_v2_journal(&v2_path, &cfg, ShardSpec::WHOLE, &entries)
+        .expect("write v2 baseline");
+    journal::compact(&v3_path, &cfg, ShardSpec::WHOLE, &replay).expect("write v3 journal");
+    let v2_bytes = std::fs::metadata(&v2_path).expect("v2 size").len();
+    let v3_bytes = std::fs::metadata(&v3_path).expect("v3 size").len();
+
+    let v2_s = replay_seconds(&v2_path, &cfg, entries.len(), reps);
+    let v3_s = replay_seconds(&v3_path, &cfg, entries.len(), reps);
+    let speedup = v2_s / v3_s;
+
+    let _ = std::fs::remove_file(&v2_path);
+    let _ = std::fs::remove_file(&v3_path);
+
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"full-grid journal replay: {} cells ({} models x {} tasks, ",
+            "paper-shaped samples), v2 JSONL parse vs v3 binary frames, best of {}\",",
+            "\"cells\":{},\"v2_bytes\":{},\"v3_bytes\":{},",
+            "\"v2_replay_s\":{:.6},\"v3_replay_s\":{:.6},\"speedup\":{:.3}}}"
+        ),
+        entries.len(),
+        models.len(),
+        tasks.len(),
+        reps,
+        entries.len(),
+        v2_bytes,
+        v3_bytes,
+        v2_s,
+        v3_s,
+        speedup,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/pcgbench");
+    std::fs::create_dir_all(&dir).expect("create target/pcgbench");
+    std::fs::write(dir.join("BENCH_journal.json"), &json).expect("write BENCH_journal.json");
+    println!(
+        "journal_replay: {} cells: v2 {:.1} MB in {v2_s:.4}s, v3 {:.1} MB in {v3_s:.4}s, \
+         speedup {speedup:.1}x",
+        entries.len(),
+        v2_bytes as f64 / 1e6,
+        v3_bytes as f64 / 1e6,
+    );
+    assert!(
+        speedup >= 3.0,
+        "v3 replay must beat JSONL by >=3x, got {speedup:.2}x ({json})"
+    );
+}

@@ -21,6 +21,8 @@
 //! * [`plan`] — the cell-addressed work model: globally stable
 //!   [`CellId`]s for every (config, model, task) cell and deterministic
 //!   [`WorkPlan`]s that the harness shards across processes,
+//! * [`frame`] — the CRC-checked binary frame codec underlying the
+//!   harness's v3 write-ahead journal,
 //! * [`rng`] — deterministic per-task random streams,
 //! * [`PcgError`] — the failure taxonomy shared by substrates and harness.
 //!
@@ -33,6 +35,7 @@ pub mod cancel;
 pub mod candidate;
 pub mod error;
 pub mod exec;
+pub mod frame;
 pub mod output;
 pub mod plan;
 pub mod problem_type;

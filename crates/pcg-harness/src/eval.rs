@@ -242,6 +242,7 @@ pub fn evaluate_cells(
         ranks_multiplexed: runner.ranks_multiplexed(),
         bytes_zero_copied: runner.bytes_zero_copied(),
         journal_compactions: 0,
+        journal_frames_rejected: 0,
     };
     SubsetRun { cells, stats }
 }

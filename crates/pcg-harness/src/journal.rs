@@ -1,6 +1,6 @@
 //! Write-ahead journal for crash-safe (and sharded) evaluation.
 //!
-//! The pipeline appends one JSONL line per completed grid cell, fsync'd
+//! The pipeline appends one entry per completed grid cell, fsync'd
 //! before the scheduler hands out more work from that point, so a
 //! killed run loses at most the cells that were in flight. On startup
 //! with `--resume`, a journal whose header matches the active config
@@ -10,56 +10,89 @@
 //! Replay is **cell-addressed**: every entry carries its
 //! [`pcg_core::CellId`] — the FNV-1a hash of `(config hash, model,
 //! task)` — and the replay map is keyed by that id. The id is
-//! recomputed from the entry's own fields on load, so each line is
-//! self-checking: a line whose stored id disagrees with its recomputed
-//! id is corrupt and truncates the replay there. Because the same ids
-//! partition the grid across shards (`id % shard_count`), a shard
-//! worker's journal is simply the slice of the global journal it owns,
-//! and `merge` can stitch shard journals back into a whole-grid record
-//! with no coordination beyond the shared config.
+//! recomputed from the entry's own fields on load, so each entry is
+//! self-checking: an entry whose stored id disagrees with its
+//! recomputed id is corrupt and truncates the replay there. Because
+//! the same ids partition the grid across shards (`id % shard_count`),
+//! a shard worker's journal is simply the slice of the global journal
+//! it owns, and `merge` can stitch shard journals back into a
+//! whole-grid record with no coordination beyond the shared config.
 //!
-//! Format: line 1 is `{"version":2,"config_hash":<fnv64>,
-//! "shard_index":k,"shard_count":n}`; every other line is
-//! `{"cell":<fnv64>,"model":"GPT-4","record":{...TaskRecord...}}`.
-//! A torn final line (the crash happened mid-append) or any other
-//! malformed entry truncates the replay at the first bad line — the
-//! cells after it are simply re-evaluated.
+//! ## Format (v3, binary frames)
+//!
+//! The hot path is binary: the file opens with the 8-byte magic
+//! `PCGJRNL3`, then a sequence of CRC-checked frames
+//! ([`pcg_core::frame`]: `u32 len | u64 cell | u32 crc | payload`,
+//! little-endian, CRC-32 over cell bytes ++ payload). Frame 0 is the
+//! header (cell tag 0; payload `u32 version=3 | u64 config_hash |
+//! u32 shard_index | u32 shard_count`); every further frame is one
+//! cell, its payload encoded by [`crate::codec`]. Replay reads the
+//! whole file in one buffered pass and never touches a JSON parser —
+//! JSON remains the *export* format (the records cache,
+//! `record::projection`), unchanged to the byte.
+//!
+//! A torn final frame (the crash happened mid-append), a CRC mismatch,
+//! a payload that does not decode, or a failed cell self-check
+//! truncates the replay at that frame — the cells after it are simply
+//! re-evaluated, and every rejection is reported with its byte offset,
+//! frame index, and cell id (see [`Reject`]) and counted into the
+//! `journal_frames_rejected` stat.
+//!
+//! ## Migration from v2 (JSONL)
+//!
+//! v2 journals — line 1 `{"version":2,"config_hash":...,"shard_index":
+//! k,"shard_count":n}`, then one `{"cell":...,"model":...,
+//! "record":{...}}` line per cell — remain fully readable: a file
+//! without the v3 magic falls back to the line-oriented loader with
+//! the same truncate-at-first-corruption policy. Resume *always*
+//! compacts a v2 journal (replay v2 → commit v3), so one resume
+//! migrates the artifact and every subsequent load takes the binary
+//! path. [`compact`] only ever writes v3.
 //!
 //! **Compaction:** a journal that survived one or more crashes can
-//! carry stale bytes — the torn line itself, lines shadowed by a
+//! carry stale bytes — the torn frame itself, frames shadowed by a
 //! re-append after an earlier truncated replay, or a tail beyond the
 //! first corruption that can never be trusted again. [`compact`]
 //! rewrites the journal atomically (temp file + rename) with exactly
 //! the replayable generation folded in, so long grids stop replaying
-//! (or even parsing) stale lines on every subsequent resume.
+//! stale frames on every subsequent resume.
 //!
 //! Byte-identity contract: replaying a cell reproduces the exact bytes
-//! an uninterrupted run would have recorded, because (a) the vendored
-//! serde prints `f64`s in shortest-roundtrip form, so a JSON round trip
-//! is lossless, and (b) all other record fields are integers, bools,
-//! and strings. The cells evaluated *after* resume reuse the same
-//! deterministic sample streams (keyed by grid coordinates, never by
-//! worker identity or time), extending the jobs-agnostic determinism
-//! guarantee across a crash — and, with cell addressing, across
-//! process boundaries.
+//! an uninterrupted run would have recorded. In v3 that is immediate —
+//! floats travel as raw IEEE-754 bits — and in the v2 fallback it
+//! holds because the vendored serde prints `f64`s in
+//! shortest-roundtrip form. The cells evaluated *after* resume reuse
+//! the same deterministic sample streams (keyed by grid coordinates,
+//! never by worker identity or time), extending the jobs-agnostic
+//! determinism guarantee across a crash — and, with cell addressing,
+//! across process boundaries.
 
+use crate::codec;
 use crate::config::EvalConfig;
 use crate::record::TaskRecord;
 use parking_lot::Mutex;
+use pcg_core::frame::{self, FrameError, ByteReader, ByteWriter, FRAME_OVERHEAD, JOURNAL_MAGIC};
 use pcg_core::plan::{fnv1a, CellId, ShardSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bump on any layout change.
-/// (v1 keyed entries by `(model, task)` with no cell address; v2 is
-/// cell-addressed and shard-aware.)
-const VERSION: u32 = 2;
+/// (v1 keyed entries by `(model, task)` with no cell address; v2 was
+/// cell-addressed, shard-aware JSONL; v3 is binary frames.)
+const VERSION: u32 = 3;
 
+/// The header frame's cell tag. Real cell ids are FNV-1a hashes of
+/// non-empty input; the header is additionally pinned to frame 0, so
+/// the tag is a label, not a collision risk.
+const HEADER_CELL: u64 = 0;
+
+/// The v2 JSONL header line, kept for migration reads (and for writing
+/// v2 fixtures in tests and benches).
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
-struct Header {
+struct HeaderV2 {
     version: u32,
     config_hash: u64,
     #[serde(default)]
@@ -68,19 +101,9 @@ struct Header {
     shard_count: u32,
 }
 
-impl Header {
-    fn new(cfg: &EvalConfig, shard: ShardSpec) -> Header {
-        Header {
-            version: VERSION,
-            config_hash: config_hash(cfg),
-            shard_index: shard.index,
-            shard_count: shard.count,
-        }
-    }
-}
-
+/// The v2 JSONL entry line, kept for migration reads.
 #[derive(Serialize, Deserialize)]
-struct Entry {
+struct EntryV2 {
     cell: u64,
     model: String,
     record: TaskRecord,
@@ -91,6 +114,15 @@ struct Entry {
 /// [`CellId`] in the run is derived from this hash.
 pub fn config_hash(cfg: &EvalConfig) -> u64 {
     fnv1a(&serde_json::to_vec(cfg).unwrap_or_default())
+}
+
+fn header_payload(cfg: &EvalConfig, shard: ShardSpec) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(VERSION);
+    w.put_u64(config_hash(cfg));
+    w.put_u32(shard.index);
+    w.put_u32(shard.count);
+    w.into_bytes()
 }
 
 /// Journal path for a record cache path (`records-quick.json` →
@@ -127,16 +159,78 @@ pub struct ReplayCell {
 /// Completed cells recovered from a journal, keyed by cell address.
 pub type Replay = HashMap<CellId, ReplayCell>;
 
+/// Which on-disk layout a journal load found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFormat {
+    /// Binary frames behind the `PCGJRNL3` magic — the hot path.
+    V3,
+    /// Legacy JSONL, readable for migration; resume compacts it to v3.
+    V2Jsonl,
+}
+
+/// One rejected journal frame (or, in the v2 fallback, line): where it
+/// sits in the file and why replay refused it. Everything from the
+/// rejected frame to the end of the file is untrusted.
+#[derive(Debug, Clone)]
+pub struct Reject {
+    /// Byte offset of the rejected frame's first byte.
+    pub offset: u64,
+    /// Frame index within the file (the header is frame 0; in the v2
+    /// fallback, the 0-based line index with the header as line 0).
+    pub frame: usize,
+    /// The cell tag as stored in the rejected frame, when its fixed
+    /// header was still readable. Untrusted — it may be the corrupted
+    /// field.
+    pub cell: Option<u64>,
+    /// What failed: torn tail, CRC mismatch, undecodable payload, or a
+    /// failed cell self-check.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame {} at byte offset {}", self.frame, self.offset)?;
+        if let Some(cell) = self.cell {
+            write!(f, " (cell {cell:016x})")?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
 /// What [`load_counting`] recovered, plus how much of the file it had
-/// to discard or fold.
+/// to discard or fold and in which format it found the file.
 pub struct Loaded {
     /// The replayable cells.
     pub replay: Replay,
-    /// Lines that carried no replayable information: torn/corrupt
-    /// lines, anything after the first corruption, and duplicate
-    /// appends shadowed by a later line. When positive, the journal is
-    /// worth compacting.
-    pub stale_lines: usize,
+    /// Frames that carried no replayable information: the rejected
+    /// frame, the untrusted frames structurally visible after it, and
+    /// duplicate appends shadowed by a later frame. When positive, the
+    /// journal is worth compacting. (Known as stale *lines* in v2.)
+    pub stale_frames: usize,
+    /// Frames replay refused, with byte offset / frame index / cell id
+    /// diagnostics. At most one per load under the
+    /// truncate-at-first-corruption policy; its length feeds the
+    /// `journal_frames_rejected` stat.
+    pub rejects: Vec<Reject>,
+    /// The layout the file was found in, or `None` when the file was
+    /// missing, unreadable, or carried a header for a different
+    /// config/version/shard. `Some(V2Jsonl)` obliges resume to compact
+    /// (migrate) even with zero stale frames.
+    pub format: Option<JournalFormat>,
+}
+
+impl Loaded {
+    fn empty() -> Loaded {
+        Loaded { replay: Replay::new(), stale_frames: 0, rejects: Vec::new(), format: None }
+    }
+
+    /// Whether resume should rewrite this journal before appending:
+    /// stale bytes to fold away, or a legacy format to migrate. A v3
+    /// journal with replayable frames *must not* be truncated, and a
+    /// v2 journal *must not* be appended to in place.
+    pub fn needs_compaction(&self) -> bool {
+        self.stale_frames > 0 || self.format == Some(JournalFormat::V2Jsonl)
+    }
 }
 
 /// Append handle for one run's journal.
@@ -145,34 +239,36 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Start a fresh journal for `cfg`'s shard `shard`, truncating any
-    /// previous file.
+    /// Start a fresh v3 journal for `cfg`'s shard `shard`, truncating
+    /// any previous file.
     pub fn create(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut file = File::create(path)?;
-        let line = serde_json::to_string(&Header::new(cfg, shard)).map_err(std::io::Error::other)?;
-        writeln!(file, "{line}")?;
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard));
+        file.write_all(&bytes)?;
         file.sync_data()?;
         Ok(Journal { file: Mutex::new(file) })
     }
 
-    /// Continue appending to an existing journal (resume). The caller
-    /// must have validated the header via [`load`].
+    /// Continue appending to an existing v3 journal (resume). The
+    /// caller must have validated the header via [`load_counting`] and
+    /// compacted first if the file [`Loaded::needs_compaction`] —
+    /// appending binary frames to a v2 JSONL file would corrupt it.
     pub fn open_append(path: &Path) -> std::io::Result<Journal> {
         let file = OpenOptions::new().append(true).open(path)?;
         Ok(Journal { file: Mutex::new(file) })
     }
 
-    /// Durably append one completed cell: the line is written, flushed,
-    /// and fsync'd before this returns, so a crash at any later point
-    /// cannot lose it.
+    /// Durably append one completed cell: the frame is written,
+    /// flushed, and fsync'd before this returns, so a crash at any
+    /// later point cannot lose it.
     pub fn append(&self, cell: CellId, model: &str, record: &TaskRecord) -> std::io::Result<()> {
-        let entry = Entry { cell: cell.0, model: model.to_string(), record: record.clone() };
-        let line = serde_json::to_string(&entry).map_err(std::io::Error::other)?;
+        let bytes = frame::encode_frame(cell.0, &codec::encode_entry(model, record));
         let mut file = self.file.lock();
-        writeln!(file, "{line}")?;
+        file.write_all(&bytes)?;
         file.flush()?;
         file.sync_data()
     }
@@ -182,52 +278,215 @@ impl Journal {
 /// shard `shard`.
 ///
 /// Returns an empty map when the file is missing, unreadable, or
-/// carries a header for a different config/version/shard. A malformed
-/// or torn line — including a line whose stored cell id disagrees with
-/// the id recomputed from its `(model, task)` under `cfg` — truncates
-/// the replay there: everything before it is kept, everything after it
-/// is discarded (it may describe cells appended after the corruption,
-/// but trusting a journal past its first bad byte is how resumed runs
-/// diverge — re-evaluating is always safe).
+/// carries a header for a different config/version/shard. A torn or
+/// corrupt frame — including a CRC-valid frame whose stored cell id
+/// disagrees with the id recomputed from its `(model, task)` under
+/// `cfg` — truncates the replay there: everything before it is kept,
+/// everything after it is discarded (it may describe cells appended
+/// after the corruption, but trusting a journal past its first bad
+/// byte is how resumed runs diverge — re-evaluating is always safe).
 pub fn load(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Replay {
     load_counting(path, cfg, shard).replay
 }
 
-/// [`load`], additionally reporting how many stale lines the file
-/// carries (the compaction trigger).
+/// [`load`], additionally reporting stale-frame counts (the compaction
+/// trigger), rejection diagnostics, and the on-disk format found.
 pub fn load_counting(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
-    let mut loaded = Loaded { replay: Replay::new(), stale_lines: 0 };
-    let file = match File::open(path) {
-        Ok(f) => f,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Loaded::empty(),
+    };
+    if bytes.starts_with(&JOURNAL_MAGIC) {
+        load_v3(&bytes, cfg, shard)
+    } else {
+        load_v2(&bytes, cfg, shard)
+    }
+}
+
+fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
+    let mut loaded = Loaded::empty();
+    let chash = config_hash(cfg);
+
+    // Frame 0: the header. Any defect here — torn, bad CRC, wrong
+    // version/config/shard — means nothing in the file is replayable.
+    let header = match frame::decode_frame(bytes, JOURNAL_MAGIC.len()) {
+        Some(Ok(f)) if f.cell == HEADER_CELL => f,
+        _ => return loaded,
+    };
+    {
+        let mut r = ByteReader::new(header.payload);
+        let ok = r.u32().is_ok_and(|v| v == VERSION)
+            && r.u64().is_ok_and(|h| h == chash)
+            && r.u32().is_ok_and(|i| i == shard.index)
+            && r.u32().is_ok_and(|c| c == shard.count)
+            && r.is_exhausted();
+        if !ok {
+            return loaded;
+        }
+    }
+    loaded.format = Some(JournalFormat::V3);
+
+    let mut offset = header.end;
+    let mut frame_idx = 1usize;
+    loop {
+        let f = match frame::decode_frame(bytes, offset) {
+            None => break,
+            Some(Ok(f)) => f,
+            Some(Err(e)) => {
+                // Torn or corrupt frame: truncate replay here. The bad
+                // frame and every (structurally countable) frame after
+                // it are stale and untrusted.
+                let cell = match e {
+                    FrameError::BadCrc { cell, .. } => Some(cell),
+                    FrameError::TornTail { .. } => None,
+                };
+                let after = tail_extent(bytes, offset, &e);
+                loaded.stale_frames += 1 + count_tail_frames(bytes, after);
+                loaded.rejects.push(Reject {
+                    offset: offset as u64,
+                    frame: frame_idx,
+                    cell,
+                    reason: e.to_string(),
+                });
+                return loaded;
+            }
+        };
+        let reject = |reason: String| Reject {
+            offset: offset as u64,
+            frame: frame_idx,
+            cell: Some(f.cell),
+            reason,
+        };
+        let (model, record) = match codec::decode_entry(f.payload) {
+            Ok(e) => e,
+            Err(e) => {
+                // CRC-valid but undecodable: can only happen across an
+                // incompatible codec change. Same corruption policy.
+                loaded.stale_frames += 1 + count_tail_frames(bytes, f.end);
+                loaded.rejects.push(reject(format!("payload does not decode: {e}")));
+                return loaded;
+            }
+        };
+        let id = CellId::new(chash, &model, record.task);
+        if id.0 != f.cell {
+            // Self-check failed: the frame decoded but does not
+            // describe the cell it claims to.
+            loaded.stale_frames += 1 + count_tail_frames(bytes, f.end);
+            loaded.rejects.push(reject(format!(
+                "cell self-check failed: recomputed {:016x} from the entry's own fields",
+                id.0
+            )));
+            return loaded;
+        }
+        if loaded.replay.insert(id, ReplayCell { model, record }).is_some() {
+            // A duplicate append (an earlier resume re-evaluated this
+            // cell after a truncated replay). Last write wins; the
+            // shadowed frame is stale.
+            loaded.stale_frames += 1;
+        }
+        offset = f.end;
+        frame_idx += 1;
+    }
+    loaded
+}
+
+/// Where the untrusted tail begins, one past the rejected frame: a
+/// torn frame extends to end-of-file by definition; a CRC-bad frame
+/// still has a structurally known extent.
+fn tail_extent(bytes: &[u8], offset: usize, e: &FrameError) -> usize {
+    match e {
+        FrameError::TornTail { .. } => bytes.len(),
+        FrameError::BadCrc { .. } => {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            (offset + FRAME_OVERHEAD).saturating_add(len).min(bytes.len())
+        }
+    }
+}
+
+/// Best-effort structural count of the frames in the untrusted tail
+/// (for stale-frame accounting only — none of them is replayed).
+/// Trailing bytes that do not form a whole frame count as one.
+fn count_tail_frames(bytes: &[u8], mut offset: usize) -> usize {
+    let mut n = 0;
+    while offset < bytes.len() {
+        if bytes.len() - offset < FRAME_OVERHEAD {
+            return n + 1;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let Some(end) = (offset + FRAME_OVERHEAD).checked_add(len).filter(|&e| e <= bytes.len())
+        else {
+            return n + 1;
+        };
+        n += 1;
+        offset = end;
+    }
+    n
+}
+
+/// The v2 JSONL fallback loader: same policy as v2 shipped with, plus
+/// offset/line diagnostics, reported as [`JournalFormat::V2Jsonl`] so
+/// resume migrates the file.
+fn load_v2(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
+    let mut loaded = Loaded::empty();
+    let text = match std::str::from_utf8(bytes) {
+        Ok(t) => t,
         Err(_) => return loaded,
     };
     let chash = config_hash(cfg);
-    let mut lines = BufReader::new(file).lines();
-    let header: Header = match lines.next() {
-        Some(Ok(line)) => match serde_json::from_str(&line) {
-            Ok(h) => h,
-            Err(_) => return loaded,
-        },
-        _ => return loaded,
-    };
-    if header != Header::new(cfg, shard) {
-        return loaded;
+    // Track each line's byte offset; a trailing newline yields a final
+    // empty piece that is not a line.
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    for piece in text.split('\n') {
+        lines.push((start, piece));
+        start += piece.len() + 1;
     }
-    while let Some(line) = lines.next() {
-        let entry: Entry = match line.as_deref().map(serde_json::from_str) {
-            Ok(Ok(e)) => e,
-            _ => {
+    if let Some(&(_, last)) = lines.last() {
+        if last.is_empty() {
+            lines.pop();
+        }
+    }
+    let Some(&(_, header_line)) = lines.first() else {
+        return loaded;
+    };
+    let expected = HeaderV2 {
+        version: 2,
+        config_hash: chash,
+        shard_index: shard.index,
+        shard_count: shard.count,
+    };
+    match serde_json::from_str::<HeaderV2>(header_line) {
+        Ok(h) if h == expected => {}
+        _ => return loaded,
+    }
+    loaded.format = Some(JournalFormat::V2Jsonl);
+    for (i, &(offset, line)) in lines.iter().enumerate().skip(1) {
+        let reject = |cell: Option<u64>, reason: String| Reject {
+            offset: offset as u64,
+            frame: i,
+            cell,
+            reason,
+        };
+        let entry: EntryV2 = match serde_json::from_str(line) {
+            Ok(e) => e,
+            Err(_) => {
                 // Torn or corrupt line: truncate replay here. The bad
                 // line and everything after it are stale.
-                loaded.stale_lines += 1 + lines.count();
+                loaded.stale_frames += lines.len() - i;
+                loaded.rejects.push(reject(None, "line is not a valid v2 entry".to_string()));
                 return loaded;
             }
         };
         let id = CellId::new(chash, &entry.model, entry.record.task);
         if id.0 != entry.cell {
-            // Self-check failed: the line decoded as JSON but does not
-            // describe the cell it claims to. Same corruption policy.
-            loaded.stale_lines += 1 + lines.count();
+            loaded.stale_frames += lines.len() - i;
+            loaded.rejects.push(reject(
+                Some(entry.cell),
+                format!(
+                    "cell self-check failed: recomputed {:016x} from the entry's own fields",
+                    id.0
+                ),
+            ));
             return loaded;
         }
         if loaded
@@ -235,20 +494,18 @@ pub fn load_counting(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Loaded 
             .insert(id, ReplayCell { model: entry.model, record: entry.record })
             .is_some()
         {
-            // A duplicate append (an earlier resume re-evaluated this
-            // cell after a truncated replay). Last write wins; the
-            // shadowed line is stale.
-            loaded.stale_lines += 1;
+            loaded.stale_frames += 1;
         }
     }
     loaded
 }
 
 /// Rewrite the journal at `path` atomically with exactly `replay`
-/// folded in — one line per completed cell, in deterministic (cell id)
-/// order, no torn bytes, no shadowed duplicates. Returns the number of
-/// entries written. Readers (and crashes) observe either the old
-/// journal or the compacted one, never a hybrid.
+/// folded in — one v3 frame per completed cell, in deterministic (cell
+/// id) order, no torn bytes, no shadowed duplicates. Returns the
+/// number of entries written. Readers (and crashes) observe either the
+/// old journal or the compacted one, never a hybrid. Compacting a v2
+/// journal is the migration step: the rewrite is always v3.
 pub fn compact(
     path: &Path,
     cfg: &EvalConfig,
@@ -256,24 +513,18 @@ pub fn compact(
     replay: &Replay,
 ) -> std::io::Result<usize> {
     let mut os = path.as_os_str().to_os_string();
-    os.push(format!(".compact.{}", std::process::id()));
+    os.push(crate::pipeline::unique_suffix("compact"));
     let tmp = PathBuf::from(os);
     let result = (|| {
-        let mut file = File::create(&tmp)?;
-        let line =
-            serde_json::to_string(&Header::new(cfg, shard)).map_err(std::io::Error::other)?;
-        writeln!(file, "{line}")?;
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard));
         let mut cells: Vec<(&CellId, &ReplayCell)> = replay.iter().collect();
         cells.sort_by_key(|(id, _)| **id);
         for (id, cell) in &cells {
-            let entry = Entry {
-                cell: id.0,
-                model: cell.model.clone(),
-                record: cell.record.clone(),
-            };
-            let line = serde_json::to_string(&entry).map_err(std::io::Error::other)?;
-            writeln!(file, "{line}")?;
+            frame::encode_frame_into(&mut bytes, id.0, &codec::encode_entry(&cell.model, &cell.record));
         }
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
         file.sync_data()?;
         drop(file);
         std::fs::rename(&tmp, path)?;
@@ -283,6 +534,66 @@ pub fn compact(
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Byte offsets of each entry frame (frame 1 onward) in a v3 journal,
+/// in file order, ending with the offset one past the last frame.
+/// Structural only (no CRC verification) — this exists so crash tests
+/// and tooling can cut a journal at exact frame boundaries.
+pub fn entry_offsets(path: &Path) -> Vec<u64> {
+    let Ok(bytes) = std::fs::read(path) else { return Vec::new() };
+    if !bytes.starts_with(&JOURNAL_MAGIC) {
+        return Vec::new();
+    }
+    let mut offsets = Vec::new();
+    let mut offset = JOURNAL_MAGIC.len();
+    let mut saw_header = false;
+    while bytes.len() - offset >= FRAME_OVERHEAD {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let Some(end) = (offset + FRAME_OVERHEAD).checked_add(len).filter(|&e| e <= bytes.len())
+        else {
+            break;
+        };
+        if saw_header {
+            offsets.push(offset as u64);
+        }
+        saw_header = true;
+        offset = end;
+    }
+    offsets.push(offset as u64);
+    offsets
+}
+
+/// Write a v2 JSONL journal — the legacy layout — for migration tests
+/// and the replay benchmark's baseline. Production writers only emit
+/// v3; this is the fixture generator that keeps the migration path
+/// honest.
+pub fn write_v2_journal(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    entries: &[(CellId, String, TaskRecord)],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let header = HeaderV2 {
+        version: 2,
+        config_hash: config_hash(cfg),
+        shard_index: shard.index,
+        shard_count: shard.count,
+    };
+    let mut out = serde_json::to_string(&header).map_err(std::io::Error::other)?;
+    out.push('\n');
+    for (cell, model, record) in entries {
+        let entry =
+            EntryV2 { cell: cell.0, model: model.clone(), record: record.clone() };
+        out.push_str(&serde_json::to_string(&entry).map_err(std::io::Error::other)?);
+        out.push('\n');
+    }
+    let mut file = File::create(path)?;
+    file.write_all(out.as_bytes())?;
+    file.sync_data()
 }
 
 /// Delete a journal (after its run committed the final record).
@@ -330,7 +641,14 @@ mod tests {
         j.append(cell_of(&cfg, "CodeLlama-7B", &rec(0)), "CodeLlama-7B", &rec(0)).unwrap();
         drop(j);
 
-        let replay = load(&path, &cfg, ShardSpec::WHOLE);
+        assert!(
+            std::fs::read(&path).unwrap().starts_with(&JOURNAL_MAGIC),
+            "production journals are v3"
+        );
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.format, Some(JournalFormat::V3));
+        assert!(!loaded.needs_compaction());
+        let replay = loaded.replay;
         assert_eq!(replay.len(), 3);
         let got = &replay[&cell_of(&cfg, "GPT-4", &rec(1))];
         assert_eq!(got.model, "GPT-4");
@@ -375,32 +693,63 @@ mod tests {
     }
 
     #[test]
-    fn torn_line_truncates_replay_and_counts_stale() {
+    fn torn_frame_truncates_replay_and_counts_stale() {
         let cfg = EvalConfig::smoke();
         let path = tmp("torn");
         let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
         j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
         j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
         drop(j);
-        // Simulate a crash mid-append: a torn third line, then a valid
-        // fourth line that must NOT be trusted.
+        // Simulate a crash mid-append: a torn third frame, then a valid
+        // fourth frame that must NOT be trusted.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes.extend_from_slice(b"{\"cell\":1,\"model\":\"GPT-4\",\"rec");
-        bytes.push(b'\n');
-        let whole = serde_json::to_string(&super::Entry {
-            cell: cell_of(&cfg, "CodeLlama-7B", &rec(3)).0,
-            model: "CodeLlama-7B".into(),
-            record: rec(3),
-        })
-        .unwrap();
-        bytes.extend_from_slice(whole.as_bytes());
-        bytes.push(b'\n');
-        std::fs::write(&path, bytes).unwrap();
+        let torn_offset = bytes.len() as u64;
+        let torn = frame::encode_frame(12345, &codec::encode_entry("GPT-4", &rec(2)));
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
 
         let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
-        assert_eq!(loaded.replay.len(), 2, "replay stops at the torn line");
+        assert_eq!(loaded.replay.len(), 2, "replay stops at the torn frame");
+        assert_eq!(loaded.stale_frames, 1, "the torn frame is stale");
+        assert!(loaded.needs_compaction());
+        assert_eq!(loaded.rejects.len(), 1);
+        let r = &loaded.rejects[0];
+        assert_eq!((r.offset, r.frame), (torn_offset, 3));
+        assert!(r.to_string().contains("torn tail"), "{r}");
+
+        // Now a whole valid frame after the torn one: still untrusted.
+        let whole =
+            frame::encode_frame(cell_of(&cfg, "CodeLlama-7B", &rec(3)).0, &codec::encode_entry("CodeLlama-7B", &rec(3)));
+        bytes.extend_from_slice(&whole);
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 2);
         assert!(!loaded.replay.contains_key(&cell_of(&cfg, "CodeLlama-7B", &rec(3))));
-        assert_eq!(loaded.stale_lines, 2, "the torn line and the untrusted tail are stale");
+        remove(&path);
+    }
+
+    #[test]
+    fn bit_flip_is_rejected_with_location() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("flip");
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
+        drop(j);
+        let clean = std::fs::read(&path).unwrap();
+        let offsets = entry_offsets(&path);
+        // Flip one payload byte inside the FIRST entry frame.
+        let mut bytes = clean.clone();
+        let target = offsets[0] as usize + FRAME_OVERHEAD + 2;
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert!(loaded.replay.is_empty(), "nothing after the flip is trusted");
+        assert_eq!(loaded.stale_frames, 2, "the corrupt frame and the structural tail");
+        assert_eq!(loaded.rejects.len(), 1);
+        let r = &loaded.rejects[0];
+        assert_eq!((r.offset, r.frame), (offsets[0], 1));
+        assert!(r.to_string().contains("CRC mismatch"), "{r}");
         remove(&path);
     }
 
@@ -410,13 +759,18 @@ mod tests {
         let path = tmp("forged");
         let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
         j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
-        // An entry whose stored id belongs to a different cell.
+        // An entry whose stored id belongs to a different cell. The
+        // frame CRC is valid (it was written that way), so only the
+        // cell self-check can catch it.
         j.append(cell_of(&cfg, "GPT-4", &rec(2)), "GPT-4", &rec(1)).unwrap();
         j.append(cell_of(&cfg, "GPT-4", &rec(3)), "GPT-4", &rec(3)).unwrap();
         drop(j);
         let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
-        assert_eq!(loaded.replay.len(), 1, "replay truncates at the forged line");
-        assert_eq!(loaded.stale_lines, 2);
+        assert_eq!(loaded.replay.len(), 1, "replay truncates at the forged frame");
+        assert_eq!(loaded.stale_frames, 2);
+        assert_eq!(loaded.rejects.len(), 1);
+        assert_eq!(loaded.rejects[0].cell, Some(cell_of(&cfg, "GPT-4", &rec(2)).0));
+        assert!(loaded.rejects[0].to_string().contains("self-check"), "{}", loaded.rejects[0]);
         remove(&path);
     }
 
@@ -435,7 +789,8 @@ mod tests {
 
         let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
         assert_eq!(loaded.replay.len(), 2);
-        assert_eq!(loaded.stale_lines, 1, "the shadowed first append is stale");
+        assert_eq!(loaded.stale_frames, 1, "the shadowed first append is stale");
+        assert!(loaded.rejects.is_empty(), "duplicates are tolerated, not rejected");
         assert_eq!(
             loaded.replay[&cell_of(&cfg, "GPT-4", &rec(0))].record.low.ratio,
             rec(0).low.ratio,
@@ -445,7 +800,7 @@ mod tests {
         // Compaction rewrites to exactly the replayable generation...
         compact(&path, &cfg, ShardSpec::WHOLE, &loaded.replay).unwrap();
         let again = load_counting(&path, &cfg, ShardSpec::WHOLE);
-        assert_eq!(again.stale_lines, 0, "a compacted journal has no stale lines");
+        assert_eq!(again.stale_frames, 0, "a compacted journal has no stale frames");
         assert_eq!(again.replay.len(), 2);
         // ...and the compacted journal still replays byte-identically.
         assert_eq!(
@@ -471,6 +826,80 @@ mod tests {
         j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
         drop(j);
         assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 2);
+        remove(&path);
+    }
+
+    #[test]
+    fn v2_jsonl_journals_remain_readable_and_demand_migration() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("v2");
+        let entries: Vec<(CellId, String, TaskRecord)> = (0..3)
+            .map(|v| (cell_of(&cfg, "GPT-4", &rec(v)), "GPT-4".to_string(), rec(v)))
+            .collect();
+        write_v2_journal(&path, &cfg, ShardSpec::WHOLE, &entries).unwrap();
+
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.format, Some(JournalFormat::V2Jsonl));
+        assert_eq!(loaded.replay.len(), 3);
+        assert_eq!(loaded.stale_frames, 0);
+        assert!(loaded.needs_compaction(), "a clean v2 journal still migrates on resume");
+        // The v2 replay is byte-identical to the original records.
+        assert_eq!(
+            serde_json::to_string(&loaded.replay[&entries[1].0].record).unwrap(),
+            serde_json::to_string(&rec(1)).unwrap(),
+        );
+
+        // Migration: compact rewrites as v3; replay is unchanged.
+        compact(&path, &cfg, ShardSpec::WHOLE, &loaded.replay).unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(&JOURNAL_MAGIC));
+        let migrated = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(migrated.format, Some(JournalFormat::V3));
+        assert!(!migrated.needs_compaction());
+        assert_eq!(migrated.replay.len(), 3);
+        assert_eq!(
+            serde_json::to_string(&migrated.replay[&entries[2].0].record).unwrap(),
+            serde_json::to_string(&rec(2)).unwrap(),
+        );
+        remove(&path);
+    }
+
+    #[test]
+    fn v2_torn_line_reports_offset_and_line() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("v2-torn");
+        let entries: Vec<(CellId, String, TaskRecord)> =
+            vec![(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4".to_string(), rec(0))];
+        write_v2_journal(&path, &cfg, ShardSpec::WHOLE, &entries).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let torn_offset = bytes.len() as u64;
+        bytes.extend_from_slice(b"{\"cell\":1,\"model\":\"GPT-4\",\"rec");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 1);
+        assert_eq!(loaded.stale_frames, 1);
+        assert_eq!(loaded.rejects.len(), 1);
+        assert_eq!((loaded.rejects[0].offset, loaded.rejects[0].frame), (torn_offset, 2));
+        remove(&path);
+    }
+
+    #[test]
+    fn entry_offsets_walk_frame_boundaries() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("offsets");
+        let j = Journal::create(&path, &cfg, ShardSpec::WHOLE).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(1)), "GPT-4", &rec(1)).unwrap();
+        drop(j);
+        let offsets = entry_offsets(&path);
+        assert_eq!(offsets.len(), 3, "two entries plus the end sentinel");
+        assert_eq!(*offsets.last().unwrap(), std::fs::metadata(&path).unwrap().len());
+        // Truncating at an entry offset yields a clean shorter journal.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..offsets[1] as usize]).unwrap();
+        let loaded = load_counting(&path, &cfg, ShardSpec::WHOLE);
+        assert_eq!(loaded.replay.len(), 1);
+        assert_eq!(loaded.stale_frames, 0);
         remove(&path);
     }
 

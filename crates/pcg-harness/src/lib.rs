@@ -36,6 +36,8 @@
 //! ([`shard`]), and a merge step stitches shard journals into records
 //! byte-identical to a single-process run.
 
+pub mod codec;
+pub mod colstats;
 pub mod config;
 pub mod eval;
 pub mod expected;

@@ -182,30 +182,12 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     );
 
     let jpath = journal::journal_path(&path);
-    let (replay, compacted) = if opts.resume {
-        let loaded = journal::load_counting(&jpath, cfg, ShardSpec::WHOLE);
-        let folded = if loaded.stale_lines > 0 {
-            match journal::compact(&jpath, cfg, ShardSpec::WHOLE, &loaded.replay) {
-                Ok(_) => {
-                    eprintln!(
-                        "[pcgbench] compacted journal: {} stale line{} folded away",
-                        loaded.stale_lines,
-                        if loaded.stale_lines == 1 { "" } else { "s" },
-                    );
-                    loaded.stale_lines as u64
-                }
-                Err(e) => {
-                    eprintln!("[pcgbench] warning: journal compaction failed: {e}");
-                    0
-                }
-            }
-        } else {
-            0
-        };
-        (loaded.replay, folded)
+    let resumed = if opts.resume {
+        resume_journal(&jpath, cfg, ShardSpec::WHOLE)
     } else {
-        (journal::Replay::new(), 0)
+        ResumedJournal::none()
     };
+    let replay = resumed.replay;
     if !replay.is_empty() {
         eprintln!(
             "[pcgbench] resuming: {} cell{} replayed from {}",
@@ -215,7 +197,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
         );
     }
     let wal = if opts.journal {
-        let opened = if replay.is_empty() {
+        let opened = if replay.is_empty() || resumed.recreate {
             Journal::create(&jpath, cfg, ShardSpec::WHOLE)
         } else {
             Journal::open_append(&jpath)
@@ -247,7 +229,8 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
             }
         },
     );
-    stats.journal_compactions = compacted;
+    stats.journal_compactions = resumed.compacted;
+    stats.journal_frames_rejected = resumed.rejected;
     eprintln!("[pcgbench] evaluation finished in {:.1}s", stats.wall_s);
     eprint!("{}", crate::report::stats_summary(&stats));
 
@@ -269,10 +252,87 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     };
     write_stats(cfg, &stats);
     if committed {
+        write_cols_sidecar(&path, &record);
         // The cache now holds everything the journal was protecting.
         journal::remove(&jpath);
     }
     record
+}
+
+/// Commit the columnar projection sidecar next to a freshly written
+/// records cache. Best-effort: the sidecar is a pure accelerator for
+/// projection diffs, and every consumer falls back to the JSON cache.
+pub(crate) fn write_cols_sidecar(cache: &Path, record: &EvalRecord) {
+    let cols = crate::colstats::ColumnarStats::from_record(record);
+    if let Err(e) = atomic_write(&crate::colstats::cols_path(cache), &cols.to_bytes()) {
+        eprintln!("[pcgbench] warning: could not write columnar sidecar: {e}");
+    }
+}
+
+/// What [`resume_journal`] recovered and how the journal must be
+/// reopened for further appends.
+pub(crate) struct ResumedJournal {
+    /// Replayable cells (empty without `--resume`).
+    pub replay: journal::Replay,
+    /// Stale frames folded away by compaction (the
+    /// `journal_compactions` stat).
+    pub compacted: u64,
+    /// Corrupt frames refused during replay (the
+    /// `journal_frames_rejected` stat).
+    pub rejected: u64,
+    /// When true the on-disk file could not be brought to clean v3
+    /// (compaction/migration failed) and MUST be recreated rather than
+    /// appended to — appending frames to a stale or v2 file would
+    /// corrupt it. The replay above is still valid in memory.
+    pub recreate: bool,
+}
+
+impl ResumedJournal {
+    pub(crate) fn none() -> ResumedJournal {
+        ResumedJournal { replay: journal::Replay::new(), compacted: 0, rejected: 0, recreate: false }
+    }
+}
+
+/// Load a journal for resume: report every rejected frame with its
+/// byte offset / frame index / cell id, then compact when the file
+/// carries stale frames **or** is a legacy v2 JSONL journal (the
+/// migration commit — replay v2, rewrite v3).
+pub(crate) fn resume_journal(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> ResumedJournal {
+    let loaded = journal::load_counting(path, cfg, shard);
+    for r in &loaded.rejects {
+        eprintln!("[pcgbench] warning: journal {}: rejected {r}", path.display());
+    }
+    let rejected = loaded.rejects.len() as u64;
+    if !loaded.needs_compaction() {
+        return ResumedJournal { replay: loaded.replay, compacted: 0, rejected, recreate: false };
+    }
+    match journal::compact(path, cfg, shard, &loaded.replay) {
+        Ok(_) => {
+            if loaded.format == Some(journal::JournalFormat::V2Jsonl) {
+                eprintln!(
+                    "[pcgbench] migrated v2 JSONL journal to v3 binary frames: {}",
+                    path.display(),
+                );
+            }
+            if loaded.stale_frames > 0 {
+                eprintln!(
+                    "[pcgbench] compacted journal: {} stale frame{} folded away",
+                    loaded.stale_frames,
+                    if loaded.stale_frames == 1 { "" } else { "s" },
+                );
+            }
+            ResumedJournal {
+                replay: loaded.replay,
+                compacted: loaded.stale_frames as u64,
+                rejected,
+                recreate: false,
+            }
+        }
+        Err(e) => {
+            eprintln!("[pcgbench] warning: journal compaction failed: {e}");
+            ResumedJournal { replay: loaded.replay, compacted: 0, rejected, recreate: true }
+        }
+    }
 }
 
 fn write_stats(cfg: &EvalConfig, stats: &EvalStats) {
@@ -281,14 +341,27 @@ fn write_stats(cfg: &EvalConfig, stats: &EvalStats) {
     }
 }
 
+/// A process-unique temp-file suffix: `.{tag}.{pid}.{seq}`. The PID
+/// separates concurrent processes (two `--merge-shards` runs pointed
+/// at the same output directory must not clobber each other's
+/// atomic-rename commit); the process-global sequence number separates
+/// concurrent threads *within* one process, which share a PID.
+pub(crate) fn unique_suffix(tag: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(".{tag}.{}.{}", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
 /// Write `bytes` to `path` atomically: readers (and crashes) see either
 /// the previous file or the complete new one, never a torn write.
+/// Concurrent writers (other processes or threads) cannot collide on
+/// the temp file thanks to [`unique_suffix`]; last rename wins.
 pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut os = path.as_os_str().to_os_string();
-    os.push(format!(".tmp.{}", std::process::id()));
+    os.push(unique_suffix("tmp"));
     let tmp = PathBuf::from(os);
     let result = (|| {
         let mut f = File::create(&tmp)?;
@@ -331,6 +404,15 @@ mod tests {
             .collect();
         assert!(strays.is_empty(), "temp files must not survive: {strays:?}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unique_suffixes_never_collide_within_a_process() {
+        let a = unique_suffix("tmp");
+        let b = unique_suffix("tmp");
+        assert_ne!(a, b, "concurrent writers in one process must get distinct temp names");
+        assert!(a.starts_with(".tmp."));
+        assert!(a.contains(&std::process::id().to_string()));
     }
 
     #[test]

@@ -126,11 +126,18 @@ pub struct EvalStats {
     /// buffer forwarding) instead of copied.
     #[serde(default)]
     pub bytes_zero_copied: u64,
-    /// Stale journal lines (torn bytes, untrusted tails, shadowed
+    /// Stale journal frames (torn bytes, untrusted tails, shadowed
     /// duplicate appends) folded away by compaction on resume. Zero on
     /// a clean run.
     #[serde(default)]
     pub journal_compactions: u64,
+    /// Journal frames replay refused as corrupt (torn tail, CRC
+    /// mismatch, undecodable payload, failed cell self-check) across
+    /// every journal this run loaded. Each rejection is also reported
+    /// on stderr with its byte offset, frame index, and cell id. Zero
+    /// on a clean run.
+    #[serde(default)]
+    pub journal_frames_rejected: u64,
 }
 
 /// The cross-process-deterministic projection of an [`EvalRecord`].

@@ -161,9 +161,17 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
     if stats.journal_compactions > 0 {
         let _ = writeln!(
             s,
-            "[pcgbench]   journal: {} stale line{} compacted on resume",
+            "[pcgbench]   journal: {} stale frame{} compacted on resume",
             stats.journal_compactions,
             if stats.journal_compactions == 1 { "" } else { "s" },
+        );
+    }
+    if stats.journal_frames_rejected > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   journal: {} corrupt frame{} rejected during replay (see stderr for offsets)",
+            stats.journal_frames_rejected,
+            if stats.journal_frames_rejected == 1 { "" } else { "s" },
         );
     }
     for q in &stats.quarantined {

@@ -67,23 +67,12 @@ pub fn run_shard(
     let plan = eval::plan_for(cfg, &models, tasks);
     let jpath = journal::shard_journal_path(&cache, shard);
 
-    let (replay, folded) = if opts.resume {
-        let loaded = journal::load_counting(&jpath, cfg, shard);
-        let folded = if loaded.stale_lines > 0 {
-            match journal::compact(&jpath, cfg, shard, &loaded.replay) {
-                Ok(_) => loaded.stale_lines as u64,
-                Err(e) => {
-                    eprintln!("[pcgbench] warning: journal compaction failed: {e}");
-                    0
-                }
-            }
-        } else {
-            0
-        };
-        (loaded.replay, folded)
+    let resumed = if opts.resume {
+        pipeline::resume_journal(&jpath, cfg, shard)
     } else {
-        (journal::Replay::new(), 0)
+        pipeline::ResumedJournal::none()
     };
+    let replay = resumed.replay;
     let owned = plan.shard(shard).len();
     eprintln!(
         "[pcgbench] shard {shard}: {owned} of {} cells ({} replayed from {})",
@@ -92,7 +81,7 @@ pub fn run_shard(
         jpath.display(),
     );
 
-    let wal = if replay.is_empty() {
+    let wal = if replay.is_empty() || resumed.recreate {
         Journal::create(&jpath, cfg, shard)
     } else {
         Journal::open_append(&jpath)
@@ -125,7 +114,8 @@ pub fn run_shard(
         },
     );
     let mut stats = run.stats;
-    stats.journal_compactions = folded;
+    stats.journal_compactions = resumed.compacted;
+    stats.journal_frames_rejected = resumed.rejected;
     eprintln!("[pcgbench] shard {shard} finished in {:.1}s", stats.wall_s);
     eprint!("{}", crate::report::stats_summary(&stats));
     if let Ok(bytes) = serde_json::to_vec(&stats) {
@@ -158,16 +148,21 @@ pub fn merge_shards(
 
     let mut map: HashMap<CellId, TaskRecord> = HashMap::with_capacity(plan.len());
     let mut parts: Vec<EvalStats> = Vec::new();
+    let mut rejected = 0u64;
     for k in 0..count {
         let spec = ShardSpec::new(k, count);
         let jpath = journal::shard_journal_path(&cache, spec);
         let loaded = journal::load_counting(&jpath, cfg, spec);
+        for r in &loaded.rejects {
+            eprintln!("[pcgbench] warning: journal {}: rejected {r}", jpath.display());
+        }
+        rejected += loaded.rejects.len() as u64;
         eprintln!(
             "[pcgbench] merge: shard {spec}: {} cells from {}{}",
             loaded.replay.len(),
             jpath.display(),
-            if loaded.stale_lines > 0 {
-                format!(" ({} stale lines ignored)", loaded.stale_lines)
+            if loaded.stale_frames > 0 {
+                format!(" ({} stale frames ignored)", loaded.stale_frames)
             } else {
                 String::new()
             },
@@ -211,7 +206,10 @@ pub fn merge_shards(
     let record = eval::assemble(cfg, &plan, |c| {
         map.get(&c.id).cloned().expect("every cell journaled or gap-filled")
     });
-    let stats = combine_stats(&parts, plan.len());
+    let mut stats = combine_stats(&parts, plan.len());
+    // Frames this merge itself refused, on top of whatever the workers
+    // rejected during their own resumes.
+    stats.journal_frames_rejected += rejected;
     eprint!("{}", crate::report::stats_summary(&stats));
 
     let committed = match serde_json::to_vec(&record) {
@@ -234,6 +232,7 @@ pub fn merge_shards(
         let _ = pipeline::atomic_write(&pipeline::stats_path(cfg), &bytes);
     }
     if committed {
+        pipeline::write_cols_sidecar(&cache, &record);
         // The cache now holds everything the shard journals were
         // protecting.
         for k in 0..count {
@@ -287,6 +286,7 @@ pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
         ranks_multiplexed: sum(|p| p.ranks_multiplexed),
         bytes_zero_copied: sum(|p| p.bytes_zero_copied),
         journal_compactions: sum(|p| p.journal_compactions),
+        journal_frames_rejected: sum(|p| p.journal_frames_rejected),
     }
 }
 
@@ -358,6 +358,7 @@ mod tests {
             ranks_multiplexed: 0,
             bytes_zero_copied: 0,
             journal_compactions: 0,
+            journal_frames_rejected: 0,
         }
     }
 }

@@ -52,19 +52,27 @@ fn write_shard_journals(
             wal.append(cell, model, rec).unwrap();
         });
         assert!(run.stats.cells > 0, "shard {spec} must own some cells");
+        assert!(
+            std::fs::read(&jpath).unwrap().starts_with(&pcg_core::frame::JOURNAL_MAGIC),
+            "shard workers write v3 binary journals"
+        );
         let bytes = serde_json::to_vec(&run.stats).unwrap();
         std::fs::write(shard_stats_path(cache, spec), bytes).unwrap();
     }
 }
 
-/// Chop a journal down to its header plus the first `keep` entries,
-/// then append a torn line — the on-disk state a SIGKILL mid-append
-/// leaves behind.
+/// Chop a v3 journal down to its header plus the first `keep` entry
+/// frames, then leave a torn frame — the on-disk state a SIGKILL
+/// mid-append leaves behind. Cuts at exact frame boundaries via
+/// `journal::entry_offsets`, then keeps the first 10 bytes of the next
+/// frame (less than the 16-byte frame header, so replay classifies it
+/// as a torn tail).
 fn simulate_crash(path: &Path, keep: usize) {
-    let text = std::fs::read_to_string(path).unwrap();
-    let mut kept: String = text.lines().take(1 + keep).map(|l| format!("{l}\n")).collect();
-    kept.push_str("{\"cell\":12345,\"model\":\"GPT-4\",\"record\":{\"tas");
-    std::fs::write(path, kept).unwrap();
+    let offsets = journal::entry_offsets(path);
+    assert!(keep + 1 < offsets.len(), "must cut strictly inside the journal");
+    let bytes = std::fs::read(path).unwrap();
+    let cut = offsets[keep] as usize;
+    std::fs::write(path, &bytes[..cut + 10]).unwrap();
 }
 
 #[test]
@@ -107,6 +115,13 @@ fn merged_shards_match_the_unsharded_run() {
         std::fs::read(&cache).unwrap(),
         ref_json.as_bytes(),
         "the committed cache must hold the identical bytes"
+    );
+    let cols = pcg_harness::colstats::ColumnarStats::read(&pcg_harness::colstats::cols_path(&cache))
+        .expect("merge must commit a columnar sidecar next to the cache");
+    assert_eq!(
+        cols.projection(),
+        projection(&merged),
+        "the columnar sidecar must reproduce the projection byte-for-byte"
     );
     let merged_stats: EvalStats =
         serde_json::from_slice(&std::fs::read(pipeline::stats_path(&cfg)).unwrap()).unwrap();
@@ -153,6 +168,10 @@ fn merged_shards_match_the_unsharded_run() {
     let stats0 = run_shard(Some(&cache), &cfg, &resume_opts, spec0, Some(&tasks));
     assert_eq!(stats0.resumed_cells, keep, "the completed prefix must replay, not re-run");
     assert!(stats0.journal_compactions > 0, "the torn tail must be compacted away");
+    assert_eq!(
+        stats0.journal_frames_rejected, 1,
+        "the torn frame must be counted as rejected, not silently skipped"
+    );
     for k in 1..3 {
         let spec = ShardSpec::new(k, 3);
         // Shards 1 and 2 were fully journaled by write_shard_journals;

@@ -34,15 +34,16 @@ fn tmp_journal(name: &str) -> PathBuf {
     dir.join(format!("{name}-{}.journal", std::process::id()))
 }
 
-/// Chop a journal down to its header plus the first `keep` entries,
-/// then append a torn line — the on-disk state a SIGKILL mid-append
-/// leaves behind.
+/// Chop a journal down to its header plus the first `keep` entry
+/// frames, then leave a torn frame — the on-disk state a SIGKILL
+/// mid-append leaves behind. Cuts at exact v3 frame boundaries via
+/// `journal::entry_offsets`, keeping 10 bytes of the next frame (less
+/// than the 16-byte frame header, so replay sees a torn tail).
 fn simulate_crash(path: &PathBuf, keep: usize) {
-    let text = std::fs::read_to_string(path).unwrap();
-    let mut kept: String =
-        text.lines().take(1 + keep).map(|l| format!("{l}\n")).collect();
-    kept.push_str("{\"model\":\"GPT-4\",\"record\":{\"tas");
-    std::fs::write(path, kept).unwrap();
+    let offsets = journal::entry_offsets(path);
+    assert!(keep + 1 < offsets.len(), "must cut strictly inside the journal");
+    let bytes = std::fs::read(path).unwrap();
+    std::fs::write(path, &bytes[..offsets[keep] as usize + 10]).unwrap();
 }
 
 #[test]
@@ -84,7 +85,7 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
 
     // Resume at a different worker count: keyed replay must not care.
     let replay = journal::load(&path, &cfg, ShardSpec::WHOLE);
-    assert_eq!(replay.len(), keep, "replay survives up to the torn line");
+    assert_eq!(replay.len(), keep, "replay survives up to the torn frame");
     let (resumed, stats) = eval::evaluate_resumable(
         &cfg,
         &models,
