@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_containment.json measurement.
+
+The containment bench already asserts its acceptance bar in-process;
+this re-checks the committed numbers from the outside so a stale or
+hand-edited snapshot cannot sneak a regression past CI, and so the
+failure message names every violated invariant at once:
+
+  * ratio < 0.5 — an injected-Deadlock grid with the wait-for-graph
+    detector on must finish in less than half the timeout-only
+    baseline (the containment acceptance bar; measured ~0.001x).
+  * ratio == failfast_s / baseline_s within rounding — the three
+    numbers must actually agree with each other.
+  * deadlocks_detected > 0 — the fast side won by detecting, not by
+    skipping the defective cells.
+  * baseline_timeouts > 0 — the slow side really burned timeouts, so
+    the ratio compares containment against the pre-containment
+    behavior rather than two fast paths.
+"""
+
+import json
+import sys
+
+if len(sys.argv) != 2:
+    print("usage: containment_stats.py <BENCH_containment.json>", file=sys.stderr)
+    sys.exit(2)
+
+with open(sys.argv[1], "r", encoding="utf-8") as fh:
+    bench = json.load(fh)
+
+problems = []
+
+ratio = bench["ratio"]
+baseline = bench["baseline_s"]
+failfast = bench["failfast_s"]
+if not ratio < 0.5:
+    problems.append(f"fail-fast ratio {ratio} is not < 0.5x the timeout-only baseline")
+if baseline <= 0 or failfast <= 0:
+    problems.append(f"non-positive timings: baseline_s={baseline} failfast_s={failfast}")
+elif abs(ratio - failfast / baseline) > 0.001:
+    problems.append(
+        f"ratio {ratio} disagrees with failfast_s/baseline_s = {failfast / baseline:.4f}"
+    )
+if bench["deadlocks_detected"] <= 0:
+    problems.append("deadlocks_detected is zero: the fast side never exercised the detector")
+if bench["baseline_timeouts"] <= 0:
+    problems.append("baseline_timeouts is zero: the slow side never burned a timeout")
+
+if problems:
+    for p in problems:
+        print(f"containment_stats: FAIL: {p}", file=sys.stderr)
+    sys.exit(1)
+
+print(
+    f"containment_stats: ok: baseline {baseline:.3f}s, fail-fast {failfast:.3f}s, "
+    f"ratio {ratio} ({bench['deadlocks_detected']} deadlocks detected, "
+    f"{bench['baseline_timeouts']} baseline timeouts)"
+)

@@ -1,0 +1,124 @@
+//! Containment A/B: the same injected-Deadlock grid with the
+//! wait-for-graph detector off (every defective candidate burns the
+//! wall-clock timeout, the pre-containment behavior) vs on (every
+//! defective world fails fast on quiescence).
+//!
+//! The grid is built so the defect dominates: a synthetic model whose
+//! every sample is a `Deadlock` candidate, over one MPI task per
+//! problem type. With detection off each unique (task, n) key costs
+//! `timeout` + a cancellation tick; with detection on it costs one
+//! virtual-time quiescence check. The acceptance bar from the
+//! containment work is fail-fast < 0.5x the timeout-only baseline
+//! (measured well below 0.1x in practice); the measured pair is
+//! written to `target/pcgbench/BENCH_containment.json`, whose
+//! committed snapshot lives at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcg_core::task::all_tasks;
+use pcg_core::{ExecutionModel, TaskId};
+use pcg_harness::{eval, EvalConfig, EvalStats, SharedRunner};
+use pcg_models::SyntheticModel;
+use pcg_mpisim::sched;
+use std::time::{Duration, Instant};
+
+/// Candidates fail fast or burn this limit; short so the baseline
+/// stays benchable, long enough that a fail-fast verdict (~ms) is
+/// unambiguously cheaper.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_millis(250);
+
+fn deadlock_cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.timeout = DEADLOCK_TIMEOUT;
+    cfg.skip_high_temp = true;
+    cfg
+}
+
+/// A model whose every sample deadlocks: zero success mass, all
+/// failure mass on the `deadlock` mix slot.
+fn all_deadlock_model() -> SyntheticModel {
+    let base = SyntheticModel::by_name("CodeLlama-7B").expect("zoo model");
+    let mut calib = base.calibration().clone();
+    calib.exec_rate = [0.0; 7];
+    calib.failure_mix = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+    SyntheticModel::custom(base.card().clone(), calib, true)
+}
+
+/// One MPI task per problem type (6 cells, 6 unique outcome keys).
+fn deadlock_tasks() -> Vec<TaskId> {
+    all_tasks()
+        .filter(|t| t.model == ExecutionModel::Mpi && t.problem.variant == 0)
+        .take(6)
+        .collect()
+}
+
+/// Wall seconds + stats for one cold evaluation of the deadlock grid.
+fn deadlock_grid_once(cfg: &EvalConfig, tasks: &[TaskId]) -> (f64, EvalStats) {
+    let model = vec![all_deadlock_model()];
+    let runner = SharedRunner::new(cfg.clone());
+    let t0 = Instant::now();
+    let (_, stats) = eval::evaluate_with(cfg, &model, Some(tasks), 1, &runner);
+    (t0.elapsed().as_secs_f64(), stats)
+}
+
+fn bench_deadlock_containment(_c: &mut Criterion) {
+    let cfg = deadlock_cfg();
+    let tasks = deadlock_tasks();
+    let cells = tasks.len();
+
+    // Fail-fast side first (the process default), best of 2.
+    sched::set_deadlock_detection(true);
+    let (fast_a, fast_stats) = deadlock_grid_once(&cfg, &tasks);
+    let (fast_b, _) = deadlock_grid_once(&cfg, &tasks);
+    let failfast_s = fast_a.min(fast_b);
+    assert!(
+        fast_stats.deadlocks_detected > 0,
+        "detection-on grid must fail fast through the detector: {fast_stats:?}"
+    );
+    assert_eq!(
+        fast_stats.timeouts, 0,
+        "a detected deadlock must never burn the timeout: {fast_stats:?}"
+    );
+
+    // Baseline: detector off, every deadlock world burns the timeout
+    // and unwinds on cooperative cancellation (best of 2).
+    sched::set_deadlock_detection(false);
+    let (base_a, base_stats) = deadlock_grid_once(&cfg, &tasks);
+    let (base_b, _) = deadlock_grid_once(&cfg, &tasks);
+    sched::set_deadlock_detection(true);
+    let baseline_s = base_a.min(base_b);
+    assert!(
+        base_stats.timeouts > 0,
+        "detection-off deadlocks must surface as timeout verdicts: {base_stats:?}"
+    );
+
+    let ratio = failfast_s / baseline_s;
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"all-deadlock grid, {} MPI cells, {}ms timeout, jobs 1, best of 2\",",
+            "\"baseline_s\":{:.6},\"failfast_s\":{:.6},\"ratio\":{:.4},",
+            "\"deadlocks_detected\":{},\"baseline_timeouts\":{}}}"
+        ),
+        cells,
+        DEADLOCK_TIMEOUT.as_millis(),
+        baseline_s,
+        failfast_s,
+        ratio,
+        fast_stats.deadlocks_detected,
+        base_stats.timeouts,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/pcgbench");
+    std::fs::create_dir_all(&dir).expect("create target/pcgbench");
+    std::fs::write(dir.join("BENCH_containment.json"), &json)
+        .expect("write BENCH_containment.json");
+    println!(
+        "containment: {cells} injected-Deadlock cells: timeout-only {baseline_s:.3}s, \
+         fail-fast {failfast_s:.3}s, ratio {ratio:.3}"
+    );
+    assert!(
+        ratio < 0.5,
+        "fail-fast must beat the timeout-only baseline by >=2x, got ratio {ratio:.3} ({json})"
+    );
+}
+
+criterion_group!(containment, bench_deadlock_containment);
+criterion_main!(containment);

@@ -65,6 +65,15 @@ pub enum CandidateKind {
     /// races real LLM parallel code exhibits; only scored as correct
     /// when the harness retries hard failures (`retry_flaky`).
     Flaky,
+    /// Circular-wait defect: every rank blocks on a message (or lock
+    /// analog) no peer will ever send. Caught fail-fast by the
+    /// containment scheduler's wait-for-graph detector instead of
+    /// burning the wall-clock timeout.
+    Deadlock,
+    /// Unbounded-recursion defect: the candidate consumes its entire
+    /// execution stack. Caught by the fiber guard page and converted
+    /// into an immediate stack-overflow verdict.
+    StackHog,
 }
 
 impl CandidateKind {
@@ -85,6 +94,8 @@ impl CandidateKind {
             CandidateKind::RuntimeCrash => "crash",
             CandidateKind::Timeout => "timeout",
             CandidateKind::Flaky => "flaky",
+            CandidateKind::Deadlock => "deadlock",
+            CandidateKind::StackHog => "stackhog",
         }
     }
 }
@@ -111,6 +122,8 @@ mod tests {
             CandidateKind::RuntimeCrash,
             CandidateKind::Timeout,
             CandidateKind::Flaky,
+            CandidateKind::Deadlock,
+            CandidateKind::StackHog,
         ];
         let mut codes: Vec<_> = kinds.iter().map(|k| k.code()).collect();
         codes.sort_unstable();

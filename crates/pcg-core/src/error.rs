@@ -23,6 +23,15 @@ pub enum PcgError {
     SequentialFallback,
     /// Invalid configuration (bad rank/thread count, malformed input, ...).
     Config(String),
+    /// The containment scheduler proved every live rank blocked with no
+    /// runnable sender (wait-for-graph quiescence) and failed the
+    /// candidate immediately instead of burning the wall-clock timeout.
+    /// The payload carries per-rank blocked-state diagnostics.
+    Deadlock(String),
+    /// A fiber overran its stack into the PROT_NONE guard page; the
+    /// SIGSEGV classifier converted the fault into this verdict before
+    /// any adjacent memory was corrupted.
+    StackOverflow(String),
 }
 
 impl PcgError {
@@ -35,6 +44,8 @@ impl PcgError {
             PcgError::WrongAnswer(_) => "wrong",
             PcgError::SequentialFallback => "sequential",
             PcgError::Config(_) => "config",
+            PcgError::Deadlock(_) => "deadlock",
+            PcgError::StackOverflow(_) => "stackoverflow",
         }
     }
 }
@@ -50,6 +61,8 @@ impl std::fmt::Display for PcgError {
                 write!(f, "did not use the required parallel programming model")
             }
             PcgError::Config(m) => write!(f, "configuration error: {m}"),
+            PcgError::Deadlock(m) => write!(f, "deadlock: {m}"),
+            PcgError::StackOverflow(m) => write!(f, "stack overflow: {m}"),
         }
     }
 }
@@ -72,6 +85,8 @@ mod tests {
             PcgError::WrongAnswer(String::new()),
             PcgError::SequentialFallback,
             PcgError::Config(String::new()),
+            PcgError::Deadlock(String::new()),
+            PcgError::StackOverflow(String::new()),
         ];
         let mut codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
         codes.sort_unstable();

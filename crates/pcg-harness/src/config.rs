@@ -40,6 +40,16 @@ pub struct EvalConfig {
     /// before the runner refuses to spawn new isolated workers and
     /// blocks until the leak count drops.
     pub max_abandoned: usize,
+    /// Chaos-injection weight for the `Deadlock` defect kind, added to
+    /// every model's failure mix (relative to the mix's other weights).
+    /// Zero (the default) is an exact no-op on the sampled streams.
+    /// Participates in the config hash like every other field.
+    #[serde(default)]
+    pub deadlock_rate: f64,
+    /// Chaos-injection weight for the `StackHog` defect kind; see
+    /// [`EvalConfig::deadlock_rate`].
+    #[serde(default)]
+    pub stack_hog_rate: f64,
 }
 
 impl EvalConfig {
@@ -59,6 +69,8 @@ impl EvalConfig {
             retry_flaky: false,
             grace: Duration::from_secs(2),
             max_abandoned: 64,
+            deadlock_rate: 0.0,
+            stack_hog_rate: 0.0,
         }
     }
 
@@ -108,6 +120,16 @@ impl EvalConfig {
         if let Ok(secs) = std::env::var("PCG_TIMEOUT") {
             if let Ok(secs) = secs.parse() {
                 cfg.timeout = Duration::from_secs(secs);
+            }
+        }
+        if let Ok(rate) = std::env::var("PCG_DEADLOCK_RATE") {
+            if let Ok(rate) = rate.parse() {
+                cfg.deadlock_rate = rate;
+            }
+        }
+        if let Ok(rate) = std::env::var("PCG_STACK_HOG_RATE") {
+            if let Ok(rate) = rate.parse() {
+                cfg.stack_hog_rate = rate;
             }
         }
         cfg

@@ -160,6 +160,17 @@ pub fn evaluate_cells(
     replay: &Replay,
     mut on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> SubsetRun {
+    // Chaos injection: fold the config's containment-defect rates into
+    // every model's failure mix. At (0, 0) — the default — this is an
+    // exact no-op on the sampled streams, so existing records are
+    // unchanged; nonzero rates participate in the config hash, so a
+    // chaos run can never be confused with a clean one.
+    let models: Vec<SyntheticModel> = models
+        .iter()
+        .map(|m| m.clone().with_chaos(cfg.deadlock_rate, cfg.stack_hog_rate))
+        .collect();
+    let models = models.as_slice();
+
     let n_cells = owned.len();
     let mut slots: Vec<Option<TaskRecord>> = Vec::with_capacity(n_cells);
     let mut pending: Vec<PlanCell> = Vec::new();
@@ -243,6 +254,10 @@ pub fn evaluate_cells(
         bytes_zero_copied: runner.bytes_zero_copied(),
         journal_compactions: 0,
         journal_frames_rejected: 0,
+        deadlocks_detected: runner.deadlocks_detected(),
+        stack_overflows_caught: runner.stack_overflows_caught(),
+        guard_faults: runner.guard_faults(),
+        leak_budget_exhausted: runner.leak_budget_exhausted(),
     };
     SubsetRun { cells, stats }
 }

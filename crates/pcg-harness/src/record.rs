@@ -138,6 +138,28 @@ pub struct EvalStats {
     /// on a clean run.
     #[serde(default)]
     pub journal_frames_rejected: u64,
+    /// Worlds failed fast by the wait-for-graph deadlock detector
+    /// instead of burning the wall-clock timeout. Like `executions`,
+    /// the count is per-process (outcome dedup means a shard topology
+    /// changes how many containment worlds actually run), so it lives
+    /// in the sidecar but outside [`stats_projection`].
+    #[serde(default)]
+    pub deadlocks_detected: u64,
+    /// Fiber stack overflows converted into verdicts by the guard page.
+    #[serde(default)]
+    pub stack_overflows_caught: u64,
+    /// SIGSEGV faults classified as guard-page hits. Equal to
+    /// `stack_overflows_caught` on a healthy run; a divergence means a
+    /// classified fault never became a verdict.
+    #[serde(default)]
+    pub guard_faults: u64,
+    /// Set when the supervisor's `max_abandoned` leak budget was
+    /// exhausted at least once during the run: new isolated workers had
+    /// to block until the leak count dropped, so wall-clock stats are
+    /// degraded. Surfaced loudly by `report` — a run with this flag set
+    /// needs a larger budget or better-behaved candidates.
+    #[serde(default)]
+    pub leak_budget_exhausted: bool,
 }
 
 /// The cross-process-deterministic projection of an [`EvalRecord`].

@@ -150,6 +150,21 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
             stats.cancelled, stats.abandoned, stats.retries, stats.flaky,
         );
     }
+    if stats.deadlocks_detected + stats.stack_overflows_caught + stats.guard_faults > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   containment: {} deadlocks failed fast, {} stack overflows caught ({} guard faults)",
+            stats.deadlocks_detected, stats.stack_overflows_caught, stats.guard_faults,
+        );
+    }
+    if stats.leak_budget_exhausted {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   WARNING: abandoned-worker budget exhausted during this run — \
+             isolated workers blocked on leaked threads; raise max_abandoned or \
+             investigate hostile candidates",
+        );
+    }
     if stats.resumed_cells > 0 {
         let _ = writeln!(
             s,

@@ -28,7 +28,7 @@ use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Instant;
 
@@ -99,6 +99,11 @@ pub struct QuarantineEntry {
 struct LeakTracker {
     live: Mutex<usize>,
     cv: Condvar,
+    /// Latched when the leak budget was ever exhausted (a spawner had
+    /// to block). Surfaced as `leak_budget_exhausted` in the stats
+    /// sidecar and loudly in report output — exhaustion silently
+    /// degrading throughput is how leak storms used to go unnoticed.
+    exhausted: AtomicBool,
 }
 
 impl LeakTracker {
@@ -118,8 +123,21 @@ impl LeakTracker {
         let cap = cap.max(1);
         let mut n = self.live.lock();
         while *n >= cap {
+            if !self.exhausted.swap(true, Ordering::AcqRel) {
+                eprintln!(
+                    "pcg-harness: abandoned-worker budget exhausted \
+                     ({cap} leaked threads live); blocking new isolated \
+                     workers until leaks unwind — raise max_abandoned or \
+                     investigate hostile candidates"
+                );
+            }
             self.cv.wait(&mut n);
         }
+    }
+
+    /// Whether the budget was ever exhausted.
+    fn was_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Acquire)
     }
 
     fn live(&self) -> usize {
@@ -751,6 +769,36 @@ impl SharedRunner {
             .bytes_zero_copied
             .saturating_sub(self.warm_base.sched.bytes_zero_copied)
     }
+
+    /// Worlds failed fast by the wait-for-graph deadlock detector
+    /// during this evaluation.
+    pub fn deadlocks_detected(&self) -> u64 {
+        pcg_mpisim::sched::stats()
+            .deadlocks_detected
+            .saturating_sub(self.warm_base.sched.deadlocks_detected)
+    }
+
+    /// Fiber stack overflows converted into verdicts by the guard page
+    /// during this evaluation.
+    pub fn stack_overflows_caught(&self) -> u64 {
+        pcg_mpisim::sched::stats()
+            .stack_overflows_caught
+            .saturating_sub(self.warm_base.sched.stack_overflows_caught)
+    }
+
+    /// SIGSEGV faults classified as guard-page hits during this
+    /// evaluation.
+    pub fn guard_faults(&self) -> u64 {
+        pcg_mpisim::sched::stats()
+            .guard_faults
+            .saturating_sub(self.warm_base.sched.guard_faults)
+    }
+
+    /// Whether the abandoned-worker budget was exhausted at least once
+    /// (spawners had to block until leaks unwound).
+    pub fn leak_budget_exhausted(&self) -> bool {
+        self.leaks.was_exhausted()
+    }
 }
 
 impl Drop for SharedRunner {
@@ -952,6 +1000,10 @@ mod tests {
         });
         assert_eq!(out.error.as_deref(), Some("timeout"));
         assert_eq!(r.abandoned(), 1);
+        assert!(
+            !r.leak_budget_exhausted(),
+            "abandonment alone must not trip the flag — only blocking does"
+        );
         // Second execution must wait for the slot, then run normally.
         let t0 = std::time::Instant::now();
         let ok = r.run_isolated(|| Ok::<_, PcgError>(1));
@@ -961,6 +1013,10 @@ mod tests {
             "spawn should have blocked on the leak cap"
         );
         assert_eq!(r.leaked_workers(), 0, "the sleeper released its slot on unwind");
+        assert!(
+            r.leak_budget_exhausted(),
+            "blocking on the exhausted budget must latch the sidecar flag"
+        );
     }
 
     #[test]

@@ -287,6 +287,10 @@ pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
         bytes_zero_copied: sum(|p| p.bytes_zero_copied),
         journal_compactions: sum(|p| p.journal_compactions),
         journal_frames_rejected: sum(|p| p.journal_frames_rejected),
+        deadlocks_detected: sum(|p| p.deadlocks_detected),
+        stack_overflows_caught: sum(|p| p.stack_overflows_caught),
+        guard_faults: sum(|p| p.guard_faults),
+        leak_budget_exhausted: parts.iter().any(|p| p.leak_budget_exhausted),
     }
 }
 
@@ -359,6 +363,26 @@ mod tests {
             bytes_zero_copied: 0,
             journal_compactions: 0,
             journal_frames_rejected: 0,
+            deadlocks_detected: 0,
+            stack_overflows_caught: 0,
+            guard_faults: 0,
+            leak_budget_exhausted: false,
         }
+    }
+
+    #[test]
+    fn combine_stats_sums_containment_counters_and_ors_leak_flag() {
+        let mut a = base_stats();
+        a.deadlocks_detected = 3;
+        a.stack_overflows_caught = 2;
+        a.guard_faults = 2;
+        let mut b = base_stats();
+        b.deadlocks_detected = 1;
+        b.leak_budget_exhausted = true;
+        let merged = combine_stats(&[a, b], 1);
+        assert_eq!(merged.deadlocks_detected, 4);
+        assert_eq!(merged.stack_overflows_caught, 2);
+        assert_eq!(merged.guard_faults, 2);
+        assert!(merged.leak_budget_exhausted, "any exhausted part taints the merge");
     }
 }

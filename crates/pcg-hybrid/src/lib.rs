@@ -55,6 +55,7 @@ pub struct HybridWorld {
     ranks: usize,
     threads_per_rank: usize,
     cost: CostModel,
+    force_mux: bool,
 }
 
 /// Warm substrate for hybrid worlds: a persistent [`RankTeam`] plus one
@@ -102,7 +103,16 @@ impl HybridWorld {
     /// A hybrid world of `ranks` x `threads_per_rank`.
     pub fn new(ranks: usize, threads_per_rank: usize) -> HybridWorld {
         assert!(ranks > 0 && threads_per_rank > 0, "hybrid world dims must be nonzero");
-        HybridWorld { ranks, threads_per_rank, cost: CostModel::cluster() }
+        HybridWorld { ranks, threads_per_rank, cost: CostModel::cluster(), force_mux: false }
+    }
+
+    /// Force the rank layer onto the multiplexed fiber scheduler even
+    /// when the world is small enough for thread-per-rank. Required for
+    /// containment worlds: guard-paged stacks and the wait-for-graph
+    /// deadlock detector only exist on the fiber path.
+    pub fn multiplexed(mut self) -> HybridWorld {
+        self.force_mux = true;
+        self
     }
 
     /// Override the communication cost model. (`compute_scale` is forced
@@ -173,7 +183,8 @@ impl HybridWorld {
 
     fn world(&self) -> World {
         let cost = CostModel { compute_scale: 0.0, ..self.cost.clone() };
-        World::new(self.ranks).with_cost_model(cost).with_max_tokens(1)
+        let world = World::new(self.ranks).with_cost_model(cost).with_max_tokens(1);
+        if self.force_mux { world.multiplexed() } else { world }
     }
 }
 
@@ -195,11 +206,19 @@ impl<'w> HybridCtx<'w> {
     }
 
     /// Run a threaded section and charge the pool's modeled virtual time
-    /// for it to the rank clock.
+    /// for it to the rank clock. The section is bracketed by the compute
+    /// admission gate: the rank (re)acquires the world's compute token on
+    /// entry and releases it on exit, so a rank between sections does not
+    /// serialize its peers' measurements — and a rank *waiting* for the
+    /// gate parks cooperatively as a fiber, visible to the wait-for-graph
+    /// deadlock detector. Virtual-time arithmetic is unchanged: only the
+    /// pool's modeled elapsed time is charged, never gate-wait wall time.
     fn charged<R>(&self, f: impl FnOnce(&Pool) -> R) -> R {
+        self.comm.compute_gate_enter();
         let before = self.pool.virtual_elapsed();
         let out = f(self.pool);
         self.comm.advance(self.pool.virtual_elapsed() - before);
+        self.comm.compute_gate_exit();
         out
     }
 

@@ -27,12 +27,14 @@ pub struct Calibration {
     /// CodeLlama-34B and GPT-4 "confidence".
     pub collapse_prob: f64,
     /// Failure-mode mix `[build, wrong, sequential, crash, timeout,
-    /// flaky]` (normalized internally; `sequential` mass folds into
-    /// `wrong` for serial tasks, where there is no parallel API to
-    /// skip). The `flaky` slot is zero for the calibrated zoo — the
-    /// paper scores single runs — and is exposed for flakiness studies
-    /// via [`crate::SyntheticModel::custom`].
-    pub failure_mix: [f64; 6],
+    /// flaky, deadlock, stackhog]` (normalized internally; `sequential`
+    /// mass folds into `wrong` for serial tasks, where there is no
+    /// parallel API to skip). The `flaky`, `deadlock`, and `stackhog`
+    /// slots are zero for the calibrated zoo — the paper scores single
+    /// runs and does not decompose hangs — and are exposed for
+    /// flakiness/containment studies via [`crate::SyntheticModel::custom`]
+    /// and [`crate::SyntheticModel::with_chaos`].
+    pub failure_mix: [f64; 8],
 }
 
 /// Problem-type difficulty multiplier (Figure 3 shape), shared across

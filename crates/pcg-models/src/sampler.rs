@@ -30,7 +30,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.38, 0.12, 0.55),
                     efficient_share: 0.55,
                     collapse_prob: 0.15,
-                    failure_mix: [0.30, 0.35, 0.15, 0.12, 0.08, 0.0],
+                    failure_mix: [0.30, 0.35, 0.15, 0.12, 0.08, 0.0, 0.0, 0.0],
                 },
                 small: true,
             },
@@ -40,7 +40,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.45, 0.16, 0.60),
                     efficient_share: 0.60,
                     collapse_prob: 0.15,
-                    failure_mix: [0.27, 0.37, 0.15, 0.12, 0.09, 0.0],
+                    failure_mix: [0.27, 0.37, 0.15, 0.12, 0.09, 0.0, 0.0, 0.0],
                 },
                 small: true,
             },
@@ -50,7 +50,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.42, 0.14, 0.50),
                     efficient_share: 0.58,
                     collapse_prob: 0.12,
-                    failure_mix: [0.32, 0.33, 0.16, 0.10, 0.09, 0.0],
+                    failure_mix: [0.32, 0.33, 0.16, 0.10, 0.09, 0.0, 0.0, 0.0],
                 },
                 small: true,
             },
@@ -62,7 +62,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.50, 0.15, 1.20),
                     efficient_share: 0.55,
                     collapse_prob: 0.55,
-                    failure_mix: [0.24, 0.40, 0.14, 0.12, 0.10, 0.0],
+                    failure_mix: [0.24, 0.40, 0.14, 0.12, 0.10, 0.0, 0.0, 0.0],
                 },
                 small: false,
             },
@@ -72,7 +72,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.66, 0.32, 1.30),
                     efficient_share: 0.72,
                     collapse_prob: 0.20,
-                    failure_mix: [0.18, 0.42, 0.16, 0.13, 0.11, 0.0],
+                    failure_mix: [0.18, 0.42, 0.16, 0.13, 0.11, 0.0, 0.0, 0.0],
                 },
                 small: false,
             },
@@ -82,7 +82,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.85, 0.40, 1.30),
                     efficient_share: 0.70,
                     collapse_prob: 0.20,
-                    failure_mix: [0.12, 0.48, 0.18, 0.12, 0.10, 0.0],
+                    failure_mix: [0.12, 0.48, 0.18, 0.12, 0.10, 0.0, 0.0, 0.0],
                 },
                 small: false,
             },
@@ -92,7 +92,7 @@ impl SyntheticModel {
                     exec_rate: exec_rates(0.85, 0.38, 1.35),
                     efficient_share: 0.85,
                     collapse_prob: 0.55,
-                    failure_mix: [0.10, 0.50, 0.18, 0.12, 0.10, 0.0],
+                    failure_mix: [0.10, 0.50, 0.18, 0.12, 0.10, 0.0, 0.0, 0.0],
                 },
                 small: false,
             },
@@ -109,6 +109,22 @@ impl SyntheticModel {
     /// problem-type profile.
     pub fn custom(card: ModelCard, calib: Calibration, small: bool) -> SyntheticModel {
         SyntheticModel { card, calib, small }
+    }
+
+    /// Route failure mass onto the containment defects: `deadlock_rate`
+    /// and `stack_hog_rate` become the `deadlock`/`stackhog` weights of
+    /// the failure mix (relative to the mix's other weights). With both
+    /// rates zero this is an exact no-op — the mix total is unchanged,
+    /// so every RNG draw and therefore every sampled stream is
+    /// byte-identical to the un-chaosed model.
+    pub fn with_chaos(mut self, deadlock_rate: f64, stack_hog_rate: f64) -> SyntheticModel {
+        assert!(
+            deadlock_rate >= 0.0 && stack_hog_rate >= 0.0,
+            "chaos rates must be non-negative"
+        );
+        self.calib.failure_mix[6] += deadlock_rate;
+        self.calib.failure_mix[7] += stack_hog_rate;
+        self
     }
 
     /// The model's Table 2 card.
@@ -176,7 +192,8 @@ impl SyntheticModel {
             };
             return CandidateKind::Correct(quality);
         }
-        // Failure mix: [build, wrong, sequential, crash, timeout, flaky].
+        // Failure mix: [build, wrong, sequential, crash, timeout, flaky,
+        // deadlock, stackhog].
         let mut mix = self.calib.failure_mix;
         if !task.model.is_parallel() {
             // No parallel API to skip on serial tasks.
@@ -202,7 +219,9 @@ impl SyntheticModel {
             2 => CandidateKind::SequentialFallback,
             3 => CandidateKind::RuntimeCrash,
             4 => CandidateKind::Timeout,
-            _ => CandidateKind::Flaky,
+            5 => CandidateKind::Flaky,
+            6 => CandidateKind::Deadlock,
+            _ => CandidateKind::StackHog,
         }
     }
 
@@ -351,13 +370,30 @@ mod tests {
         let base = SyntheticModel::by_name("CodeLlama-7B").unwrap();
         let mut calib = base.calibration().clone();
         // All failure mass on the flaky slot.
-        calib.failure_mix = [0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        calib.failure_mix = [0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
         let m = SyntheticModel::custom(base.card().clone(), calib, true);
         let flaky = (0..20u64)
             .flat_map(|seed| m.sample_n(task(ExecutionModel::Mpi), 0.8, 20, seed))
             .filter(|k| matches!(k, CandidateKind::Flaky))
             .count();
         assert!(flaky > 0, "custom flaky mass must surface in the stream");
+    }
+
+    #[test]
+    fn zero_chaos_is_stream_identical_and_nonzero_surfaces_defects() {
+        let base = SyntheticModel::by_name("CodeLlama-7B").unwrap();
+        let t = task(ExecutionModel::Mpi);
+        // (0, 0) chaos must not perturb a single draw.
+        let chaosless = base.clone().with_chaos(0.0, 0.0);
+        for seed in 0..20u64 {
+            assert_eq!(base.sample_n(t, 0.8, 20, seed), chaosless.sample_n(t, 0.8, 20, seed));
+        }
+        // Heavy chaos mass must surface both containment kinds.
+        let chaotic = base.with_chaos(5.0, 5.0);
+        let kinds: Vec<_> =
+            (0..40u64).flat_map(|seed| chaotic.sample_n(t, 0.8, 20, seed)).collect();
+        assert!(kinds.iter().any(|k| matches!(k, CandidateKind::Deadlock)));
+        assert!(kinds.iter().any(|k| matches!(k, CandidateKind::StackHog)));
     }
 
     #[test]

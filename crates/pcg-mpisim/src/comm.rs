@@ -101,13 +101,53 @@ impl<'w> Comm<'w> {
                 if self.shared.tokens.try_acquire() {
                     break;
                 }
-                sched::yield_fiber(Wait::Token);
+                sched::yield_fiber(Wait::Token { gate: false, clock: self.clock.get() });
             }
         } else if !self.shared.tokens.acquire() {
             abort_panic();
         }
         self.has_token.set(true);
         self.mark.set(Instant::now());
+    }
+
+    /// Enter a modeled compute section: (re)acquire the compute-admission
+    /// token if this rank does not already hold one. On the fiber path the
+    /// rank parks *cooperatively* with `Wait::Token { gate: true, .. }`, so
+    /// mux workers never OS-block on the semaphore and the wait-for-graph
+    /// deadlock detector sees gate-parked ranks as blocked waiters.
+    pub fn compute_gate_enter(&self) {
+        if self.has_token.get() {
+            // Already admitted; just restart the wall-clock mark so only
+            // time inside the gate is charged.
+            self.mark.set(Instant::now());
+            return;
+        }
+        if self.shared.is_multiplexed() {
+            loop {
+                if let Some(t) = &self.shared.cancel {
+                    t.check();
+                }
+                if self.shared.tokens.is_aborted() {
+                    abort_panic();
+                }
+                if self.shared.tokens.try_acquire() {
+                    break;
+                }
+                sched::yield_fiber(Wait::Token { gate: true, clock: self.clock.get() });
+            }
+        } else if !self.shared.tokens.acquire() {
+            abort_panic();
+        }
+        self.has_token.set(true);
+        self.mark.set(Instant::now());
+    }
+
+    /// Leave a modeled compute section: fold the elapsed wall-clock into
+    /// the virtual clock, then release the admission token so a
+    /// gate-parked peer can run. Pairs with [`Comm::compute_gate_enter`].
+    pub fn compute_gate_exit(&self) {
+        self.flush_compute();
+        self.release_token();
     }
 
     pub(crate) fn release_token(&self) {
@@ -251,7 +291,7 @@ impl<'w> Comm<'w> {
                 *released = true;
                 blocked = true;
             }
-            sched::yield_fiber(Wait::Mailbox { src, tag });
+            sched::yield_fiber(Wait::Mailbox { src, tag, clock: self.clock.get() });
         }
     }
 

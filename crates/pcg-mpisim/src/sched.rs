@@ -45,7 +45,7 @@ use crate::world::WorldShared;
 use parking_lot::{Condvar, Mutex};
 use pcg_core::{cancel, usage, warm};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 // ---- policy ----------------------------------------------------------
@@ -129,6 +129,9 @@ pub fn os_threads_for(ranks: usize) -> usize {
 
 static RANKS_MULTIPLEXED: AtomicU64 = AtomicU64::new(0);
 static BYTES_ZERO_COPIED: AtomicU64 = AtomicU64::new(0);
+static DEADLOCKS_DETECTED: AtomicU64 = AtomicU64::new(0);
+static STACK_OVERFLOWS_CAUGHT: AtomicU64 = AtomicU64::new(0);
+static GUARD_FAULTS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide multiplexer counters (monotonic; the harness snapshots
 /// and diffs them per evaluation, like the lease stats).
@@ -139,6 +142,14 @@ pub struct SchedStats {
     /// Payload bytes forwarded or moved by reference in transport
     /// (collective hops, moved sends) instead of being copied.
     pub bytes_zero_copied: u64,
+    /// Worlds failed fast by the wait-for-graph deadlock detector.
+    pub deadlocks_detected: u64,
+    /// Fiber stack overflows converted into verdicts by the guard page.
+    pub stack_overflows_caught: u64,
+    /// SIGSEGV faults classified as guard-page hits (one per caught
+    /// overflow; counted separately so a divergence between the two —
+    /// a fault that never became a verdict — is visible).
+    pub guard_faults: u64,
 }
 
 /// Snapshot the counters.
@@ -146,6 +157,9 @@ pub fn stats() -> SchedStats {
     SchedStats {
         ranks_multiplexed: RANKS_MULTIPLEXED.load(Ordering::Relaxed),
         bytes_zero_copied: BYTES_ZERO_COPIED.load(Ordering::Relaxed),
+        deadlocks_detected: DEADLOCKS_DETECTED.load(Ordering::Relaxed),
+        stack_overflows_caught: STACK_OVERFLOWS_CAUGHT.load(Ordering::Relaxed),
+        guard_faults: GUARD_FAULTS.load(Ordering::Relaxed),
     }
 }
 
@@ -157,15 +171,40 @@ pub(crate) fn note_zero_copy(bytes: usize) {
     BYTES_ZERO_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
 }
 
+// ---- deadlock detection policy ---------------------------------------
+
+static DEADLOCK_DETECT: AtomicBool = AtomicBool::new(true);
+
+/// Enable/disable the wait-for-graph deadlock detector (on by default).
+/// Only benches and tests turn it off, to measure the timeout-only
+/// baseline the detector replaces.
+pub fn set_deadlock_detection(enabled: bool) {
+    DEADLOCK_DETECT.store(enabled, Ordering::Release);
+}
+
+fn deadlock_detection() -> bool {
+    DEADLOCK_DETECT.load(Ordering::Acquire)
+}
+
 // ---- yield reasons ---------------------------------------------------
 
 /// Why a fiber switched back to its worker.
+///
+/// Blocking variants carry the rank's virtual clock at park time so the
+/// deadlock detector can report *when* (in simulated time) each rank
+/// blocked — wall-clock instants would differ across worker counts.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Wait {
     /// Blocked receiving on the rank's own mailbox.
-    Mailbox { src: Option<usize>, tag: u32 },
-    /// Blocked acquiring a compute token.
-    Token,
+    Mailbox { src: Option<usize>, tag: u32, clock: f64 },
+    /// Blocked acquiring a compute token. `gate` marks the hybrid
+    /// compute-admission gate (same semaphore, labeled separately in
+    /// deadlock diagnostics).
+    Token { gate: bool, clock: f64 },
+    /// The fiber overran its stack into the guard page; the SIGSEGV
+    /// classifier redirected it to the overflow landing pad, which
+    /// switched out with this reason. The stack is unusable.
+    StackOverflow,
     /// The rank body ran to completion (or unwound into the fiber's
     /// catch).
     Done,
@@ -176,12 +215,12 @@ pub(crate) enum Wait {
 #[cfg(all(target_arch = "x86_64", unix))]
 mod fiber {
     use super::Wait;
-    use std::alloc::Layout;
     use std::cell::Cell;
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
-    /// Matches the thread-per-rank path's reduced rank-thread stacks.
-    const STACK_SIZE: usize = 1 << 21;
+    /// Usable stack bytes per fiber; matches the thread-per-rank path's
+    /// reduced rank-thread stacks.
+    pub(super) const STACK_SIZE: usize = 1 << 21;
     const STACK_CANARY: u64 = 0xF1BE_75AC_CA4A_11D8;
 
     // Minimal SysV x86_64 context switch: save the callee-saved integer
@@ -293,9 +332,402 @@ pcg_mpisim_fiber_trampoline:
         }
     }
 
+    /// Landing pad the SIGSEGV classifier redirects an overflowed fiber
+    /// to. Entered by a register rewrite (not a call) with RSP pointing
+    /// into the rescue region of the fiber's own mapping — the fiber's
+    /// stack proper is exhausted and the worker's stack is unreachable
+    /// mid-fiber. Reports the overflow to the worker exactly like a
+    /// normal switch-out, then never runs again.
+    extern "C" fn overflow_landing() -> ! {
+        unsafe { switch_out_overflow() }
+    }
+
+    #[inline(never)]
+    unsafe fn switch_out_overflow() -> ! {
+        // Non-null by construction: the classifier only redirects
+        // faults inside the guard range `resume` published on this
+        // thread, which it does while CURRENT is set.
+        let pair = CURRENT.with(|c| c.get());
+        (*pair).reason = Wait::StackOverflow;
+        let mut scratch: *mut u8 = std::ptr::null_mut();
+        pcg_mpisim_fiber_switch(&mut scratch, (*pair).worker_rsp);
+        unreachable!("overflowed fiber resumed")
+    }
+
+    /// Install the process-wide SIGSEGV classifier (once) and this
+    /// thread's sigaltstack (per worker thread). Must run on every
+    /// thread that can resume fibers, before it resumes any.
+    pub(super) fn ensure_signal_setup() {
+        stack::ensure_signal_setup();
+    }
+
+    #[cfg(target_os = "linux")]
+    mod stack {
+        //! mmap-backed pooled fiber stacks with a PROT_NONE guard and a
+        //! SIGSEGV classifier that converts guard hits into overflow
+        //! verdicts.
+        //!
+        //! Mapping layout, low to high addresses:
+        //!
+        //! ```text
+        //! | rescue 16 KiB RW | guard 64 KiB PROT_NONE | stack 2 MiB RW |
+        //! ```
+        //!
+        //! The stack grows down toward the guard. rustc emits inline
+        //! stack probes on x86_64-linux, so even frames larger than the
+        //! guard touch pages in descending order and cannot leap over
+        //! it. On a guard hit the handler redirects the fiber to
+        //! `overflow_landing` running on the rescue region of the same
+        //! mapping. Overflowed mappings are quarantined (leaked), never
+        //! reused or unmapped: callees the fiber abandoned (a hybrid
+        //! pool region in flight, a held lock's waiter list) may still
+        //! reference its frames.
+        use parking_lot::Mutex;
+        use std::cell::{Cell, RefCell};
+        use std::sync::atomic::Ordering;
+        use std::sync::OnceLock;
+
+        /// Scratch stack for the overflow landing pad; it only needs a
+        /// TLS read and one context switch.
+        const RESCUE_SIZE: usize = 1 << 14;
+        /// PROT_NONE span between rescue and stack. 16 pages, so a
+        /// frame-sized jump cannot clear it even without probes.
+        const GUARD_SIZE: usize = 1 << 16;
+        const TOTAL_SIZE: usize = RESCUE_SIZE + GUARD_SIZE + super::STACK_SIZE;
+        /// Parked reusable mappings kept across fibers (an mmap +
+        /// mprotect per fiber would dominate small-world mux runs).
+        const POOL_CAP: usize = 64;
+        const ALT_STACK_SIZE: usize = 1 << 15;
+
+        mod os {
+            //! Raw bindings for the handful of POSIX calls this module
+            //! needs. The workspace vendors no `libc` crate, but every
+            //! std binary already links the platform C library, so the
+            //! functions are declared directly; the struct layouts and
+            //! constants are the x86_64-linux (glibc/musl-compatible)
+            //! ones, which is exactly the cfg this module builds under.
+            #![allow(dead_code)]
+
+            pub const PROT_NONE: i32 = 0;
+            pub const PROT_READ: i32 = 1;
+            pub const PROT_WRITE: i32 = 2;
+            pub const MAP_PRIVATE: i32 = 0x02;
+            pub const MAP_ANONYMOUS: i32 = 0x20;
+            pub const SIGSEGV: i32 = 11;
+            pub const SA_SIGINFO: i32 = 4;
+            pub const SA_ONSTACK: i32 = 0x0800_0000;
+            pub const SS_DISABLE: i32 = 2;
+            /// `mcontext_t.gregs` indices (sys/ucontext.h).
+            pub const REG_RSP: usize = 15;
+            pub const REG_RIP: usize = 16;
+
+            #[repr(C)]
+            pub struct SigInfo {
+                pub si_signo: i32,
+                pub si_errno: i32,
+                pub si_code: i32,
+                pad: i32,
+                /// Fault address for SIGSEGV (start of the union).
+                pub si_addr: *mut u8,
+                rest: [u64; 13],
+            }
+
+            #[repr(C)]
+            #[derive(Clone, Copy)]
+            pub struct SigSet {
+                pub bits: [u64; 16],
+            }
+
+            #[repr(C)]
+            pub struct SigAction {
+                /// `sa_handler` / `sa_sigaction` union.
+                pub handler: usize,
+                pub mask: SigSet,
+                pub flags: i32,
+                pub restorer: usize,
+            }
+
+            #[repr(C)]
+            pub struct StackT {
+                pub ss_sp: *mut u8,
+                pub ss_flags: i32,
+                pub ss_size: usize,
+            }
+
+            /// Prefix of glibc's `ucontext_t` up through the general
+            /// registers (`uc_mcontext.gregs` starts at byte 40); the
+            /// FP state and signal mask behind it are never touched.
+            #[repr(C)]
+            pub struct UContext {
+                pub uc_flags: u64,
+                pub uc_link: *mut UContext,
+                pub uc_stack: StackT,
+                pub gregs: [i64; 23],
+            }
+
+            extern "C" {
+                pub fn mmap(
+                    addr: *mut u8,
+                    len: usize,
+                    prot: i32,
+                    flags: i32,
+                    fd: i32,
+                    offset: i64,
+                ) -> *mut u8;
+                pub fn munmap(addr: *mut u8, len: usize) -> i32;
+                pub fn mprotect(addr: *mut u8, len: usize, prot: i32) -> i32;
+                pub fn sigaction(
+                    signum: i32,
+                    act: *const SigAction,
+                    oldact: *mut SigAction,
+                ) -> i32;
+                pub fn sigaltstack(ss: *const StackT, old_ss: *mut StackT) -> i32;
+            }
+        }
+
+        /// One guarded fiber-stack mapping.
+        pub(super) struct StackMem {
+            base: *mut u8,
+        }
+
+        // SAFETY: plain memory; ownership moves between the pool and at
+        // most one fiber at a time.
+        unsafe impl Send for StackMem {}
+
+        impl StackMem {
+            fn map() -> StackMem {
+                unsafe {
+                    let base = os::mmap(
+                        std::ptr::null_mut(),
+                        TOTAL_SIZE,
+                        os::PROT_READ | os::PROT_WRITE,
+                        os::MAP_PRIVATE | os::MAP_ANONYMOUS,
+                        -1,
+                        0,
+                    );
+                    assert!(base as isize != -1, "mpisim: fiber stack mmap failed");
+                    let rc = os::mprotect(base.add(RESCUE_SIZE), GUARD_SIZE, os::PROT_NONE);
+                    assert_eq!(rc, 0, "mpisim: fiber guard mprotect failed");
+                    StackMem { base }
+                }
+            }
+
+            /// Low end of the usable stack (first byte above the guard).
+            pub(super) fn lo(&self) -> *mut u8 {
+                unsafe { self.base.add(RESCUE_SIZE + GUARD_SIZE) }
+            }
+
+            /// High end of the usable stack (initial stack top).
+            pub(super) fn hi(&self) -> *mut u8 {
+                unsafe { self.lo().add(super::STACK_SIZE) }
+            }
+
+            fn guard_range(&self) -> (usize, usize) {
+                let lo = self.base as usize + RESCUE_SIZE;
+                (lo, lo + GUARD_SIZE)
+            }
+        }
+
+        impl Drop for StackMem {
+            fn drop(&mut self) {
+                unsafe {
+                    os::munmap(self.base, TOTAL_SIZE);
+                }
+            }
+        }
+
+        static POOL: Mutex<Vec<StackMem>> = Mutex::new(Vec::new());
+
+        pub(super) fn acquire() -> StackMem {
+            POOL.lock().pop().unwrap_or_else(StackMem::map)
+        }
+
+        pub(super) fn release(stack: StackMem) {
+            let mut pool = POOL.lock();
+            if pool.len() < POOL_CAP {
+                pool.push(stack);
+            }
+            // Beyond the cap the drop unmaps it.
+        }
+
+        /// Leak an overflowed mapping: abandoned callees may still hold
+        /// pointers into its frames, so it must never be reused *or*
+        /// unmapped. Bounded by the number of overflows caught.
+        pub(super) fn quarantine(stack: StackMem) {
+            std::mem::forget(stack);
+        }
+
+        thread_local! {
+            /// Guard range of the fiber this thread is currently
+            /// running; (0, 0) when no fiber is live. Const-initialized
+            /// Cell with no destructor, so reads from the signal
+            /// handler are plain TLS loads (async-signal-safe).
+            static GUARD_RANGE: Cell<(usize, usize)> = const { Cell::new((0, 0)) };
+        }
+
+        pub(super) fn enter_fiber(stack: &StackMem) {
+            GUARD_RANGE.with(|c| c.set(stack.guard_range()));
+        }
+
+        pub(super) fn leave_fiber() {
+            GUARD_RANGE.with(|c| c.set((0, 0)));
+        }
+
+        /// The disposition SIGSEGV had before the classifier was
+        /// installed (Rust's own stack-overflow reporter, usually).
+        /// Written once inside the install `OnceLock`, read-only after.
+        struct OldAction(std::cell::UnsafeCell<os::SigAction>);
+        unsafe impl Sync for OldAction {}
+        static OLD: OldAction = OldAction(std::cell::UnsafeCell::new(os::SigAction {
+            handler: 0,
+            mask: os::SigSet { bits: [0; 16] },
+            flags: 0,
+            restorer: 0,
+        }));
+
+        /// SIGSEGV classifier. Async-signal-safe by construction: a
+        /// const-initialized TLS read, one relaxed atomic add, and
+        /// direct register writes into the ucontext — no allocation,
+        /// locking, formatting, or unwinding.
+        extern "C" fn segv_handler(_sig: i32, info: *mut os::SigInfo, ctx: *mut os::UContext) {
+            let addr = unsafe { (*info).si_addr as usize };
+            let (lo, hi) = GUARD_RANGE.with(|c| c.get());
+            if lo != 0 && (lo..hi).contains(&addr) {
+                super::super::GUARD_FAULTS.fetch_add(1, Ordering::Relaxed);
+                let land: extern "C" fn() -> ! = super::overflow_landing;
+                unsafe {
+                    // Resume the fiber at the landing pad on the rescue
+                    // region (lo == top of rescue). The −8 gives RSP
+                    // call-site parity (SysV: rsp % 16 == 8 at entry).
+                    let gregs = &mut (*ctx).gregs;
+                    gregs[os::REG_RSP] = (lo - 8) as i64;
+                    gregs[os::REG_RIP] = land as usize as i64;
+                }
+                return;
+            }
+            // Not a fiber guard hit: put the previous disposition back
+            // and return; the faulting instruction re-executes into it
+            // (Rust's handler for ordinary stack overflows, or SIG_DFL).
+            unsafe {
+                os::sigaction(os::SIGSEGV, OLD.0.get(), std::ptr::null_mut());
+            }
+        }
+
+        fn install_handler() {
+            static INSTALLED: OnceLock<()> = OnceLock::new();
+            INSTALLED.get_or_init(|| unsafe {
+                let h: extern "C" fn(i32, *mut os::SigInfo, *mut os::UContext) = segv_handler;
+                let act = os::SigAction {
+                    handler: h as usize,
+                    mask: os::SigSet { bits: [0; 16] },
+                    flags: os::SA_SIGINFO | os::SA_ONSTACK,
+                    restorer: 0,
+                };
+                let rc = os::sigaction(os::SIGSEGV, &act, OLD.0.get());
+                assert_eq!(rc, 0, "mpisim: installing the SIGSEGV classifier failed");
+            });
+        }
+
+        /// Per-thread sigaltstack: the handler must run somewhere even
+        /// when the faulting thread's RSP points at the guard page.
+        /// Dropped (disabled and freed) at thread exit.
+        struct AltStack(*mut u8);
+
+        fn alt_layout() -> std::alloc::Layout {
+            std::alloc::Layout::from_size_align(ALT_STACK_SIZE, 16).expect("alt stack layout")
+        }
+
+        impl Drop for AltStack {
+            fn drop(&mut self) {
+                unsafe {
+                    let ss = os::StackT {
+                        ss_sp: std::ptr::null_mut(),
+                        ss_flags: os::SS_DISABLE,
+                        ss_size: 0,
+                    };
+                    os::sigaltstack(&ss, std::ptr::null_mut());
+                    std::alloc::dealloc(self.0, alt_layout());
+                }
+            }
+        }
+
+        thread_local! {
+            static ALT_STACK: RefCell<Option<AltStack>> = const { RefCell::new(None) };
+        }
+
+        pub(super) fn ensure_signal_setup() {
+            install_handler();
+            ALT_STACK.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                if slot.is_none() {
+                    unsafe {
+                        let mem = std::alloc::alloc(alt_layout());
+                        assert!(!mem.is_null(), "mpisim: alt stack allocation failed");
+                        let ss = os::StackT { ss_sp: mem, ss_flags: 0, ss_size: ALT_STACK_SIZE };
+                        let rc = os::sigaltstack(&ss, std::ptr::null_mut());
+                        assert_eq!(rc, 0, "mpisim: sigaltstack failed");
+                        *slot = Some(AltStack(mem));
+                    }
+                }
+            });
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    mod stack {
+        //! Fallback for non-Linux unix targets: plain heap stacks with
+        //! canary-only overflow detection (the pre-guard behavior).
+        //! `Wait::StackOverflow` is never produced here.
+        use std::alloc::Layout;
+
+        pub(super) struct StackMem {
+            base: *mut u8,
+        }
+
+        unsafe impl Send for StackMem {}
+
+        fn layout() -> Layout {
+            Layout::from_size_align(super::STACK_SIZE, 16).expect("fiber stack layout")
+        }
+
+        impl StackMem {
+            pub(super) fn lo(&self) -> *mut u8 {
+                self.base
+            }
+            pub(super) fn hi(&self) -> *mut u8 {
+                unsafe { self.base.add(super::STACK_SIZE) }
+            }
+        }
+
+        impl Drop for StackMem {
+            fn drop(&mut self) {
+                unsafe { std::alloc::dealloc(self.base, layout()) }
+            }
+        }
+
+        pub(super) fn acquire() -> StackMem {
+            let base = unsafe { std::alloc::alloc(layout()) };
+            assert!(!base.is_null(), "mpisim: fiber stack allocation failed");
+            StackMem { base }
+        }
+
+        pub(super) fn release(stack: StackMem) {
+            drop(stack);
+        }
+
+        pub(super) fn quarantine(stack: StackMem) {
+            drop(stack);
+        }
+
+        pub(super) fn enter_fiber(_stack: &StackMem) {}
+        pub(super) fn leave_fiber() {}
+        pub(super) fn ensure_signal_setup() {}
+    }
+
     /// A suspended rank: its stack plus the saved stack pointer.
     pub(super) struct Fiber {
-        stack: *mut u8,
+        /// `None` only after an overflow quarantined the mapping.
+        stack: Option<stack::StackMem>,
         rsp: *mut u8,
         // Kept alive (stable address) until the fiber finishes; the
         // trampoline reads it through a raw pointer planted in the
@@ -310,27 +742,23 @@ pcg_mpisim_fiber_trampoline:
     // `&(dyn Fn(usize) + Sync)`.
     unsafe impl Send for Fiber {}
 
-    fn stack_layout() -> Layout {
-        Layout::from_size_align(STACK_SIZE, 16).expect("fiber stack layout")
-    }
-
     impl Fiber {
-        /// Build a fiber whose first resume runs `body` on a fresh
-        /// stack. The stack is allocated uninitialized so the pages are
-        /// faulted in lazily; there is no guard page (the canary word at
-        /// the low end detects gross overflows after the fact).
+        /// Build a fiber whose first resume runs `body` on a pooled
+        /// guard-paged stack (heap stack on targets without the guard
+        /// machinery). Pages fault in lazily; the canary word at the
+        /// low end remains as a secondary overflow check behind the
+        /// guard page.
         pub(super) fn new(body: Box<dyn FnOnce() + 'static>) -> Fiber {
-            let stack = unsafe { std::alloc::alloc(stack_layout()) };
-            assert!(!stack.is_null(), "mpisim: fiber stack allocation failed");
+            let stack = stack::acquire();
             let mut entry = Box::new(EntryData { body: Some(body) });
             let entry_fn: extern "C" fn(*mut EntryData) -> ! = fiber_entry;
             unsafe {
-                (stack as *mut u64).write(STACK_CANARY);
+                (stack.lo() as *mut u64).write(STACK_CANARY);
                 // Seed the frame `pcg_mpisim_fiber_switch` restores:
                 // six callee-saved slots below a return slot aiming at
                 // the trampoline, which forwards r12 (entry data) as the
                 // first argument and calls r13 (fiber_entry).
-                let top = stack.add(STACK_SIZE) as *mut u64;
+                let top = stack.hi() as *mut u64;
                 top.sub(1).write(0); // padding: trampoline enters at call-site alignment
                 top.sub(2).write(pcg_mpisim_fiber_trampoline as *const () as usize as u64);
                 top.sub(3).write(0); // rbp
@@ -339,7 +767,12 @@ pcg_mpisim_fiber_trampoline:
                 top.sub(6).write(entry_fn as usize as u64); // r13
                 top.sub(7).write(0); // r14
                 top.sub(8).write(0); // r15
-                Fiber { stack, rsp: top.sub(8) as *mut u8, _entry: entry, finished: false }
+                Fiber {
+                    stack: Some(stack),
+                    rsp: top.sub(8) as *mut u8,
+                    _entry: entry,
+                    finished: false,
+                }
             }
         }
 
@@ -359,15 +792,29 @@ pcg_mpisim_fiber_trampoline:
                 reason: Wait::Done,
             };
             CURRENT.with(|c| c.set(&mut pair));
+            // Publish the guard range for the SIGSEGV classifier (read
+            // only from this thread's handler frames).
+            stack::enter_fiber(self.stack.as_ref().expect("resumed a quarantined fiber"));
             unsafe {
                 pcg_mpisim_fiber_switch(&mut pair.worker_rsp, pair.fiber_rsp);
             }
+            stack::leave_fiber();
             CURRENT.with(|c| c.set(std::ptr::null_mut()));
+            if matches!(pair.reason, Wait::StackOverflow) {
+                // The fiber escaped through the rescue landing pad: its
+                // frames (likely including the canary word) are trash
+                // and abandoned callees may still point into them. The
+                // mapping is quarantined, never reused or unmapped.
+                self.finished = true;
+                stack::quarantine(self.stack.take().expect("overflowed fiber without a stack"));
+                return pair.reason;
+            }
             unsafe {
+                let lo = self.stack.as_ref().expect("live fiber without a stack").lo();
                 assert_eq!(
-                    (self.stack as *const u64).read(),
+                    (lo as *const u64).read(),
                     STACK_CANARY,
-                    "mpisim: fiber stack overflow detected"
+                    "mpisim: fiber stack overflow missed by the guard page (canary)"
                 );
             }
             self.rsp = pair.fiber_rsp;
@@ -381,10 +828,15 @@ pcg_mpisim_fiber_trampoline:
     impl Drop for Fiber {
         fn drop(&mut self) {
             // Normal scheduling drains every fiber to Done (even under
-            // abort/cancel) before dropping it; an unfinished drop can
-            // only follow a scheduler-internal panic, in which case the
-            // frames on the stack leak but the stack itself is freed.
-            unsafe { std::alloc::dealloc(self.stack, stack_layout()) }
+            // abort/cancel) before dropping it. A finished fiber's
+            // mapping is clean and goes back to the pool; an unfinished
+            // drop can only follow a scheduler-internal panic, in which
+            // case the frames leak but the mapping is unmapped.
+            if let Some(stack) = self.stack.take() {
+                if self.finished {
+                    stack::release(stack);
+                }
+            }
         }
     }
 }
@@ -394,6 +846,8 @@ mod fiber {
     //! Stub for targets without a context switch: `supported()` is
     //! false there, so none of this is reachable.
     use super::Wait;
+
+    pub(super) const STACK_SIZE: usize = 1 << 21;
 
     pub(super) struct Fiber;
 
@@ -409,6 +863,8 @@ mod fiber {
     pub(super) fn yield_fiber(_reason: Wait) {
         unreachable!("fiber multiplexing is not supported on this target")
     }
+
+    pub(super) fn ensure_signal_setup() {}
 }
 
 /// Park the calling rank fiber; see [`fiber::yield_fiber`].
@@ -429,16 +885,26 @@ enum RankSlot {
     Done,
 }
 
+/// A rank parked on a compute token (or the hybrid admission gate).
+struct TokenWait {
+    rank: usize,
+    gate: bool,
+    clock: f64,
+}
+
 struct SchedState {
     /// Runnable ranks, FIFO. Initially all ranks in rank order.
     ready: VecDeque<usize>,
     slots: Vec<RankSlot>,
-    /// `Some((src, tag))` iff the rank is parked on its own mailbox.
-    mailbox_wait: Vec<Option<(Option<usize>, u32)>>,
+    /// `Some((src, tag, clock))` iff the rank is parked on its own
+    /// mailbox, with its virtual clock at park time.
+    mailbox_wait: Vec<Option<(Option<usize>, u32, f64)>>,
     /// Ranks parked waiting for a compute token, FIFO.
-    token_wait: VecDeque<usize>,
+    token_wait: VecDeque<TokenWait>,
     finished: usize,
     size: usize,
+    /// A deadlock has already been reported for this world.
+    deadlocked: bool,
 }
 
 impl SchedState {
@@ -449,9 +915,56 @@ impl SchedState {
                 self.ready.push_back(rank);
             }
         }
-        while let Some(rank) = self.token_wait.pop_front() {
-            self.ready.push_back(rank);
+        while let Some(w) = self.token_wait.pop_front() {
+            self.ready.push_back(w.rank);
         }
+    }
+
+    /// Wait-for-graph quiescence check, called after filing a waiter.
+    ///
+    /// Under the scheduler lock, if no rank is runnable (`ready` empty,
+    /// and every non-finished rank is filed as a waiter — Fresh ranks
+    /// always sit in `ready`, Active ranks are not filed), no future
+    /// wakeup can occur: a deposit always precedes its
+    /// `notify_mailbox`, a token release always precedes its
+    /// `notify_token`, and both happen before the sender can park, so
+    /// any event that raced the filing re-probe would have re-readied
+    /// someone. That makes quiescence a *state* property of the virtual
+    /// execution — deterministic across worker counts and shard
+    /// geometries — not a timing heuristic. Returns the per-rank
+    /// diagnostics to fail the world with.
+    fn deadlock_report(&mut self) -> Option<String> {
+        if self.deadlocked || !self.ready.is_empty() {
+            return None;
+        }
+        let parked =
+            self.mailbox_wait.iter().filter(|w| w.is_some()).count() + self.token_wait.len();
+        if parked == 0 || self.finished + parked != self.size {
+            return None;
+        }
+        self.deadlocked = true;
+        let live = self.size - self.finished;
+        let mut msg = format!(
+            "wait-for-graph quiescent: all {live} live ranks of {} blocked with no runnable sender",
+            self.size
+        );
+        for rank in 0..self.size {
+            use std::fmt::Write;
+            if let Some((src, tag, clock)) = self.mailbox_wait[rank] {
+                match src {
+                    Some(s) => {
+                        let _ = write!(msg, "; rank {rank} waits recv(src={s}, tag={tag}) at t={clock}");
+                    }
+                    None => {
+                        let _ = write!(msg, "; rank {rank} waits recv(src=any, tag={tag}) at t={clock}");
+                    }
+                }
+            } else if let Some(w) = self.token_wait.iter().find(|w| w.rank == rank) {
+                let what = if w.gate { "compute-admission gate" } else { "compute token" };
+                let _ = write!(msg, "; rank {rank} waits {what} at t={}", w.clock);
+            }
+        }
+        Some(msg)
     }
 }
 
@@ -473,6 +986,7 @@ impl Sched {
                 token_wait: VecDeque::new(),
                 finished: 0,
                 size,
+                deadlocked: false,
             }),
             ready_cv: Condvar::new(),
         }
@@ -488,11 +1002,12 @@ impl Sched {
         }
     }
 
-    /// A compute token was released: wake one token waiter.
+    /// A compute token was released: wake one token waiter (gate
+    /// waiters share the semaphore, so they share the queue).
     pub(crate) fn notify_token(&self) {
         let mut st = self.state.lock();
-        if let Some(rank) = st.token_wait.pop_front() {
-            st.ready.push_back(rank);
+        if let Some(w) = st.token_wait.pop_front() {
+            st.ready.push_back(w.rank);
             drop(st);
             self.ready_cv.notify_one();
         }
@@ -517,6 +1032,11 @@ fn cancel_requested(shared: &WorldShared) -> bool {
 /// candidate's usage sink and cancel token installed.
 pub(crate) fn worker_loop(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
     let sched = shared.sched.as_ref().expect("worker_loop on a non-multiplexed world");
+    // Every thread that can resume fibers needs the SIGSEGV classifier
+    // (process-wide, once) and its own sigaltstack before the first
+    // resume; worker_loop is the common entry for cold mux workers and
+    // warm team threads alike.
+    fiber::ensure_signal_setup();
     loop {
         // Pick the next runnable rank.
         let (rank, parked) = {
@@ -581,7 +1101,7 @@ pub(crate) fn worker_loop(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
                 }
                 drop(fib);
             }
-            Wait::Mailbox { src, tag } => {
+            Wait::Mailbox { src, tag, clock } => {
                 st.slots[rank] = RankSlot::Parked(fib);
                 // Re-probe under the scheduler lock: any deposit that
                 // raced with the fiber switching out is either visible
@@ -593,10 +1113,11 @@ pub(crate) fn worker_loop(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
                     drop(st);
                     sched.ready_cv.notify_one();
                 } else {
-                    st.mailbox_wait[rank] = Some((src, tag));
+                    st.mailbox_wait[rank] = Some((src, tag, clock));
+                    maybe_fail_deadlock(st, shared);
                 }
             }
-            Wait::Token => {
+            Wait::Token { gate, clock } => {
                 st.slots[rank] = RankSlot::Parked(fib);
                 if shared.tokens.available() > 0
                     || shared.tokens.is_aborted()
@@ -606,11 +1127,45 @@ pub(crate) fn worker_loop(shared: &WorldShared, body: &(dyn Fn(usize) + Sync)) {
                     drop(st);
                     sched.ready_cv.notify_one();
                 } else {
-                    st.token_wait.push_back(rank);
+                    st.token_wait.push_back(TokenWait { rank, gate, clock });
+                    maybe_fail_deadlock(st, shared);
                 }
+            }
+            Wait::StackOverflow => {
+                // The fiber escaped through the guard-page landing pad;
+                // its rank can never produce a result. Record the
+                // verdict and abort the world so every other rank
+                // unwinds instead of waiting on the dead rank forever.
+                STACK_OVERFLOWS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+                st.slots[rank] = RankSlot::Done;
+                st.finished += 1;
+                drop(st);
+                let _ = shared.overflow.set(format!(
+                    "rank {rank}: fiber stack overflow caught by the guard page \
+                     (stack limit {} KiB); stack quarantined",
+                    fiber::STACK_SIZE >> 10
+                ));
+                shared.abort();
+                drop(fib);
             }
         }
     }
+}
+
+/// Run the wait-for-graph check after filing a waiter; on quiescence,
+/// record the deadlock verdict (first reporter wins) and abort the
+/// world so every parked rank wakes and unwinds. Consumes the lock
+/// guard: the abort path must not hold the scheduler lock while taking
+/// mailbox/semaphore locks.
+fn maybe_fail_deadlock(mut st: parking_lot::MutexGuard<'_, SchedState>, shared: &WorldShared) {
+    if !deadlock_detection() || cancel_requested(shared) || shared.tokens.is_aborted() {
+        return;
+    }
+    let Some(report) = st.deadlock_report() else { return };
+    drop(st);
+    DEADLOCKS_DETECTED.fetch_add(1, Ordering::Relaxed);
+    let _ = shared.deadlock.set(report);
+    shared.abort();
 }
 
 /// Transient multiplexed execution: spawn the worker threads for one

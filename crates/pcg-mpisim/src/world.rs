@@ -22,6 +22,11 @@ pub(crate) struct WorldShared {
     /// mailbox/semaphore; kept here so the scheduler and fiber blocking
     /// loops can check it without reaching into those).
     pub(crate) cancel: Option<CancelToken>,
+    /// Per-rank diagnostics set by the wait-for-graph detector when it
+    /// proves the world quiescent; first reporter wins.
+    pub(crate) deadlock: std::sync::OnceLock<String>,
+    /// Set when a fiber overran its stack into the guard page.
+    pub(crate) overflow: std::sync::OnceLock<String>,
 }
 
 impl WorldShared {
@@ -41,7 +46,7 @@ impl WorldShared {
         }
     }
 
-    fn abort(&self) {
+    pub(crate) fn abort(&self) {
         self.tokens.abort();
         for mb in &self.mailboxes {
             mb.abort();
@@ -87,6 +92,7 @@ pub struct World {
     size: usize,
     cost: CostModel,
     max_tokens: usize,
+    force_mux: bool,
 }
 
 impl World {
@@ -95,7 +101,7 @@ impl World {
     pub fn new(size: usize) -> World {
         assert!(size > 0, "world needs at least one rank");
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        World { size, cost: CostModel::default(), max_tokens: cores }
+        World { size, cost: CostModel::default(), max_tokens: cores, force_mux: false }
     }
 
     /// Override the cost model.
@@ -109,6 +115,18 @@ impl World {
     pub fn with_max_tokens(mut self, tokens: usize) -> World {
         assert!(tokens > 0, "token pool needs at least one permit");
         self.max_tokens = tokens;
+        self
+    }
+
+    /// Force this world onto the fiber scheduler regardless of the
+    /// process-global execution mode (no-op where fibers are
+    /// unsupported). Containment relies on this for hostile candidates:
+    /// the deadlock detector and stack guard pages only exist on the
+    /// multiplexed path, and a stack-hogging rank on a plain OS thread
+    /// would take the whole process down instead of producing a
+    /// verdict.
+    pub fn multiplexed(mut self) -> World {
+        self.force_mux = true;
         self
     }
 
@@ -156,7 +174,9 @@ impl World {
         // transient runs consult the process-global policy per run.
         let mux_workers = match team {
             Some(t) => t.mux_workers(),
-            None => sched::should_multiplex(self.size).then(sched::workers),
+            None => (sched::should_multiplex(self.size)
+                || (self.force_mux && sched::supported()))
+            .then(sched::workers),
         };
         let shared = WorldShared {
             mailboxes: (0..self.size).map(|_| Mailbox::new()).collect(),
@@ -164,6 +184,8 @@ impl World {
             tokens: Semaphore::new(self.max_tokens.min(self.size.max(1))),
             sched: mux_workers.map(|w| Sched::new(self.size, w)),
             cancel: pcg_core::cancel::current_token(),
+            deadlock: std::sync::OnceLock::new(),
+            overflow: std::sync::OnceLock::new(),
         };
         if shared.is_multiplexed() {
             sched::note_ranks_multiplexed(self.size as u64);
@@ -261,6 +283,15 @@ impl World {
             // Every rank thread has joined; resume the cooperative
             // cancellation unwind on the candidate thread.
             pcg_core::cancel::panic_cancelled();
+        }
+        // Containment verdicts outrank the abort-cascade noise: a
+        // detected deadlock or caught overflow aborted the world itself,
+        // and any `failure` recorded afterwards is a symptom.
+        if let Some(msg) = shared.overflow.get() {
+            return Err(PcgError::StackOverflow(msg.clone()));
+        }
+        if let Some(msg) = shared.deadlock.get() {
+            return Err(PcgError::Deadlock(msg.clone()));
         }
         if let Some(msg) = failure.into_inner() {
             return Err(PcgError::Runtime(msg));

@@ -197,11 +197,114 @@ impl<S: Spec> Problem for S {
                     size,
                 )
             }
+            CandidateKind::Deadlock => Err(containment::deadlock(model)),
+            CandidateKind::StackHog => Err(containment::stack_hog()),
             CandidateKind::Correct(quality) => {
                 let input = cached_input(self, seed, size);
                 let res = Resources::for_model(model, n);
                 run_correct(self, model, quality, &input, &res)
             }
+        }
+    }
+}
+
+/// Reference containment defects. Each kind runs a small deterministic
+/// *hostile* world — independent of the host problem, since the defect
+/// replaces the candidate's logic entirely — on the forced-multiplexed
+/// fiber scheduler, where the wait-for-graph detector and the guard-paged
+/// stacks live. On targets without fiber support the defect degrades to a
+/// static verdict, exactly like the virtual `Timeout` kind.
+mod containment {
+    use pcg_core::{ExecutionModel, PcgError};
+    use pcg_hybrid::HybridWorld;
+    use pcg_mpisim::{sched, CostModel, World};
+
+    /// Tag no containment world ever sends: every recv on it blocks
+    /// forever, forming the circular wait.
+    const NEVER_SENT: u32 = 0x00C0_FFEE;
+
+    /// Circular-wait defect: two ranks each receive a message the other
+    /// will never send. The fiber scheduler's quiescence check converts
+    /// this into an immediate `deadlock` verdict.
+    pub fn deadlock(model: ExecutionModel) -> PcgError {
+        if !sched::supported() {
+            return PcgError::Deadlock(
+                "all ranks blocked on peer receives (static verdict: no fiber scheduler on this target)"
+                    .into(),
+            );
+        }
+        let run = if model == ExecutionModel::MpiOpenMp {
+            // Hybrid flavor: a threaded section first, so the rank passes
+            // through the compute-admission gate before parking on the
+            // cross-recv — the detector must see past gate traffic.
+            HybridWorld::new(2, 2)
+                .multiplexed()
+                .run(|ctx| {
+                    ctx.par_for(0..16, |i| {
+                        std::hint::black_box(i);
+                    });
+                    let comm = ctx.comm();
+                    let partner = comm.rank() ^ 1;
+                    let _: Vec<f64> = comm.recv(Some(partner), NEVER_SENT);
+                })
+                .map(|_| ())
+        } else {
+            // Deterministic cost model: the verdict's park-time clocks
+            // are then a pure function of the message graph.
+            World::new(2)
+                .with_cost_model(CostModel::deterministic())
+                .multiplexed()
+                .run(|comm| {
+                    let partner = comm.rank() ^ 1;
+                    let _: Vec<f64> = comm.recv(Some(partner), NEVER_SENT);
+                })
+                .map(|_| ())
+        };
+        match run {
+            Err(e) => e,
+            Ok(()) => PcgError::Runtime(
+                "containment deadlock world terminated without a verdict".into(),
+            ),
+        }
+    }
+
+    /// Frame size of the hog's recursion: large enough to overflow the
+    /// 2 MiB fiber stack in ~500 calls, far smaller than the guard
+    /// region so a frame can never leap the guard page.
+    const HOG_FRAME: usize = 4096;
+
+    // Unconditional recursion is the entire point of this defect.
+    #[allow(unconditional_recursion)]
+    #[inline(never)]
+    fn burn(depth: u64) -> u64 {
+        let mut buf = [0u8; HOG_FRAME];
+        buf[0] = depth as u8;
+        std::hint::black_box(&mut buf);
+        // Post-recursion use of the buffer defeats tail-call conversion,
+        // so every level holds a live frame.
+        burn(depth + 1) ^ u64::from(std::hint::black_box(buf[HOG_FRAME - 1]))
+    }
+
+    /// Unbounded-recursion defect: one rank consumes its entire fiber
+    /// stack. The guard page converts the fault into an immediate
+    /// `stack_overflow` verdict before adjacent memory is touched.
+    pub fn stack_hog() -> PcgError {
+        if !sched::supported() {
+            return PcgError::StackOverflow(
+                "candidate exhausted its execution stack (static verdict: no fiber scheduler on this target)"
+                    .into(),
+            );
+        }
+        let run = World::new(1).multiplexed().run(|comm| {
+            if comm.rank() == 0 {
+                std::hint::black_box(burn(0));
+            }
+        });
+        match run {
+            Err(e) => e,
+            Ok(_) => PcgError::Runtime(
+                "containment stack-hog world terminated without a verdict".into(),
+            ),
         }
     }
 }

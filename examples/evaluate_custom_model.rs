@@ -28,7 +28,7 @@ fn main() {
         exec_rate: [0.55, 0.45, 0.30, 0.50, 0.45, 0.30, 0.28],
         efficient_share: 0.75,
         collapse_prob: 0.10,
-        failure_mix: [0.20, 0.40, 0.15, 0.15, 0.10, 0.0],
+        failure_mix: [0.20, 0.40, 0.15, 0.15, 0.10, 0.0, 0.0, 0.0],
     };
     let tuned = SyntheticModel::custom(card, calib, false);
     let gpt = SyntheticModel::by_name("GPT-3.5").expect("zoo model");
