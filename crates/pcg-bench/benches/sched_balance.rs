@@ -1,0 +1,229 @@
+//! Adaptive-scheduling A/B: unweighted `id % 3` sharding vs
+//! cost-weighted LPT partitioning + dispatch, on a deliberately skewed
+//! grid.
+//!
+//! The straggler physics this measures: `--merge-shards` can only
+//! finish when the **slowest** worker finishes, so the merge gate is
+//! the max shard wall, not the mean. Unweighted sharding assigns cells
+//! by cell-id residue, blind to cost — on a grid where the expensive
+//! cells happen to share a residue class, one worker inherits all of
+//! them and the other two idle. A priors table that knows the costs
+//! fixes both halves: greedy LPT bin-packing spreads the heavy cells
+//! across workers (`WorkPlan::shard_with`), and LPT dispatch inside
+//! each worker keeps its own threads from tail-stalling on a late
+//! heavy cell.
+//!
+//! Mechanics: the bench re-execs itself (`PCG_SCHED_BENCH_ROLE=k/3:mode`)
+//! so each worker is a real OS process, exactly like production shard
+//! workers. Every role derives the identical plan and priors table
+//! from shared constants — the hash-stamped-priors analog of the
+//! cell-addressed no-coordination property. Cell "execution" is a
+//! sleep of the cell's cost so partition quality is the only variable.
+//! The adversarial cost table makes whichever unweighted shard is
+//! largest carry all the heavy cells — the worst case `id % count` can
+//! hand you, and exactly the case measured priors exist to kill.
+//! Byte-identity of the *records* across scheduling modes is enforced
+//! by `pcg-harness/tests/sched_balance.rs`; this bench asserts the
+//! partition stays disjoint and exhaustive, and measures the gate.
+//!
+//! Writes `target/pcgbench/BENCH_schedule.json` and asserts the >=1.5x
+//! merge-gate bar from the adaptive-scheduling work.
+
+use pcg_core::plan::{CellId, ShardSpec, WorkPlan};
+use pcg_core::CostPriors;
+use pcg_harness::journal::config_hash;
+use pcg_harness::scheduler;
+use pcg_harness::EvalConfig;
+use std::time::{Duration, Instant};
+
+const HEAVY_MS: u64 = 120;
+const LIGHT_MS: u64 = 6;
+/// Threads per worker process: enough that dispatch order matters,
+/// small enough that the 1-2 core CI host class is not oversubscribed.
+const JOBS: usize = 2;
+const ROLE_VAR: &str = "PCG_SCHED_BENCH_ROLE";
+
+/// A 4-model × 12-task slice of the real quick-grid plan: big enough
+/// to shard three ways with headroom, small enough to finish in
+/// seconds at the costs above.
+fn bench_plan() -> WorkPlan {
+    let models: Vec<String> = pcg_models::zoo()
+        .into_iter()
+        .take(4)
+        .map(|m| m.card().name.to_string())
+        .collect();
+    let tasks: Vec<_> = pcg_core::task::all_tasks().take(12).collect();
+    WorkPlan::new(config_hash(&EvalConfig::quick()), models, tasks)
+}
+
+/// The residue class the adversarial costs load up: the largest
+/// unweighted shard, so `id % 3` concentrates every heavy cell on one
+/// worker. Deterministic — a pure function of the shared plan.
+fn heavy_residue(plan: &WorkPlan) -> u64 {
+    (0..3u32)
+        .max_by_key(|&k| plan.shard(ShardSpec::new(k, 3)).len())
+        .expect("three shards") as u64
+}
+
+fn cost_ms(id: CellId, heavy: u64) -> u64 {
+    if id.0 % 3 == heavy {
+        HEAVY_MS
+    } else {
+        LIGHT_MS
+    }
+}
+
+/// The priors table every role derives independently: measured costs
+/// in seconds for every cell of the plan.
+fn priors(plan: &WorkPlan) -> CostPriors {
+    let heavy = heavy_residue(plan);
+    CostPriors::from_entries(
+        "sched-balance-bench",
+        plan.cells().map(|c| {
+            (
+                plan.models()[c.model].clone(),
+                c.task.index() as u32,
+                cost_ms(c.id, heavy) as f64 / 1000.0,
+            )
+        }),
+    )
+}
+
+/// Worker body: take the cells this spec owns under the given
+/// scheduling mode and "run" each (sleep its cost) on JOBS threads,
+/// with LPT dispatch when weighted.
+fn run_role(spec: ShardSpec, weighted: bool) {
+    let plan = bench_plan();
+    let heavy = heavy_residue(&plan);
+    let p = priors(&plan);
+    let owned = if weighted {
+        plan.shard_with(spec, Some(&p))
+    } else {
+        plan.shard(spec)
+    };
+    let order = weighted.then(|| {
+        let w: Vec<f64> =
+            owned.iter().map(|c| p.cost(&plan.models()[c.model], c.task)).collect();
+        let mut idx: Vec<usize> = (0..owned.len()).collect();
+        idx.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(owned[a].id.cmp(&owned[b].id)));
+        idx
+    });
+    let costs: Vec<u64> = owned.iter().map(|c| cost_ms(c.id, heavy)).collect();
+    scheduler::run_grid_prioritized(
+        costs,
+        JOBS,
+        order,
+        |_, &ms| std::thread::sleep(Duration::from_millis(ms)),
+        |_, _| {},
+    );
+}
+
+/// Spawn the three shard workers concurrently; wall seconds until the
+/// slowest exits — the merge gate.
+fn merge_gate_seconds(mode: &str) -> f64 {
+    let exe = std::env::current_exe().expect("own path");
+    let t0 = Instant::now();
+    let children: Vec<_> = (0..3)
+        .map(|k| {
+            std::process::Command::new(&exe)
+                .env(ROLE_VAR, format!("{k}/3:{mode}"))
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn shard worker")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("wait for shard worker");
+        assert!(status.success(), "shard worker failed: {status:?}");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    if let Ok(role) = std::env::var(ROLE_VAR) {
+        let (spec, mode) = role.split_once(':').expect("role is k/N:mode");
+        run_role(
+            ShardSpec::parse(spec).expect("valid role spec"),
+            mode == "weighted",
+        );
+        return;
+    }
+
+    let plan = bench_plan();
+    let heavy = heavy_residue(&plan);
+    let p = priors(&plan);
+
+    // Sanity: both partitions must be disjoint and exhaustive, and the
+    // skew must be real — the heavy residue class all lands on one
+    // unweighted shard.
+    for weighted in [false, true] {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            let owned = if weighted {
+                plan.shard_with(spec, Some(&p))
+            } else {
+                plan.shard(spec)
+            };
+            for c in owned {
+                assert!(seen.insert(c.id), "cell owned twice (weighted={weighted})");
+            }
+        }
+        assert_eq!(seen.len(), plan.len(), "cells lost (weighted={weighted})");
+    }
+    let load_ms = |cells: &[pcg_core::plan::PlanCell]| -> u64 {
+        cells.iter().map(|c| cost_ms(c.id, heavy)).sum()
+    };
+    let unweighted_loads: Vec<u64> =
+        (0..3).map(|k| load_ms(&plan.shard(ShardSpec::new(k, 3)))).collect();
+    let weighted_loads: Vec<u64> = (0..3)
+        .map(|k| load_ms(&plan.shard_with(ShardSpec::new(k, 3), Some(&p))))
+        .collect();
+    let n_heavy = plan.cells().filter(|c| c.id.0 % 3 == heavy).count();
+    assert!(n_heavy >= 8, "degenerate skew: only {n_heavy} heavy cells");
+
+    // Best of 2 to shed scheduling noise.
+    let unweighted = merge_gate_seconds("unweighted").min(merge_gate_seconds("unweighted"));
+    let weighted = merge_gate_seconds("weighted").min(merge_gate_seconds("weighted"));
+    let improvement = unweighted / weighted;
+
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"skewed {}-cell grid ({} heavy at {}ms, rest {}ms), ",
+            "3 shard worker processes x {} threads, merge gate = slowest worker, best of 2\",",
+            "\"cells\":{},\"heavy_cells\":{},",
+            "\"unweighted_shard_loads_ms\":[{},{},{}],\"weighted_shard_loads_ms\":[{},{},{}],",
+            "\"unweighted_gate_s\":{:.6},\"weighted_gate_s\":{:.6},\"improvement\":{:.3}}}"
+        ),
+        plan.len(),
+        n_heavy,
+        HEAVY_MS,
+        LIGHT_MS,
+        JOBS,
+        plan.len(),
+        n_heavy,
+        unweighted_loads[0],
+        unweighted_loads[1],
+        unweighted_loads[2],
+        weighted_loads[0],
+        weighted_loads[1],
+        weighted_loads[2],
+        unweighted,
+        weighted,
+        improvement,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/pcgbench");
+    std::fs::create_dir_all(&dir).expect("create target/pcgbench");
+    std::fs::write(dir.join("BENCH_schedule.json"), &json).expect("write BENCH_schedule.json");
+    println!(
+        "sched_balance: {} cells ({n_heavy} heavy): unweighted gate {unweighted:.3}s \
+         (loads {unweighted_loads:?} ms), weighted+LPT gate {weighted:.3}s \
+         (loads {weighted_loads:?} ms), improvement {improvement:.1}x",
+        plan.len(),
+    );
+    assert!(
+        improvement >= 1.5,
+        "cost-weighted LPT sharding must lower the merge gate: expected >=1.5x, \
+         got {improvement:.2}x ({json})"
+    );
+}

@@ -21,6 +21,8 @@
 //! * [`plan`] — the cell-addressed work model: globally stable
 //!   [`CellId`]s for every (config, model, task) cell and deterministic
 //!   [`WorkPlan`]s that the harness shards across processes,
+//! * [`priors`] — hash-stamped per-cell cost tables ([`CostPriors`])
+//!   that drive LPT dispatch and cost-weighted shard partitioning,
 //! * [`frame`] — the CRC-checked binary frame codec underlying the
 //!   harness's v3 write-ahead journal,
 //! * [`rng`] — deterministic per-task random streams,
@@ -38,6 +40,7 @@ pub mod exec;
 pub mod frame;
 pub mod output;
 pub mod plan;
+pub mod priors;
 pub mod problem_type;
 pub mod prompt;
 pub mod rng;
@@ -52,6 +55,7 @@ pub use error::PcgError;
 pub use exec::ExecutionModel;
 pub use output::Output;
 pub use plan::{CellId, PlanCell, ShardSpec, WorkPlan};
+pub use priors::CostPriors;
 pub use problem_type::ProblemType;
 pub use stage::Stage;
 pub use task::{ProblemId, TaskId};

@@ -215,6 +215,76 @@ impl WorkPlan {
     pub fn shard(&self, shard: ShardSpec) -> Vec<PlanCell> {
         self.cells().filter(|c| shard.contains(c.id)).collect()
     }
+
+    /// The cells belonging to `shard` under a cost-weighted partition:
+    /// greedy LPT bin-packing of the whole grid into `shard.count`
+    /// bins, returning this shard's bin in plan order.
+    ///
+    /// Cells are considered in descending `cost_fn` order (ties broken
+    /// by ascending cell id, so the packing is total-order
+    /// deterministic) and each is assigned to the currently
+    /// least-loaded bin (ties to the lowest bin index). Every process
+    /// that derives the same plan and the same cost function derives
+    /// the identical partition — the partition is still disjoint,
+    /// exhaustive, and coordination-free, just balanced by expected
+    /// cost instead of by hash residue. Non-finite or negative costs
+    /// are clamped to zero rather than poisoning the sort.
+    pub fn shard_weighted(
+        &self,
+        shard: ShardSpec,
+        mut cost_fn: impl FnMut(&PlanCell) -> f64,
+    ) -> Vec<PlanCell> {
+        let cells: Vec<PlanCell> = self.cells().collect();
+        if shard.count <= 1 {
+            return cells;
+        }
+        let weights: Vec<f64> = cells
+            .iter()
+            .map(|c| {
+                let w = cost_fn(c);
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_by(|&a, &b| {
+            weights[b].total_cmp(&weights[a]).then(cells[a].id.cmp(&cells[b].id))
+        });
+        let mut load = vec![0.0f64; shard.count as usize];
+        let mut owner = vec![0u32; cells.len()];
+        for &i in &order {
+            let bin = (0..load.len())
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+                .expect("shard.count >= 1");
+            owner[i] = bin as u32;
+            load[bin] += weights[i];
+        }
+        cells
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| owner[*i] == shard.index)
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    /// The cells belonging to `shard`, weighted by `priors` when a
+    /// table is supplied, else by the `id % count` fallback. This is
+    /// the single partition entry point the harness uses: passing the
+    /// same `Option<&CostPriors>` (validated by hash stamp) in every
+    /// process guarantees identical slices.
+    pub fn shard_with(
+        &self,
+        shard: ShardSpec,
+        priors: Option<&crate::priors::CostPriors>,
+    ) -> Vec<PlanCell> {
+        match priors {
+            Some(p) => self.shard_weighted(shard, |c| p.cost(&self.models[c.model], c.task)),
+            None => self.shard(shard),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +367,70 @@ mod tests {
         assert_eq!(ShardSpec::new(1, 4).to_string(), "1/4");
         assert!(ShardSpec::WHOLE.is_whole());
         assert!(!ShardSpec::new(0, 2).is_whole());
+    }
+
+    #[test]
+    fn weighted_shards_partition_the_grid() {
+        let p = plan();
+        let all: Vec<CellId> = p.cells().map(|c| c.id).collect();
+        // A skewed cost function: a handful of cells are 50× the rest.
+        let cost = |c: &PlanCell| if c.id.0 % 7 == 0 { 50.0 } else { 1.0 };
+        let mut seen = Vec::new();
+        for k in 0..3 {
+            let shard = p.shard_weighted(ShardSpec::new(k, 3), cost);
+            // Plan order is preserved within the slice.
+            let ids: Vec<CellId> = shard.iter().map(|c| c.id).collect();
+            let order: Vec<usize> =
+                shard.iter().map(|c| c.model * p.tasks().len() + c.task_idx).collect();
+            assert!(order.windows(2).all(|w| w[0] < w[1]), "slice must stay plan-ordered");
+            // Deterministic across re-derivation.
+            assert_eq!(
+                ids,
+                plan()
+                    .shard_weighted(ShardSpec::new(k, 3), cost)
+                    .iter()
+                    .map(|c| c.id)
+                    .collect::<Vec<_>>()
+            );
+            seen.extend(ids);
+        }
+        seen.sort();
+        let mut want = all.clone();
+        want.sort();
+        assert_eq!(seen, want, "weighted shards must cover every cell exactly once");
+        // LPT balance bound: max load - min load <= max single cost.
+        let loads: Vec<f64> = (0..3)
+            .map(|k| p.shard_weighted(ShardSpec::new(k, 3), cost).iter().map(cost).sum())
+            .collect();
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min <= 50.0, "LPT spread {max}-{min} exceeds the largest cell");
+        // Degenerate cost functions don't lose cells.
+        let bad = p.shard_weighted(ShardSpec::new(0, 3), |_| f64::NAN);
+        let rest: usize = (1..3)
+            .map(|k| p.shard_weighted(ShardSpec::new(k, 3), |_| f64::NAN).len())
+            .sum();
+        assert_eq!(bad.len() + rest, p.len());
+        // count == 1 is the identity.
+        assert_eq!(p.shard_weighted(ShardSpec::WHOLE, cost).len(), p.len());
+    }
+
+    #[test]
+    fn shard_with_dispatches_on_priors() {
+        let p = plan();
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            assert_eq!(p.shard_with(spec, None), p.shard(spec));
+        }
+        let priors = crate::priors::CostPriors::default_profile();
+        let mut seen: Vec<CellId> = (0..3)
+            .flat_map(|k| p.shard_with(ShardSpec::new(k, 3), Some(&priors)))
+            .map(|c| c.id)
+            .collect();
+        seen.sort();
+        let mut want: Vec<CellId> = p.cells().map(|c| c.id).collect();
+        want.sort();
+        assert_eq!(seen, want);
     }
 
     #[test]

@@ -54,6 +54,60 @@ proptest! {
     }
 
     #[test]
+    fn weighted_sharding_partitions_under_any_priors(
+        seed in 0u64..10_000,
+        n_models in 1usize..5,
+        n_tasks in 1usize..24,
+        costs in proptest::collection::vec(0.001f64..100.0, 1..32),
+        count in 1u32..9,
+    ) {
+        use pcg_core::plan::{ShardSpec, WorkPlan};
+        use pcg_core::CostPriors;
+
+        let models: Vec<String> = (0..n_models).map(|m| format!("model-{m}")).collect();
+        let tasks: Vec<TaskId> =
+            (0..n_tasks).map(|i| TaskId::from_index(i).unwrap()).collect();
+        let plan = WorkPlan::new(seed, models.clone(), tasks.clone());
+
+        // An arbitrary priors table: every (model, task) pair gets an
+        // arbitrary cost, with degenerate values (NaN, infinity,
+        // negative, zero) salted in — none of them may lose a cell.
+        let entries = plan.cells().enumerate().map(|(i, c)| {
+            let cost = match i % 7 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -1.0,
+                3 => 0.0,
+                _ => costs[i % costs.len()],
+            };
+            (models[c.model].clone(), c.task.index() as u32, cost)
+        });
+        let priors = CostPriors::from_entries("prop", entries);
+
+        // Disjoint and exhaustive: each cell lands on exactly one shard.
+        let spec = |k| ShardSpec::new(k, count);
+        let shards: Vec<Vec<_>> =
+            (0..count).map(|k| plan.shard_with(spec(k), Some(&priors))).collect();
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            for cell in shard {
+                prop_assert!(seen.insert(cell.id), "cell owned by two shards");
+            }
+        }
+        prop_assert_eq!(seen.len(), plan.len(), "every cell owned by some shard");
+
+        // Deterministic: the partition is a pure function of its inputs.
+        for k in 0..count {
+            let again = plan.shard_with(spec(k), Some(&priors));
+            prop_assert_eq!(shards[k as usize].len(), again.len());
+            prop_assert!(
+                shards[k as usize].iter().zip(&again).all(|(a, b)| a.id == b.id),
+                "re-partitioning must reproduce the same shard"
+            );
+        }
+    }
+
+    #[test]
     fn seeds_are_stable_and_distinct_across_samples(
         seed in 0u64..10_000,
         i in 0usize..pcg_core::NUM_TASKS,

@@ -36,8 +36,17 @@
 //! u32 len; len × u8     high_correct
 //! (n_rows+1) × u32      sweep_off   — offsets into `sweep_keys`
 //! u32 len; len × u32    sweep_keys
+//! n_rows × f64          wall        — measured wall seconds per row
 //! u32 crc               — CRC-32 over every body byte above
 //! ```
+//!
+//! The `wall` column (new in `PCGCOLS2`) is the one measured-float
+//! exception to the projection-only rule: it feeds the next run's
+//! [`pcg_core::priors::CostPriors`] scheduling table and is **never**
+//! part of the projection. A wall of `0.0` means "not measured" (the
+//! cell was replayed from a journal rather than executed); priors
+//! built from the column fall back to the default profile for such
+//! rows.
 //!
 //! Decoding verifies the CRC and every structural invariant (offset
 //! monotonicity, bounds, row counts, task-index range); a sidecar that
@@ -46,11 +55,15 @@
 
 use crate::record::EvalRecord;
 use pcg_core::frame::{crc32, ByteReader, ByteWriter};
-use pcg_core::TaskId;
+use pcg_core::{CellId, CostPriors, TaskId};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
-/// File magic for a columnar stats sidecar.
-pub const COLS_MAGIC: [u8; 8] = *b"PCGCOLS1";
+/// File magic for a columnar stats sidecar. Bumped to `2` when the
+/// per-row wall-seconds column was appended; `PCGCOLS1` sidecars fail
+/// decode and callers rebuild from the JSON cache, which is always
+/// safe because the sidecar is a pure accelerator.
+pub const COLS_MAGIC: [u8; 8] = *b"PCGCOLS2";
 
 /// Sidecar path for a records cache path (`records-quick.json` →
 /// `records-quick.json.cols`).
@@ -64,7 +77,7 @@ pub fn cols_path(cache_path: &Path) -> PathBuf {
 /// Rows are (model, task) cells in record order — model-major, tasks
 /// in canonical plan order — exactly the order
 /// [`crate::record::projection`] walks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnarStats {
     models: Vec<String>,
     rows_per_model: Vec<u32>,
@@ -78,6 +91,7 @@ pub struct ColumnarStats {
     high_correct: Vec<u8>,
     sweep_off: Vec<u32>,
     sweep_keys: Vec<u32>,
+    wall: Vec<f64>,
 }
 
 fn push_flags(flags: &[bool], off: &mut Vec<u32>, out: &mut Vec<u8>) {
@@ -102,6 +116,7 @@ impl ColumnarStats {
             high_correct: Vec::new(),
             sweep_off: vec![0],
             sweep_keys: Vec::new(),
+            wall: vec![0.0; n_rows],
         };
         for m in &rec.models {
             c.models.push(m.model.clone());
@@ -131,6 +146,61 @@ impl ColumnarStats {
     /// Number of (model, task) rows.
     pub fn rows(&self) -> usize {
         self.task.len()
+    }
+
+    /// Fill the wall-seconds column from measured per-cell walls keyed
+    /// by [`CellId`]. Each row's id is recomputed from `config_hash`,
+    /// its model name, and its task — the same derivation every other
+    /// consumer of the plan uses — so the column survives any row
+    /// order. Rows with no measurement keep `0.0` ("not measured").
+    pub fn set_walls(&mut self, config_hash: u64, walls: &HashMap<CellId, f64>) {
+        let mut row = 0usize;
+        for (mi, model) in self.models.iter().enumerate() {
+            for _ in 0..self.rows_per_model[mi] {
+                let task = TaskId::from_index(self.task[row] as usize)
+                    .expect("task index validated on construction");
+                let id = CellId::new(config_hash, model, task);
+                if let Some(&w) = walls.get(&id) {
+                    if w.is_finite() && w >= 0.0 {
+                        self.wall[row] = w;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+
+    /// Iterate `(model name, task, wall seconds)` rows. A wall of
+    /// `0.0` means the cell was never measured in this run.
+    pub fn walls(&self) -> impl Iterator<Item = (&str, TaskId, f64)> + '_ {
+        let mut rows = Vec::with_capacity(self.task.len());
+        let mut row = 0usize;
+        for (mi, model) in self.models.iter().enumerate() {
+            for _ in 0..self.rows_per_model[mi] {
+                let task = TaskId::from_index(self.task[row] as usize)
+                    .expect("task index validated on construction");
+                rows.push((model.as_str(), task, self.wall[row]));
+                row += 1;
+            }
+        }
+        rows.into_iter()
+    }
+
+    /// Build a scheduling priors table from this sidecar's measured
+    /// walls. Unmeasured rows (wall `0.0`) are omitted, so lookups for
+    /// them fall back to the committed default profile. Returns `None`
+    /// when no row carries a positive wall — a priors table that knows
+    /// nothing is worse than the honest default profile.
+    pub fn cost_priors(&self, label: &str) -> Option<CostPriors> {
+        let entries: Vec<(String, u32, f64)> = self
+            .walls()
+            .filter(|&(_, _, w)| w > 0.0)
+            .map(|(m, t, w)| (m.to_string(), t.index() as u32, w))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        Some(CostPriors::from_entries(label, entries))
     }
 
     /// Reproduce [`crate::record::projection`] byte-for-byte from the
@@ -202,6 +272,9 @@ impl ColumnarStats {
         w.put_len(self.sweep_keys.len());
         for &k in &self.sweep_keys {
             w.put_u32(k);
+        }
+        for &secs in &self.wall {
+            w.put_f64(secs);
         }
         let body = w.into_bytes();
         let mut out = COLS_MAGIC.to_vec();
@@ -296,6 +369,14 @@ impl ColumnarStats {
         for _ in 0..n_keys {
             sweep_keys.push(r.u32().map_err(err)?);
         }
+        let mut wall = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let secs = r.f64().map_err(err)?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("wall seconds {secs} is not a finite non-negative value"));
+            }
+            wall.push(secs);
+        }
         if !r.is_exhausted() {
             return Err("trailing bytes after a complete sidecar".to_string());
         }
@@ -312,6 +393,7 @@ impl ColumnarStats {
             high_correct,
             sweep_off,
             sweep_keys,
+            wall,
         })
     }
 
@@ -404,6 +486,55 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(ColumnarStats::from_bytes(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn walls_roundtrip_and_feed_priors() {
+        let rec = sample_record();
+        let mut cols = ColumnarStats::from_record(&rec);
+        // Unset walls read back as "not measured" and yield no priors.
+        assert!(cols.walls().all(|(_, _, w)| w == 0.0));
+        assert!(cols.cost_priors("empty").is_none());
+
+        // Key the measured walls by CellId, exactly as eval produces.
+        let chash = 0x1234_5678u64;
+        let t1 = rec.models[0].tasks[0].task;
+        let t2 = rec.models[0].tasks[1].task;
+        let walls = HashMap::from([
+            (CellId::new(chash, "GPT-4", t1), 1.5f64),
+            (CellId::new(chash, "GPT-4", t2), 0.25f64),
+            // A cell from some other config must not match any row.
+            (CellId::new(chash ^ 1, "GPT-4", t1), 99.0f64),
+        ]);
+        cols.set_walls(chash, &walls);
+        let got: Vec<(String, f64)> =
+            cols.walls().map(|(m, _, w)| (m.to_string(), w)).collect();
+        assert_eq!(got, vec![("GPT-4".into(), 1.5), ("GPT-4".into(), 0.25)]);
+
+        // Walls survive the byte roundtrip; the projection is untouched.
+        let back = ColumnarStats::from_bytes(&cols.to_bytes()).unwrap();
+        assert_eq!(back, cols);
+        assert_eq!(back.projection(), projection(&rec));
+
+        // And they become a priors table with per-row measured costs.
+        let priors = back.cost_priors("test-sidecar").unwrap();
+        assert_eq!(priors.len(), 2);
+        assert_eq!(priors.cost("GPT-4", t1), 1.5);
+        assert_eq!(priors.cost("GPT-4", t2), 0.25);
+        // Unmeasured cells fall back to the default profile.
+        let t3 = ProblemId::new(ProblemType::Scan, 0).task(ExecutionModel::Mpi);
+        assert_eq!(priors.cost("GPT-4", t3), CostPriors::default_cost(t3));
+    }
+
+    #[test]
+    fn non_finite_walls_are_rejected_on_decode() {
+        let mut cols = ColumnarStats::from_record(&sample_record());
+        cols.wall[0] = f64::NAN;
+        assert!(ColumnarStats::from_bytes(&cols.to_bytes()).is_err());
+        cols.wall[0] = -1.0;
+        assert!(ColumnarStats::from_bytes(&cols.to_bytes()).is_err());
+        cols.wall[0] = 3.5;
+        assert!(ColumnarStats::from_bytes(&cols.to_bytes()).is_ok());
     }
 
     #[test]

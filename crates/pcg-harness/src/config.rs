@@ -141,6 +141,20 @@ impl EvalConfig {
     }
 }
 
+/// The cost-priors source requested via the `PCG_PRIORS` environment
+/// variable (the env fallback for `--priors`): a records cache or
+/// `.cols` sidecar path, or the literal `default` for the committed
+/// analytic profile.
+///
+/// Deliberately **not** a field of [`EvalConfig`]: priors steer *when
+/// and where* cells run, never what they compute, so they must stay
+/// out of the config hash — otherwise switching priors would re-key
+/// every [`pcg_core::plan::CellId`] and invalidate caches and journals
+/// whose bytes are in fact still exactly right.
+pub fn priors_source() -> Option<String> {
+    std::env::var("PCG_PRIORS").ok().filter(|s| !s.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

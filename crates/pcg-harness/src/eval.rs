@@ -17,12 +17,12 @@
 
 use crate::config::EvalConfig;
 use crate::journal::Replay;
-use crate::record::{EvalRecord, EvalStats, ModelRecord, TaskRecord};
+use crate::record::{CellWall, EvalRecord, EvalStats, ModelRecord, TaskRecord};
 use crate::runner::SharedRunner;
 use crate::scheduler;
 use pcg_core::plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 use pcg_core::task::all_tasks;
-use pcg_core::{CandidateKind, ExecutionModel, Stage, TaskId};
+use pcg_core::{CandidateKind, CostPriors, ExecutionModel, Stage, TaskId};
 use pcg_metrics::TaskSamples;
 use pcg_models::SyntheticModel;
 use std::collections::BTreeMap;
@@ -120,8 +120,36 @@ pub fn evaluate_resumable(
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> (EvalRecord, EvalStats) {
+    evaluate_resumable_priors(cfg, models, tasks, jobs, None, runner, replay, on_cell)
+}
+
+/// [`evaluate_resumable`] with a scheduling cost table: pending cells
+/// are dispatched longest-expected-first (LPT). Priors only reorder
+/// execution — the returned record is byte-identical with or without
+/// them, at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_resumable_priors(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    tasks: Option<&[TaskId]>,
+    jobs: usize,
+    priors: Option<&CostPriors>,
+    runner: &SharedRunner,
+    replay: &Replay,
+    on_cell: impl FnMut(CellId, &str, &TaskRecord),
+) -> (EvalRecord, EvalStats) {
     let plan = plan_for(cfg, models, tasks);
-    let run = evaluate_plan(cfg, models, &plan, ShardSpec::WHOLE, jobs, runner, replay, on_cell);
+    let run = evaluate_plan_priors(
+        cfg,
+        models,
+        &plan,
+        ShardSpec::WHOLE,
+        jobs,
+        priors,
+        runner,
+        replay,
+        on_cell,
+    );
     let mut records = run.cells.into_iter().map(|(_, rec)| rec);
     let record = assemble(cfg, &plan, |_| records.next().expect("whole grid covered"));
     (record, run.stats)
@@ -142,7 +170,38 @@ pub fn evaluate_plan(
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> SubsetRun {
-    evaluate_cells(cfg, models, plan.shard(shard), jobs, runner, replay, on_cell)
+    evaluate_plan_priors(cfg, models, plan, shard, jobs, None, runner, replay, on_cell)
+}
+
+/// [`evaluate_plan`] with a scheduling cost table. The table changes
+/// **which** cells this shard owns (cost-weighted LPT bin-packing via
+/// [`WorkPlan::shard_with`] instead of `id % count`) and **when** they
+/// run (longest-expected-first dispatch) — never what any cell
+/// computes. Every cooperating worker must pass a table with the same
+/// hash stamp (or none at all); the journal header records the stamp so
+/// the merge can enforce it.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_plan_priors(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    plan: &WorkPlan,
+    shard: ShardSpec,
+    jobs: usize,
+    priors: Option<&CostPriors>,
+    runner: &SharedRunner,
+    replay: &Replay,
+    on_cell: impl FnMut(CellId, &str, &TaskRecord),
+) -> SubsetRun {
+    evaluate_cells_priors(
+        cfg,
+        models,
+        plan.shard_with(shard, priors),
+        jobs,
+        priors,
+        runner,
+        replay,
+        on_cell,
+    )
 }
 
 /// The core coordinator: evaluate an explicit subset of plan cells.
@@ -156,6 +215,26 @@ pub fn evaluate_cells(
     models: &[SyntheticModel],
     owned: Vec<PlanCell>,
     jobs: usize,
+    runner: &SharedRunner,
+    replay: &Replay,
+    on_cell: impl FnMut(CellId, &str, &TaskRecord),
+) -> SubsetRun {
+    evaluate_cells_priors(cfg, models, owned, jobs, None, runner, replay, on_cell)
+}
+
+/// [`evaluate_cells`] with longest-processing-time dispatch: when a
+/// priors table is given, pending cells are handed to workers in
+/// descending expected-cost order (ties broken by cell id), which is
+/// the classic LPT list-scheduling discipline. Results still come back
+/// in `owned` order and every cell computes exactly what it would have
+/// computed under any other dispatch order.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_cells_priors(
+    cfg: &EvalConfig,
+    models: &[SyntheticModel],
+    owned: Vec<PlanCell>,
+    jobs: usize,
+    priors: Option<&CostPriors>,
     runner: &SharedRunner,
     replay: &Replay,
     mut on_cell: impl FnMut(CellId, &str, &TaskRecord),
@@ -188,10 +267,29 @@ pub fn evaluate_cells(
     let resumed_cells = n_cells - pending.len();
     let pending_cells = pending.clone();
 
+    // LPT dispatch order: hand workers the expected-longest cells
+    // first so no straggler starts near the end of the grid. Ties
+    // break by cell id, making the order identical in every process
+    // that holds an identically-stamped priors table.
+    let order = priors.map(|p| {
+        let weights: Vec<f64> = pending
+            .iter()
+            .map(|c| p.cost(models[c.model].card().name, c.task))
+            .collect();
+        let mut idx: Vec<usize> = (0..pending.len()).collect();
+        idx.sort_by(|&a, &b| {
+            weights[b]
+                .total_cmp(&weights[a])
+                .then(pending[a].id.cmp(&pending[b].id))
+        });
+        idx
+    });
+
     let t0 = Instant::now();
-    let results = scheduler::run_grid_observed(
+    let results = scheduler::run_grid_prioritized(
         pending,
         jobs,
+        order,
         |_, cell| evaluate_task(cfg, runner, &models[cell.model], cell.task),
         |local, cell| {
             if let Ok(rec) = &cell.value {
@@ -204,9 +302,14 @@ pub fn evaluate_cells(
 
     let mut queue_wait_s = 0.0;
     let mut max_queue_wait_s = 0.0f64;
+    let mut cell_walls = Vec::with_capacity(results.len());
     for (local, cell) in results.into_iter().enumerate() {
         queue_wait_s += cell.queue_wait.as_secs_f64();
         max_queue_wait_s = max_queue_wait_s.max(cell.queue_wait.as_secs_f64());
+        cell_walls.push(CellWall {
+            cell: pending_cells[local].id.0,
+            secs: cell.exec.as_secs_f64(),
+        });
         match cell.value {
             Ok(rec) => slots[pending_slots[local]] = Some(rec),
             Err(msg) => {
@@ -225,6 +328,7 @@ pub fn evaluate_cells(
         .zip(slots)
         .map(|(c, s)| (c, s.expect("every slot filled")))
         .collect();
+    cell_walls.sort_by_key(|w| w.cell);
 
     let stats = EvalStats {
         jobs: jobs.max(1),
@@ -258,6 +362,8 @@ pub fn evaluate_cells(
         stack_overflows_caught: runner.stack_overflows_caught(),
         guard_faults: runner.guard_faults(),
         leak_budget_exhausted: runner.leak_budget_exhausted(),
+        cell_walls,
+        shard_walls: Vec::new(),
     };
     SubsetRun { cells, stats }
 }

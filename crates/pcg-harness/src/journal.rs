@@ -25,7 +25,10 @@
 //! ([`pcg_core::frame`]: `u32 len | u64 cell | u32 crc | payload`,
 //! little-endian, CRC-32 over cell bytes ++ payload). Frame 0 is the
 //! header (cell tag 0; payload `u32 version=3 | u64 config_hash |
-//! u32 shard_index | u32 shard_count`); every further frame is one
+//! u32 shard_index | u32 shard_count | u64 priors_hash` — the last
+//! field is the [`pcg_core::CostPriors`] hash the run scheduled and
+//! sharded under, 0 for no priors; headers written before the field
+//! existed are read as hash 0); every further frame is one
 //! cell, its payload encoded by [`crate::codec`]. Replay reads the
 //! whole file in one buffered pass and never touches a JSON parser —
 //! JSON remains the *export* format (the records cache,
@@ -116,12 +119,13 @@ pub fn config_hash(cfg: &EvalConfig) -> u64 {
     fnv1a(&serde_json::to_vec(cfg).unwrap_or_default())
 }
 
-fn header_payload(cfg: &EvalConfig, shard: ShardSpec) -> Vec<u8> {
+fn header_payload(cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u32(VERSION);
     w.put_u64(config_hash(cfg));
     w.put_u32(shard.index);
     w.put_u32(shard.count);
+    w.put_u64(priors_hash);
     w.into_bytes()
 }
 
@@ -240,14 +244,29 @@ pub struct Journal {
 
 impl Journal {
     /// Start a fresh v3 journal for `cfg`'s shard `shard`, truncating
-    /// any previous file.
+    /// any previous file. Stamps priors hash 0 ("no cost priors") —
+    /// runs scheduling from a priors table use [`Journal::create_with_priors`].
     pub fn create(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> std::io::Result<Journal> {
+        Journal::create_with_priors(path, cfg, shard, 0)
+    }
+
+    /// [`Journal::create`] with the run's [`pcg_core::CostPriors`] hash
+    /// stamped into the header. Sharded runs must agree on the priors
+    /// (they determine which cells each shard owns), so the hash is
+    /// part of the journal's identity: replay and merge reject a
+    /// journal whose stamp disagrees with the active priors.
+    pub fn create_with_priors(
+        path: &Path,
+        cfg: &EvalConfig,
+        shard: ShardSpec,
+        priors_hash: u64,
+    ) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut file = File::create(path)?;
         let mut bytes = JOURNAL_MAGIC.to_vec();
-        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard));
+        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard, priors_hash));
         file.write_all(&bytes)?;
         file.sync_data()?;
         Ok(Journal { file: Mutex::new(file) })
@@ -291,19 +310,74 @@ pub fn load(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Replay {
 
 /// [`load`], additionally reporting stale-frame counts (the compaction
 /// trigger), rejection diagnostics, and the on-disk format found.
+/// Expects a journal written without cost priors (hash 0).
 pub fn load_counting(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
+    load_counting_with_priors(path, cfg, shard, 0)
+}
+
+/// [`load_counting`] for a run scheduling from a priors table: the
+/// journal's stamped priors hash must equal `priors_hash`, or nothing
+/// is replayed. Priors change which cells a shard owns, so replaying a
+/// journal written under different priors would resurrect cells this
+/// worker no longer owns (and silently drop cells it now does).
+pub fn load_counting_with_priors(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> Loaded {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(_) => return Loaded::empty(),
     };
     if bytes.starts_with(&JOURNAL_MAGIC) {
-        load_v3(&bytes, cfg, shard)
+        load_v3(&bytes, cfg, shard, priors_hash)
     } else {
+        // v2 predates priors entirely: only a no-priors run may
+        // replay it.
+        if priors_hash != 0 {
+            return Loaded::empty();
+        }
         load_v2(&bytes, cfg, shard)
     }
 }
 
-fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
+/// The priors hash stamped in the journal header at `path`, without
+/// validating anything else: `Some(h)` for a readable v3 header,
+/// `Some(0)` for a v2 header (which predates priors), `None` when the
+/// file is missing or its header is unreadable. `--merge-shards` uses
+/// this to reject workers that partitioned the grid under different
+/// priors before attempting replay.
+pub fn peek_priors_hash(path: &Path) -> Option<u64> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.starts_with(&JOURNAL_MAGIC) {
+        let header = match frame::decode_frame(&bytes, JOURNAL_MAGIC.len()) {
+            Some(Ok(f)) if f.cell == HEADER_CELL => f,
+            _ => return None,
+        };
+        let mut r = ByteReader::new(header.payload);
+        if !r.u32().is_ok_and(|v| v == VERSION) {
+            return None;
+        }
+        let _chash = r.u64().ok()?;
+        let _index = r.u32().ok()?;
+        let _count = r.u32().ok()?;
+        if r.is_exhausted() {
+            // Pre-priors v3 header: written before the hash field
+            // existed, so by definition no priors were in play.
+            return Some(0);
+        }
+        let hash = r.u64().ok()?;
+        r.is_exhausted().then_some(hash)
+    } else {
+        let text = std::str::from_utf8(&bytes).ok()?;
+        let header_line = text.split('\n').next()?;
+        let h: HeaderV2 = serde_json::from_str(header_line).ok()?;
+        (h.version == 2).then_some(0)
+    }
+}
+
+fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Loaded {
     let mut loaded = Loaded::empty();
     let chash = config_hash(cfg);
 
@@ -318,9 +392,15 @@ fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec) -> Loaded {
         let ok = r.u32().is_ok_and(|v| v == VERSION)
             && r.u64().is_ok_and(|h| h == chash)
             && r.u32().is_ok_and(|i| i == shard.index)
-            && r.u32().is_ok_and(|c| c == shard.count)
-            && r.is_exhausted();
+            && r.u32().is_ok_and(|c| c == shard.count);
         if !ok {
+            return loaded;
+        }
+        // Pre-priors v3 headers end here and carry an implicit hash 0;
+        // current headers append the priors hash. Either way the
+        // stamped hash must match the active priors exactly.
+        let stored = if r.is_exhausted() { Some(0) } else { r.u64().ok().filter(|_| r.is_exhausted()) };
+        if stored != Some(priors_hash) {
             return loaded;
         }
     }
@@ -512,12 +592,25 @@ pub fn compact(
     shard: ShardSpec,
     replay: &Replay,
 ) -> std::io::Result<usize> {
+    compact_with_priors(path, cfg, shard, 0, replay)
+}
+
+/// [`compact`] preserving the run's priors hash in the rewritten
+/// header, so a compacted journal replays under the same priors check
+/// as the original.
+pub fn compact_with_priors(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    priors_hash: u64,
+    replay: &Replay,
+) -> std::io::Result<usize> {
     let mut os = path.as_os_str().to_os_string();
     os.push(crate::pipeline::unique_suffix("compact"));
     let tmp = PathBuf::from(os);
     let result = (|| {
         let mut bytes = JOURNAL_MAGIC.to_vec();
-        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard));
+        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard, priors_hash));
         let mut cells: Vec<(&CellId, &ReplayCell)> = replay.iter().collect();
         cells.sort_by_key(|(id, _)| **id);
         for (id, cell) in &cells {
@@ -919,6 +1012,69 @@ mod tests {
             shard_journal_path(Path::new("x.json"), ShardSpec::WHOLE),
             journal_path(Path::new("x.json")),
         );
+    }
+
+    #[test]
+    fn priors_hash_mismatch_replays_nothing() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("priors");
+        let j = Journal::create_with_priors(&path, &cfg, ShardSpec::WHOLE, 0xabcd).unwrap();
+        j.append(cell_of(&cfg, "GPT-4", &rec(0)), "GPT-4", &rec(0)).unwrap();
+        drop(j);
+
+        assert_eq!(peek_priors_hash(&path), Some(0xabcd));
+        assert_eq!(
+            load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 0xabcd).replay.len(),
+            1
+        );
+        // A different priors table — or none at all — partitioned the
+        // grid differently; its journal must not replay.
+        assert!(load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 0x1234).replay.is_empty());
+        assert!(load(&path, &cfg, ShardSpec::WHOLE).is_empty());
+
+        // Compaction preserves the stamp.
+        let loaded = load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 0xabcd);
+        compact_with_priors(&path, &cfg, ShardSpec::WHOLE, 0xabcd, &loaded.replay).unwrap();
+        assert_eq!(peek_priors_hash(&path), Some(0xabcd));
+        assert_eq!(
+            load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 0xabcd).replay.len(),
+            1
+        );
+        remove(&path);
+        assert_eq!(peek_priors_hash(&path), None, "missing file has no hash to peek");
+    }
+
+    #[test]
+    fn pre_priors_headers_read_as_hash_zero() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("pre-priors");
+        // Hand-write a v3 journal whose header ends at shard_count —
+        // the exact layout shipped before the priors field existed.
+        let mut w = ByteWriter::new();
+        w.put_u32(VERSION);
+        w.put_u64(config_hash(&cfg));
+        w.put_u32(ShardSpec::WHOLE.index);
+        w.put_u32(ShardSpec::WHOLE.count);
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        frame::encode_frame_into(&mut bytes, HEADER_CELL, &w.into_bytes());
+        let id = cell_of(&cfg, "GPT-4", &rec(0));
+        frame::encode_frame_into(&mut bytes, id.0, &codec::encode_entry("GPT-4", &rec(0)));
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(peek_priors_hash(&path), Some(0));
+        assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 1, "old journals still replay");
+        assert!(
+            load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 7).replay.is_empty(),
+            "but never into a run with priors"
+        );
+
+        // v2 journals likewise peek as hash 0 and refuse priors runs.
+        let entries = vec![(id, "GPT-4".to_string(), rec(0))];
+        write_v2_journal(&path, &cfg, ShardSpec::WHOLE, &entries).unwrap();
+        assert_eq!(peek_priors_hash(&path), Some(0));
+        assert_eq!(load(&path, &cfg, ShardSpec::WHOLE).len(), 1);
+        assert!(load_counting_with_priors(&path, &cfg, ShardSpec::WHOLE, 7).replay.is_empty());
+        remove(&path);
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! single-process run (see [`crate::shard`]).
 
 use crate::config::EvalConfig;
-use crate::eval::evaluate_resumable;
+use crate::eval::evaluate_resumable_priors;
 use crate::journal::{self, Journal};
 use crate::record::{EvalRecord, EvalStats};
 use crate::runner::SharedRunner;
 use crate::scheduler;
-use pcg_core::plan::ShardSpec;
+use pcg_core::plan::{CellId, ShardSpec};
+use pcg_core::CostPriors;
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -60,19 +62,32 @@ pub struct RunOptions {
     /// Merge N shard journals into the records cache instead of
     /// evaluating (`--merge-shards N`).
     pub merge_shards: Option<u32>,
+    /// Cost-priors source for adaptive scheduling (`--priors <path>` /
+    /// `PCG_PRIORS`): a records cache or `.cols` sidecar whose measured
+    /// cell walls become the scheduling cost table, or the literal
+    /// `default` for the committed analytic profile. `None` schedules
+    /// round-robin and shards by `id % count`, exactly as before.
+    pub priors: Option<String>,
 }
 
 impl RunOptions {
     /// Options for `jobs` workers with journaling on and resume off.
     pub fn new(jobs: usize) -> RunOptions {
-        RunOptions { jobs, resume: false, journal: true, shard: None, merge_shards: None }
+        RunOptions {
+            jobs,
+            resume: false,
+            journal: true,
+            shard: None,
+            merge_shards: None,
+            priors: None,
+        }
     }
 
     /// Parse `--jobs N`, `--resume`, `--no-journal`, `--shard k/N`
-    /// (env fallback `PCG_SHARD`), and `--merge-shards N` (env
-    /// fallback `PCG_MERGE_SHARDS`) from the process arguments (exits
-    /// with code 2 on a malformed value, like
-    /// [`scheduler::jobs_from_cli`]).
+    /// (env fallback `PCG_SHARD`), `--merge-shards N` (env fallback
+    /// `PCG_MERGE_SHARDS`), and `--priors SRC` (env fallback
+    /// `PCG_PRIORS`) from the process arguments (exits with code 2 on
+    /// a malformed value, like [`scheduler::jobs_from_cli`]).
     pub fn from_cli() -> RunOptions {
         let has = |flag: &str| std::env::args().any(|a| a == flag);
         RunOptions {
@@ -81,6 +96,62 @@ impl RunOptions {
             journal: !has("--no-journal"),
             shard: shard_from_cli(),
             merge_shards: merge_from_cli(),
+            priors: flag_value("--priors").or_else(crate::config::priors_source),
+        }
+    }
+
+    /// The options with a priors source swapped in (builder-style, for
+    /// tests and benches).
+    pub fn with_priors(mut self, src: impl Into<String>) -> RunOptions {
+        self.priors = Some(src.into());
+        self
+    }
+}
+
+/// Resolve the options' priors source into a loaded [`CostPriors`]
+/// table. `None` means "no priors" (legacy scheduling); any failure to
+/// load a named source degrades loudly to the committed default
+/// profile rather than silently to legacy scheduling, so cooperating
+/// shard workers that all pass the same broken path still agree on the
+/// partition.
+pub fn load_priors(opts: &RunOptions) -> Option<CostPriors> {
+    let src = opts.priors.as_deref()?;
+    if src == "default" {
+        return Some(CostPriors::default_profile());
+    }
+    let path = Path::new(src);
+    // Accept either the `.cols` sidecar itself or the records cache it
+    // sits next to.
+    let sidecar = if path.extension().is_some_and(|e| e == "cols") {
+        path.to_path_buf()
+    } else {
+        crate::colstats::cols_path(path)
+    };
+    match crate::colstats::ColumnarStats::read(&sidecar) {
+        Ok(cols) => match cols.cost_priors(src) {
+            Some(p) => {
+                eprintln!(
+                    "[pcgbench] priors: {} measured cell walls from {} (hash {:016x})",
+                    p.len(),
+                    sidecar.display(),
+                    p.hash(),
+                );
+                Some(p)
+            }
+            None => {
+                eprintln!(
+                    "[pcgbench] warning: {} carries no measured walls; using the default cost profile",
+                    sidecar.display(),
+                );
+                Some(CostPriors::default_profile())
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "[pcgbench] warning: could not read priors from {}: {e}; using the default cost profile",
+                sidecar.display(),
+            );
+            Some(CostPriors::default_profile())
         }
     }
 }
@@ -181,9 +252,11 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
         if opts.jobs == 1 { "" } else { "s" },
     );
 
+    let priors = load_priors(opts);
+    let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
     let jpath = journal::journal_path(&path);
     let resumed = if opts.resume {
-        resume_journal(&jpath, cfg, ShardSpec::WHOLE)
+        resume_journal(&jpath, cfg, ShardSpec::WHOLE, priors_hash)
     } else {
         ResumedJournal::none()
     };
@@ -198,7 +271,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     }
     let wal = if opts.journal {
         let opened = if replay.is_empty() || resumed.recreate {
-            Journal::create(&jpath, cfg, ShardSpec::WHOLE)
+            Journal::create_with_priors(&jpath, cfg, ShardSpec::WHOLE, priors_hash)
         } else {
             Journal::open_append(&jpath)
         };
@@ -214,11 +287,12 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     };
 
     let runner = SharedRunner::new(cfg.clone());
-    let (record, mut stats) = evaluate_resumable(
+    let (record, mut stats) = evaluate_resumable_priors(
         cfg,
         &pcg_models::zoo(),
         None,
         opts.jobs,
+        priors.as_ref(),
         &runner,
         &replay,
         |cell, model, rec| {
@@ -252,7 +326,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     };
     write_stats(cfg, &stats);
     if committed {
-        write_cols_sidecar(&path, &record);
+        write_cols_sidecar(&path, &record, &stats);
         // The cache now holds everything the journal was protecting.
         journal::remove(&jpath);
     }
@@ -260,10 +334,18 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
 }
 
 /// Commit the columnar projection sidecar next to a freshly written
-/// records cache. Best-effort: the sidecar is a pure accelerator for
-/// projection diffs, and every consumer falls back to the JSON cache.
-pub(crate) fn write_cols_sidecar(cache: &Path, record: &EvalRecord) {
-    let cols = crate::colstats::ColumnarStats::from_record(record);
+/// records cache, with the run's measured per-cell walls folded into
+/// the wall column (the next run's `--priors` source). Best-effort:
+/// the sidecar is a pure accelerator for projection diffs, and every
+/// consumer falls back to the JSON cache.
+pub(crate) fn write_cols_sidecar(cache: &Path, record: &EvalRecord, stats: &EvalStats) {
+    let mut cols = crate::colstats::ColumnarStats::from_record(record);
+    if !stats.cell_walls.is_empty() {
+        let chash = journal::config_hash(&record.config);
+        let walls: HashMap<CellId, f64> =
+            stats.cell_walls.iter().map(|w| (CellId(w.cell), w.secs)).collect();
+        cols.set_walls(chash, &walls);
+    }
     if let Err(e) = atomic_write(&crate::colstats::cols_path(cache), &cols.to_bytes()) {
         eprintln!("[pcgbench] warning: could not write columnar sidecar: {e}");
     }
@@ -297,8 +379,13 @@ impl ResumedJournal {
 /// byte offset / frame index / cell id, then compact when the file
 /// carries stale frames **or** is a legacy v2 JSONL journal (the
 /// migration commit — replay v2, rewrite v3).
-pub(crate) fn resume_journal(path: &Path, cfg: &EvalConfig, shard: ShardSpec) -> ResumedJournal {
-    let loaded = journal::load_counting(path, cfg, shard);
+pub(crate) fn resume_journal(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> ResumedJournal {
+    let loaded = journal::load_counting_with_priors(path, cfg, shard, priors_hash);
     for r in &loaded.rejects {
         eprintln!("[pcgbench] warning: journal {}: rejected {r}", path.display());
     }
@@ -306,7 +393,7 @@ pub(crate) fn resume_journal(path: &Path, cfg: &EvalConfig, shard: ShardSpec) ->
     if !loaded.needs_compaction() {
         return ResumedJournal { replay: loaded.replay, compacted: 0, rejected, recreate: false };
     }
-    match journal::compact(path, cfg, shard, &loaded.replay) {
+    match journal::compact_with_priors(path, cfg, shard, priors_hash, &loaded.replay) {
         Ok(_) => {
             if loaded.format == Some(journal::JournalFormat::V2Jsonl) {
                 eprintln!(

@@ -160,6 +160,30 @@ pub struct EvalStats {
     /// needs a larger budget or better-behaved candidates.
     #[serde(default)]
     pub leak_budget_exhausted: bool,
+    /// Measured wall seconds per freshly evaluated cell, sorted by cell
+    /// id. Replayed cells contribute no entry (their wall was paid in a
+    /// previous run). Feeds the `.cols` sidecar's wall column, which
+    /// the next run's `--priors` turns into a scheduling cost table.
+    #[serde(default)]
+    pub cell_walls: Vec<CellWall>,
+    /// Per-process wall-clock seconds, filled in by `--merge-shards`:
+    /// one entry per shard worker in shard order, plus one for the
+    /// merge's own gap-fill when any cells were missing. Empty for
+    /// single-process runs. The max/mean ratio is the merge-gate
+    /// imbalance `report` surfaces.
+    #[serde(default)]
+    pub shard_walls: Vec<f64>,
+}
+
+/// One cell's measured wall seconds, keyed by its [`pcg_core::CellId`]
+/// raw value (the id is already config-scoped, so the pair is
+/// unambiguous across models and tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellWall {
+    /// The cell's global address (`CellId.0`).
+    pub cell: u64,
+    /// Wall seconds the cell's evaluation took in this run.
+    pub secs: f64,
 }
 
 /// The cross-process-deterministic projection of an [`EvalRecord`].

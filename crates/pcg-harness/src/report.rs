@@ -165,6 +165,19 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
              investigate hostile candidates",
         );
     }
+    if stats.shard_walls.len() >= 2 {
+        let max = stats.shard_walls.iter().copied().fold(0.0f64, f64::max);
+        let mean = stats.shard_walls.iter().sum::<f64>() / stats.shard_walls.len() as f64;
+        let _ = writeln!(
+            s,
+            "[pcgbench]   shard balance: {} processes, {:.2}s max / {:.2}s mean wall (imbalance {:.2}x) — \
+             the merge gate waits on the max",
+            stats.shard_walls.len(),
+            max,
+            mean,
+            if mean > 0.0 { max / mean } else { 1.0 },
+        );
+    }
     if stats.resumed_cells > 0 {
         let _ = writeln!(
             s,

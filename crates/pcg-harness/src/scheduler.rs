@@ -127,6 +127,35 @@ pub fn run_grid_observed<T, R, F, O>(
     items: Vec<T>,
     jobs: usize,
     f: F,
+    observe: O,
+) -> Vec<Cell<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    O: FnMut(usize, &Cell<R>),
+{
+    run_grid_prioritized(items, jobs, None, f, observe)
+}
+
+/// [`run_grid_observed`] with an explicit dispatch order: when `order`
+/// is given, workers *pick up* cells in that sequence (longest
+/// processing time first, when the caller sorts by cost priors) while
+/// results still come back in slot order and each cell's computation is
+/// untouched. Dispatch order is pure scheduling — it changes wall-clock
+/// tail latency, never bytes.
+///
+/// With an explicit order the workers share one front-pop queue (the
+/// classic LPT list-scheduling discipline: next free worker takes the
+/// longest remaining cell). Without one (`None`), the grid is dealt
+/// round-robin into per-worker deques with back-steal, which is the
+/// better default when costs are unknown. `order` must be a permutation
+/// of `0..items.len()`; out-of-range or duplicate entries panic.
+pub fn run_grid_prioritized<T, R, F, O>(
+    items: Vec<T>,
+    jobs: usize,
+    order: Option<Vec<usize>>,
+    f: F,
     mut observe: O,
 ) -> Vec<Cell<R>>
 where
@@ -139,6 +168,16 @@ where
     let jobs = jobs.max(1).min(n.max(1));
     let t0 = Instant::now();
 
+    if let Some(order) = &order {
+        let mut seen = vec![false; n];
+        for &slot in order {
+            assert!(slot < n, "dispatch order entry {slot} out of range for {n} items");
+            assert!(!seen[slot], "dispatch order repeats slot {slot}");
+            seen[slot] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "dispatch order must cover every slot");
+    }
+
     let run_cell = |slot: usize| -> Cell<R> {
         let queue_wait = t0.elapsed();
         let started = Instant::now();
@@ -149,20 +188,31 @@ where
 
     if jobs == 1 {
         // Serial A/B path: same code path per cell, no worker threads.
-        return (0..n)
-            .map(|slot| {
-                let cell = run_cell(slot);
-                observe(slot, &cell);
-                cell
-            })
+        // An explicit order still reorders execution (the journal sees
+        // completion order), but results scatter back to their slots.
+        let mut slots: Vec<Option<Cell<R>>> = (0..n).map(|_| None).collect();
+        let sequence = order.unwrap_or_else(|| (0..n).collect());
+        for slot in sequence {
+            let cell = run_cell(slot);
+            observe(slot, &cell);
+            slots[slot] = Some(cell);
+        }
+        return slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.unwrap_or_else(|| panic!("grid slot {i} never completed")))
             .collect();
     }
 
-    // Deal the grid round-robin so every worker starts with a spread of
+    // Dispatch queues. With an explicit priority order, one shared
+    // front-pop queue implements LPT list scheduling exactly; otherwise
+    // deal the grid round-robin so every worker starts with a spread of
     // cells (adjacent cells often share a problem and therefore cost).
-    let deques: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
-        .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
-        .collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = match order {
+        Some(order) => vec![Mutex::new(order.into_iter().collect())],
+        None => (0..jobs).map(|w| Mutex::new((w..n).step_by(jobs).collect())).collect(),
+    };
+    let queues = deques.len();
 
     let mut slots: Vec<Option<Cell<R>>> = (0..n).map(|_| None).collect();
     {
@@ -179,8 +229,10 @@ where
                 let run_cell = &run_cell;
                 scope.spawn(move || loop {
                     // Own queue first (front), then steal (back).
-                    let slot = deques[w].lock().pop_front().or_else(|| {
-                        (1..jobs).find_map(|d| deques[(w + d) % jobs].lock().pop_back())
+                    let own = w % queues;
+                    let slot = deques[own].lock().pop_front().or_else(|| {
+                        (1..queues)
+                            .find_map(|d| deques[(own + d) % queues].lock().pop_back())
                     });
                     match slot {
                         Some(slot) => {
@@ -331,6 +383,86 @@ mod tests {
         }
         // Later cells on a 2-worker pool must have waited in queue.
         assert!(cells.iter().any(|c| c.queue_wait > Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn prioritized_dispatch_respects_order_and_slot_results() {
+        // At jobs=1 the execution sequence IS the order; observe()
+        // records it, while results still land slot-ordered.
+        let order: Vec<usize> = (0..17).rev().collect();
+        let mut executed = Vec::new();
+        let cells = run_grid_prioritized(
+            (0..17).collect::<Vec<usize>>(),
+            1,
+            Some(order.clone()),
+            |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            },
+            |slot, _| executed.push(slot),
+        );
+        assert_eq!(executed, order, "jobs=1 must execute exactly in dispatch order");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(*c.value.as_ref().unwrap(), i * 10);
+        }
+
+        // At jobs>1 results are still slot-ordered and byte-identical
+        // to the unordered run; only pickup order differs.
+        let f = |i: usize, x: &u64| x.wrapping_mul(31).wrapping_add(i as u64);
+        let items: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let plain: Vec<u64> =
+            run_grid(items.clone(), 8, f).into_iter().map(|c| c.value.unwrap()).collect();
+        let ordered: Vec<u64> =
+            run_grid_prioritized(items, 8, Some((0..64).rev().collect()), f, |_, _| {})
+                .into_iter()
+                .map(|c| c.value.unwrap())
+                .collect();
+        assert_eq!(plain, ordered);
+    }
+
+    #[test]
+    fn prioritized_dispatch_runs_long_cells_first() {
+        // The head of the dispatch order must be among the first cells
+        // picked up. With 2 workers each holding one cell, no third
+        // pop can happen until one of the first two completes, and a
+        // barrier makes both first pickups rendezvous inside `f` — so
+        // the first two `f` entries are exactly the first two queue
+        // pops, deterministically.
+        let long_slot = 9usize;
+        let order: Vec<usize> = std::iter::once(long_slot)
+            .chain((0..16).filter(|&i| i != long_slot))
+            .collect();
+        let barrier = std::sync::Barrier::new(2);
+        let entries = AtomicUsize::new(0);
+        let first_two = Mutex::new(Vec::new());
+        run_grid_prioritized(
+            (0..16).collect::<Vec<usize>>(),
+            2,
+            Some(order),
+            |slot, _| {
+                if entries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    first_two.lock().push(slot);
+                    barrier.wait();
+                }
+            },
+            |_, _| {},
+        );
+        assert!(
+            first_two.lock().contains(&long_slot),
+            "the head of the dispatch order must be picked up first"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch order")]
+    fn prioritized_dispatch_rejects_non_permutations() {
+        run_grid_prioritized(
+            vec![1u32, 2, 3],
+            2,
+            Some(vec![0, 0, 1]),
+            |_, &x| x,
+            |_, _| {},
+        );
     }
 
     #[test]

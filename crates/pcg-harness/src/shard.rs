@@ -66,14 +66,16 @@ pub fn run_shard(
     let models = pcg_models::zoo();
     let plan = eval::plan_for(cfg, &models, tasks);
     let jpath = journal::shard_journal_path(&cache, shard);
+    let priors = pipeline::load_priors(opts);
+    let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
 
     let resumed = if opts.resume {
-        pipeline::resume_journal(&jpath, cfg, shard)
+        pipeline::resume_journal(&jpath, cfg, shard, priors_hash)
     } else {
         pipeline::ResumedJournal::none()
     };
     let replay = resumed.replay;
-    let owned = plan.shard(shard).len();
+    let owned = plan.shard_with(shard, priors.as_ref()).len();
     eprintln!(
         "[pcgbench] shard {shard}: {owned} of {} cells ({} replayed from {})",
         plan.len(),
@@ -82,7 +84,7 @@ pub fn run_shard(
     );
 
     let wal = if replay.is_empty() || resumed.recreate {
-        Journal::create(&jpath, cfg, shard)
+        Journal::create_with_priors(&jpath, cfg, shard, priors_hash)
     } else {
         Journal::open_append(&jpath)
     };
@@ -99,12 +101,13 @@ pub fn run_shard(
     };
 
     let runner = SharedRunner::new(cfg.clone());
-    let run = eval::evaluate_plan(
+    let run = eval::evaluate_plan_priors(
         cfg,
         &models,
         &plan,
         shard,
         opts.jobs,
+        priors.as_ref(),
         &runner,
         &replay,
         |cell, model, rec| {
@@ -145,6 +148,8 @@ pub fn merge_shards(
     let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
     let models = pcg_models::zoo();
     let plan = eval::plan_for(cfg, &models, tasks);
+    let priors = pipeline::load_priors(opts);
+    let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
 
     let mut map: HashMap<CellId, TaskRecord> = HashMap::with_capacity(plan.len());
     let mut parts: Vec<EvalStats> = Vec::new();
@@ -152,7 +157,23 @@ pub fn merge_shards(
     for k in 0..count {
         let spec = ShardSpec::new(k, count);
         let jpath = journal::shard_journal_path(&cache, spec);
-        let loaded = journal::load_counting(&jpath, cfg, spec);
+        // A worker that partitioned the grid under different priors
+        // journaled cells this merge assigns elsewhere — and is missing
+        // cells it was supposed to own. Reject the whole journal
+        // loudly; the gap fill below re-evaluates its slice.
+        if let Some(stamped) = journal::peek_priors_hash(&jpath) {
+            if stamped != priors_hash {
+                eprintln!(
+                    "[pcgbench] warning: journal {}: priors hash {stamped:016x} does not match \
+                     this merge's {priors_hash:016x}; ignoring the journal (its cells will be \
+                     re-evaluated) — run every worker and the merge with the same --priors",
+                    jpath.display(),
+                );
+                rejected += 1;
+                continue;
+            }
+        }
+        let loaded = journal::load_counting_with_priors(&jpath, cfg, spec, priors_hash);
         for r in &loaded.rejects {
             eprintln!("[pcgbench] warning: journal {}: rejected {r}", jpath.display());
         }
@@ -188,11 +209,12 @@ pub fn merge_shards(
             if missing.len() == 1 { "" } else { "s" },
         );
         let runner = SharedRunner::new(cfg.clone());
-        let fill = eval::evaluate_cells(
+        let fill = eval::evaluate_cells_priors(
             cfg,
             &models,
             missing,
             opts.jobs,
+            priors.as_ref(),
             &runner,
             &journal::Replay::new(),
             |_, _, _| {},
@@ -232,7 +254,7 @@ pub fn merge_shards(
         let _ = pipeline::atomic_write(&pipeline::stats_path(cfg), &bytes);
     }
     if committed {
-        pipeline::write_cols_sidecar(&cache, &record);
+        pipeline::write_cols_sidecar(&cache, &record, &stats);
         // The cache now holds everything the shard journals were
         // protecting.
         for k in 0..count {
@@ -248,8 +270,16 @@ pub fn merge_shards(
 /// and summed stage seconds add, wall clock is the max (processes ran
 /// concurrently), and the quarantine lists union deterministically
 /// (two shards can independently quarantine the same shared candidate;
-/// the single-process run records it once).
+/// the single-process run records it once). Measured cell walls union
+/// by cell id (shards are disjoint, so at most one part measured any
+/// cell), and each part's own wall clock is kept as one `shard_walls`
+/// entry — the imbalance `report` surfaces as the merge gate.
 pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
+    let mut cell_walls: Vec<crate::record::CellWall> =
+        parts.iter().flat_map(|p| p.cell_walls.iter().copied()).collect();
+    cell_walls.sort_by_key(|w| w.cell);
+    cell_walls.dedup_by_key(|w| w.cell);
+    let shard_walls: Vec<f64> = parts.iter().map(|p| p.wall_s).collect();
     let mut quarantined: Vec<crate::runner::QuarantineEntry> =
         parts.iter().flat_map(|p| p.quarantined.iter().cloned()).collect();
     quarantined.sort_by(|a, b| {
@@ -291,6 +321,8 @@ pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
         stack_overflows_caught: sum(|p| p.stack_overflows_caught),
         guard_faults: sum(|p| p.guard_faults),
         leak_budget_exhausted: parts.iter().any(|p| p.leak_budget_exhausted),
+        cell_walls,
+        shard_walls,
     }
 }
 
@@ -367,7 +399,28 @@ mod tests {
             stack_overflows_caught: 0,
             guard_faults: 0,
             leak_budget_exhausted: false,
+            cell_walls: Vec::new(),
+            shard_walls: Vec::new(),
         }
+    }
+
+    #[test]
+    fn combine_stats_unions_cell_walls_and_collects_shard_walls() {
+        use crate::record::CellWall;
+        let mut a = base_stats();
+        a.wall_s = 4.0;
+        a.cell_walls = vec![CellWall { cell: 7, secs: 0.5 }, CellWall { cell: 3, secs: 0.25 }];
+        let mut b = base_stats();
+        b.wall_s = 1.0;
+        b.cell_walls = vec![CellWall { cell: 5, secs: 0.75 }];
+        let merged = combine_stats(&[a, b], 3);
+        assert_eq!(
+            merged.cell_walls.iter().map(|w| w.cell).collect::<Vec<_>>(),
+            vec![3, 5, 7],
+            "walls union sorted by cell id"
+        );
+        assert_eq!(merged.shard_walls, vec![4.0, 1.0], "one wall entry per part, part order");
+        assert_eq!(merged.wall_s, 4.0);
     }
 
     #[test]

@@ -164,7 +164,7 @@ fn merged_shards_match_the_unsharded_run() {
     let keep = 2;
     simulate_crash(&journal::shard_journal_path(&cache, spec0), keep);
     let resume_opts =
-        RunOptions { jobs: 2, resume: true, journal: true, shard: Some(spec0), merge_shards: None };
+        RunOptions { resume: true, shard: Some(spec0), ..RunOptions::new(2) };
     let stats0 = run_shard(Some(&cache), &cfg, &resume_opts, spec0, Some(&tasks));
     assert_eq!(stats0.resumed_cells, keep, "the completed prefix must replay, not re-run");
     assert!(stats0.journal_compactions > 0, "the torn tail must be compacted away");

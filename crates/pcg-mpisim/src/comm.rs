@@ -315,6 +315,15 @@ impl<'w> Comm<'w> {
         self.send_packet(dst, tag, T::wrap(data.to_vec()));
     }
 
+    /// [`Comm::send`] for a buffer the sender is done with: the vector
+    /// is moved into the packet, so the payload bytes are never copied
+    /// (counted in the `bytes_zero_copied` stat). Semantically
+    /// identical to `send` — same virtual-time charges, same matching —
+    /// it only changes who owns the allocation.
+    pub fn send_owned<T: Elem>(&self, dst: usize, tag: u32, data: Vec<T>) {
+        self.send_vec(dst, tag, data);
+    }
+
     /// Blocking receive of a typed slice. `src = None` matches any
     /// source. Panics (aborting the world) on a payload type mismatch,
     /// mirroring an MPI datatype error.
@@ -706,6 +715,29 @@ mod tests {
                 assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} size={size}");
             }
         }
+    }
+
+    #[test]
+    fn send_owned_moves_payloads_without_copying() {
+        let before = sched::stats().bytes_zero_copied;
+        let out = crate::World::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let payload: Vec<i64> = (0..1024).collect();
+                    comm.send_owned(1, 7, payload);
+                    Vec::new()
+                } else {
+                    comm.recv::<i64>(Some(0), 7)
+                }
+            })
+            .unwrap();
+        assert!(out.per_rank[0].is_empty());
+        assert_eq!(out.per_rank[1], (0..1024).collect::<Vec<i64>>());
+        let moved = sched::stats().bytes_zero_copied - before;
+        assert!(
+            moved >= 1024 * 8,
+            "an owned send must count its payload bytes as zero-copied, got {moved}"
+        );
     }
 
     #[test]
