@@ -41,6 +41,49 @@ pub const JOURNAL_MAGIC: [u8; 8] = *b"PCGJRNL3";
 /// Fixed bytes before each frame's payload: `len (4) + cell (8) + crc (4)`.
 pub const FRAME_OVERHEAD: usize = 16;
 
+/// Payload magic for a **claim frame** — the second frame kind, used by
+/// live work stealing between shard workers. A thief appends a claim
+/// frame (cell tag = the claimed cell, payload = this magic + its own
+/// shard index) to its *own* journal **before** evaluating a stolen
+/// cell, so a crash after the claim loses at most duplicated work,
+/// never the cell: merge gap-fill re-evaluates anything claimed but
+/// never journaled.
+///
+/// The discriminator is the payload prefix rather than a new header
+/// field so the frame layout above is unchanged and old readers fail
+/// safe: an entry payload starts with a `u32` model-name length, and
+/// these eight bytes read as a length of ~1.1 billion, which the
+/// bounded entry decoder rejects — a claim can never be mistaken for a
+/// result.
+pub const CLAIM_MAGIC: [u8; 8] = *b"PCGCLAIM";
+
+/// Encode a claim-frame payload: [`CLAIM_MAGIC`] followed by the
+/// thief's shard index (little-endian `u32`). The claimed cell rides
+/// in the frame's cell tag, covered by the frame CRC.
+pub fn encode_claim_payload(thief_index: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&CLAIM_MAGIC);
+    out.extend_from_slice(&thief_index.to_le_bytes());
+    out
+}
+
+/// Decode a claim-frame payload, returning the thief's shard index.
+/// `None` means the payload is not a claim (no magic prefix) or is
+/// malformed (wrong length / trailing bytes) — callers treat malformed
+/// claims like any other undecodable payload.
+pub fn decode_claim_payload(payload: &[u8]) -> Option<u32> {
+    if payload.len() != CLAIM_MAGIC.len() + 4 || payload[..8] != CLAIM_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(payload[8..12].try_into().unwrap()))
+}
+
+/// Whether a verified frame payload is a claim frame. The cheap
+/// prefix test readers use to branch before attempting entry decode.
+pub fn is_claim_payload(payload: &[u8]) -> bool {
+    payload.len() >= CLAIM_MAGIC.len() && payload[..CLAIM_MAGIC.len()] == CLAIM_MAGIC
+}
+
 /// CRC-32 (IEEE 802.3, polynomial `0xEDB88320` reflected) lookup table,
 /// built at first use.
 fn crc_table() -> &'static [u32; 256] {
@@ -430,6 +473,39 @@ mod tests {
             Some(Err(FrameError::TornTail { .. })) => {}
             other => panic!("oversized length decoded as {other:?}"),
         }
+    }
+
+    #[test]
+    fn claim_payloads_roundtrip_and_discriminate() {
+        let p = encode_claim_payload(2);
+        assert!(is_claim_payload(&p));
+        assert_eq!(decode_claim_payload(&p), Some(2));
+        assert_eq!(decode_claim_payload(&encode_claim_payload(u32::MAX)), Some(u32::MAX));
+
+        // A claim frame survives the frame codec like any other frame.
+        let framed = encode_frame(0xDEAD_BEEF, &p);
+        let f = decode_frame(&framed, 0).unwrap().unwrap();
+        assert_eq!(f.cell, 0xDEAD_BEEF);
+        assert_eq!(decode_claim_payload(f.payload), Some(2));
+
+        // Not claims: empty, truncated, trailing junk, wrong magic.
+        assert_eq!(decode_claim_payload(b""), None);
+        assert_eq!(decode_claim_payload(&p[..11]), None);
+        let mut long = p.clone();
+        long.push(0);
+        assert_eq!(decode_claim_payload(&long), None);
+        let mut wrong = p.clone();
+        wrong[0] ^= 1;
+        assert_eq!(decode_claim_payload(&wrong), None);
+        assert!(!is_claim_payload(&wrong));
+
+        // An entry-shaped payload (u32 length prefix of a short name)
+        // never looks like a claim: the magic's first byte is 'P', so
+        // a name length would have to be >= 0x50 Pa... — byte-compare
+        // is exact, not heuristic.
+        let mut w = ByteWriter::new();
+        w.put_str("gpt-4");
+        assert!(!is_claim_payload(&w.into_bytes()));
     }
 
     #[test]

@@ -228,7 +228,11 @@ impl WorkPlan {
     /// the identical partition — the partition is still disjoint,
     /// exhaustive, and coordination-free, just balanced by expected
     /// cost instead of by hash residue. Non-finite or negative costs
-    /// are clamped to zero rather than poisoning the sort.
+    /// are clamped to zero rather than poisoning the sort; a table
+    /// that clamps to zero *everywhere* carries no balance signal and
+    /// falls back to the unweighted `id % count` partition (greedy
+    /// packing of all-equal loads would dump the entire grid into
+    /// bin 0 and starve every other worker).
     pub fn shard_weighted(
         &self,
         shard: ShardSpec,
@@ -249,6 +253,9 @@ impl WorkPlan {
                 }
             })
             .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            return cells.into_iter().filter(|c| shard.contains(c.id)).collect();
+        }
         let mut order: Vec<usize> = (0..cells.len()).collect();
         order.sort_by(|&a, &b| {
             weights[b].total_cmp(&weights[a]).then(cells[a].id.cmp(&cells[b].id))
@@ -284,6 +291,40 @@ impl WorkPlan {
             Some(p) => self.shard_weighted(shard, |c| p.cost(&self.models[c.model], c.task)),
             None => self.shard(shard),
         }
+    }
+
+    /// The order a thief should try to steal `shard`'s cells: the
+    /// exact **reverse** of the victim's own dispatch order, so the
+    /// thief starts from the cells the victim would reach *last* and
+    /// the victim keeps its in-flight (heaviest-first under LPT) work.
+    ///
+    /// With priors the victim dispatches descending cost with ties on
+    /// ascending cell id, so thieves enumerate ascending cost with
+    /// ties on descending id — "cheapest-last cells first". Without
+    /// priors the victim walks its slice in plan order, so thieves
+    /// walk it reversed. Costs are clamped exactly like
+    /// [`WorkPlan::shard_weighted`] so both sides rank identically.
+    pub fn steal_order(
+        &self,
+        shard: ShardSpec,
+        priors: Option<&crate::priors::CostPriors>,
+    ) -> Vec<PlanCell> {
+        let mut owned = self.shard_with(shard, priors);
+        match priors {
+            Some(p) => {
+                let weight = |c: &PlanCell| {
+                    let w = p.cost(&self.models[c.model], c.task);
+                    if w.is_finite() && w > 0.0 {
+                        w
+                    } else {
+                        0.0
+                    }
+                };
+                owned.sort_by(|a, b| weight(a).total_cmp(&weight(b)).then(b.id.cmp(&a.id)));
+            }
+            None => owned.reverse(),
+        }
+        owned
     }
 }
 
@@ -374,7 +415,7 @@ mod tests {
         let p = plan();
         let all: Vec<CellId> = p.cells().map(|c| c.id).collect();
         // A skewed cost function: a handful of cells are 50× the rest.
-        let cost = |c: &PlanCell| if c.id.0 % 7 == 0 { 50.0 } else { 1.0 };
+        let cost = |c: &PlanCell| if c.id.0.is_multiple_of(7) { 50.0 } else { 1.0 };
         let mut seen = Vec::new();
         for k in 0..3 {
             let shard = p.shard_weighted(ShardSpec::new(k, 3), cost);
@@ -405,14 +446,99 @@ mod tests {
         let max = loads.iter().cloned().fold(f64::MIN, f64::max);
         let min = loads.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max - min <= 50.0, "LPT spread {max}-{min} exceeds the largest cell");
-        // Degenerate cost functions don't lose cells.
-        let bad = p.shard_weighted(ShardSpec::new(0, 3), |_| f64::NAN);
-        let rest: usize = (1..3)
-            .map(|k| p.shard_weighted(ShardSpec::new(k, 3), |_| f64::NAN).len())
-            .sum();
-        assert_eq!(bad.len() + rest, p.len());
+        // Degenerate cost functions (everything clamps to zero) fall
+        // back to the unweighted partition — no worker is starved.
+        for degenerate in [f64::NAN, 0.0, -3.0, f64::INFINITY] {
+            for k in 0..3 {
+                let spec = ShardSpec::new(k, 3);
+                assert_eq!(
+                    p.shard_weighted(spec, |_| degenerate),
+                    p.shard(spec),
+                    "all-{degenerate} costs must fall back to id % count"
+                );
+            }
+        }
         // count == 1 is the identity.
         assert_eq!(p.shard_weighted(ShardSpec::WHOLE, cost).len(), p.len());
+    }
+
+    #[test]
+    fn weighted_shards_survive_degenerate_plans() {
+        // More bins than cells: every cell lands somewhere, the extra
+        // bins are empty, and nothing panics.
+        let tiny = WorkPlan::new(7, vec!["GPT-4".into()], all_tasks().take(2).collect());
+        let cost = |c: &PlanCell| (c.id.0 % 5) as f64 + 1.0;
+        let mut seen = Vec::new();
+        let mut empty = 0;
+        for k in 0..8 {
+            let owned = tiny.shard_weighted(ShardSpec::new(k, 8), cost);
+            if owned.is_empty() {
+                empty += 1;
+            }
+            seen.extend(owned.iter().map(|c| c.id));
+        }
+        assert_eq!(seen.len(), tiny.len(), "count > cells must not drop or duplicate cells");
+        assert_eq!(empty, 8 - tiny.len() as i32, "exactly count - cells bins stay empty");
+
+        // A single-cell plan: the cell goes to exactly one bin,
+        // deterministically.
+        let one = WorkPlan::new(7, vec!["GPT-4".into()], all_tasks().take(1).collect());
+        let owners: Vec<u32> = (0..3)
+            .filter(|&k| !one.shard_weighted(ShardSpec::new(k, 3), cost).is_empty())
+            .collect();
+        assert_eq!(owners.len(), 1, "a single cell has a single owner");
+        let again: Vec<u32> = (0..3)
+            .filter(|&k| !one.shard_weighted(ShardSpec::new(k, 3), cost).is_empty())
+            .collect();
+        assert_eq!(owners, again);
+        // And the zero-signal single-cell case matches the unweighted
+        // fallback exactly.
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            assert_eq!(one.shard_weighted(spec, |_| 0.0), one.shard(spec));
+        }
+    }
+
+    #[test]
+    fn steal_order_reverses_the_victims_dispatch() {
+        let p = plan();
+        // Without priors the victim runs its slice in plan order, so
+        // the steal order is that slice reversed.
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            let mut expect = p.shard(spec);
+            expect.reverse();
+            assert_eq!(p.steal_order(spec, None), expect);
+        }
+        // With priors: same cell set as the weighted slice, sorted
+        // ascending cost with ties on descending id — the reverse of
+        // LPT dispatch (descending cost, ties ascending id).
+        let priors = crate::priors::CostPriors::default_profile();
+        for k in 0..3 {
+            let spec = ShardSpec::new(k, 3);
+            let order = p.steal_order(spec, Some(&priors));
+            let mut want: Vec<CellId> =
+                p.shard_with(spec, Some(&priors)).iter().map(|c| c.id).collect();
+            want.sort();
+            let mut got: Vec<CellId> = order.iter().map(|c| c.id).collect();
+            got.sort();
+            assert_eq!(got, want, "steal order must be a permutation of the owned slice");
+            let cost = |c: &PlanCell| {
+                let w = priors.cost(&p.models()[c.model], c.task);
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    0.0
+                }
+            };
+            assert!(
+                order.windows(2).all(|w| {
+                    cost(&w[0]) < cost(&w[1])
+                        || (cost(&w[0]) == cost(&w[1]) && w[0].id > w[1].id)
+                }),
+                "steal order must be ascending cost, ties descending id"
+            );
+        }
     }
 
     #[test]

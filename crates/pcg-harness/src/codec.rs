@@ -100,12 +100,33 @@ pub fn encode_entry(model: &str, record: &TaskRecord) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Encode a work-stealing claim payload for `thief`: the claimed cell
+/// rides in the frame's cell tag; the payload carries only the frame
+/// kind discriminator and the thief's shard index (diagnostics — the
+/// journal header already names its owner).
+pub fn encode_claim(thief_index: u32) -> Vec<u8> {
+    pcg_core::frame::encode_claim_payload(thief_index)
+}
+
+/// Decode a claim payload back to the thief's shard index; `None` for
+/// anything that is not a well-formed claim.
+pub fn decode_claim(payload: &[u8]) -> Option<u32> {
+    pcg_core::frame::decode_claim_payload(payload)
+}
+
 /// Decode a v3 frame payload back into `(model, record)`. Any
 /// malformation — truncation, junk bools, an out-of-range task index,
 /// out-of-order sweep keys, trailing bytes — is an error describing
 /// what failed and where.
 pub fn decode_entry(payload: &[u8]) -> Result<(String, TaskRecord), String> {
     let err = |e: pcg_core::frame::CodecError| e.to_string();
+    if pcg_core::frame::is_claim_payload(payload) {
+        // Belt and braces: the claim magic would also fail the model
+        // name length check below (the bytes read as a ~1.1-billion
+        // length), but a claim is a *valid* frame kind, not
+        // corruption, and the error should say so.
+        return Err("claim frame payload, not an entry".to_string());
+    }
     let mut r = ByteReader::new(payload);
     let model = r.str().map_err(err)?.to_string();
     let task_index = r.u32().map_err(err)? as usize;
@@ -155,6 +176,16 @@ mod tests {
             }),
             sweep: BTreeMap::from([(2u32, vec![1.5, 0.0]), (8u32, vec![0.1])]),
         }
+    }
+
+    #[test]
+    fn claim_payloads_never_decode_as_entries() {
+        let claim = encode_claim(1);
+        assert_eq!(decode_claim(&claim), Some(1));
+        let err = decode_entry(&claim).unwrap_err();
+        assert!(err.contains("claim"), "claim rejection must name the frame kind, got: {err}");
+        // And entries never decode as claims.
+        assert_eq!(decode_claim(&encode_entry("GPT-4", &rec())), None);
     }
 
     #[test]

@@ -155,6 +155,22 @@ pub fn priors_source() -> Option<String> {
     std::env::var("PCG_PRIORS").ok().filter(|s| !s.is_empty())
 }
 
+/// The `PCG_STEAL` switch (env fallback for `--steal`/`--no-steal`):
+/// whether shard workers steal whole cells from lagging siblings.
+/// Like [`priors_source`], deliberately outside the config hash —
+/// stealing relocates evaluations between processes, it never changes
+/// the bytes they produce.
+pub fn steal_source() -> Option<String> {
+    std::env::var("PCG_STEAL").ok().filter(|s| !s.is_empty())
+}
+
+/// The `PCG_KEEP_SHARDS` switch (env fallback for `--keep-shards`):
+/// whether `--merge-shards` preserves the consumed shard journals and
+/// stats sidecars for post-mortem inspection instead of deleting them.
+pub fn keep_shards_source() -> Option<String> {
+    std::env::var("PCG_KEEP_SHARDS").ok().filter(|s| !s.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -362,6 +362,9 @@ pub fn evaluate_cells_priors(
         stack_overflows_caught: runner.stack_overflows_caught(),
         guard_faults: runner.guard_faults(),
         leak_budget_exhausted: runner.leak_budget_exhausted(),
+        cells_stolen: 0,
+        steal_conflicts: 0,
+        steal_scans: 0,
         cell_walls,
         shard_walls: Vec::new(),
     };

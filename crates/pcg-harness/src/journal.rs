@@ -129,6 +129,25 @@ fn header_payload(cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Vec<u
     w.into_bytes()
 }
 
+/// Whether a v3 header payload matches `(config hash, shard geometry,
+/// priors hash)` exactly. Pre-priors headers (written before the hash
+/// field existed) carry an implicit hash 0. Shared by full replay and
+/// the work-stealing progress peek so the two can never drift apart on
+/// gating policy.
+fn header_matches(payload: &[u8], chash: u64, shard: ShardSpec, priors_hash: u64) -> bool {
+    let mut r = ByteReader::new(payload);
+    let ok = r.u32().is_ok_and(|v| v == VERSION)
+        && r.u64().is_ok_and(|h| h == chash)
+        && r.u32().is_ok_and(|i| i == shard.index)
+        && r.u32().is_ok_and(|c| c == shard.count);
+    if !ok {
+        return false;
+    }
+    let stored =
+        if r.is_exhausted() { Some(0) } else { r.u64().ok().filter(|_| r.is_exhausted()) };
+    stored == Some(priors_hash)
+}
+
 /// Journal path for a record cache path (`records-quick.json` →
 /// `records-quick.json.journal`).
 pub fn journal_path(cache_path: &Path) -> PathBuf {
@@ -291,6 +310,29 @@ impl Journal {
         file.flush()?;
         file.sync_data()
     }
+
+    /// Durably append one work-stealing claim frame per cell, batched
+    /// into a single write + fsync. A thief MUST call this and see it
+    /// return `Ok` **before** evaluating the stolen cells
+    /// (claim-before-evaluate): once the claims are on disk, siblings
+    /// stop racing for these cells, and if the thief then crashes the
+    /// claims are compacted away on its next resume (or ignored by
+    /// merge), so the cells fall through to gap-fill — duplicated
+    /// effort at worst, never lost work.
+    pub fn append_claims(&self, cells: &[CellId], thief_index: u32) -> std::io::Result<()> {
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let payload = codec::encode_claim(thief_index);
+        let mut bytes = Vec::with_capacity(cells.len() * (FRAME_OVERHEAD + payload.len()));
+        for cell in cells {
+            frame::encode_frame_into(&mut bytes, cell.0, &payload);
+        }
+        let mut file = self.file.lock();
+        file.write_all(&bytes)?;
+        file.flush()?;
+        file.sync_data()
+    }
 }
 
 /// Load the replayable cells of the journal at `path` for `cfg`'s
@@ -377,6 +419,61 @@ pub fn peek_priors_hash(path: &Path) -> Option<u64> {
     }
 }
 
+/// A sibling journal's structurally visible progress: which cells it
+/// has journaled results for and which it has merely claimed. This is
+/// what a work-stealing worker reads to find stealable cells.
+#[derive(Debug, Default, Clone)]
+pub struct Progress {
+    /// Cell ids with a result frame on disk. A cell can appear in both
+    /// sets (claimed, then completed) — `done` wins for any purpose.
+    pub done: std::collections::HashSet<u64>,
+    /// Cell ids with a claim frame on disk.
+    pub claimed: std::collections::HashSet<u64>,
+}
+
+/// Peek one sibling shard journal's progress **without full replay**:
+/// the header is gated exactly like [`load_counting_with_priors`]
+/// (version, config hash, shard geometry, priors hash), then frames
+/// are walked CRC-checked but entry payloads are never decoded — cell
+/// ids come from the (CRC-covered) frame tags. The walk stops at the
+/// first torn or corrupt frame, trusting only the clean prefix.
+///
+/// `None` means the journal is missing, not v3, or gated out — the
+/// caller should treat the sibling as having made no visible progress
+/// (every cell stealable; a stolen result is valid for the thief's own
+/// plan regardless of what the victim's file said). The peek is
+/// advisory only: a stale read means duplicated work at worst, since
+/// results are deterministic per cell and merge folds duplicates.
+pub fn peek_progress(
+    path: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> Option<Progress> {
+    let bytes = std::fs::read(path).ok()?;
+    if !bytes.starts_with(&JOURNAL_MAGIC) {
+        return None;
+    }
+    let header = match frame::decode_frame(&bytes, JOURNAL_MAGIC.len()) {
+        Some(Ok(f)) if f.cell == HEADER_CELL => f,
+        _ => return None,
+    };
+    if !header_matches(header.payload, config_hash(cfg), shard, priors_hash) {
+        return None;
+    }
+    let mut progress = Progress::default();
+    let mut offset = header.end;
+    while let Some(Ok(f)) = frame::decode_frame(&bytes, offset) {
+        if codec::decode_claim(f.payload).is_some() {
+            progress.claimed.insert(f.cell);
+        } else {
+            progress.done.insert(f.cell);
+        }
+        offset = f.end;
+    }
+    Some(progress)
+}
+
 fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Loaded {
     let mut loaded = Loaded::empty();
     let chash = config_hash(cfg);
@@ -387,22 +484,8 @@ fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -
         Some(Ok(f)) if f.cell == HEADER_CELL => f,
         _ => return loaded,
     };
-    {
-        let mut r = ByteReader::new(header.payload);
-        let ok = r.u32().is_ok_and(|v| v == VERSION)
-            && r.u64().is_ok_and(|h| h == chash)
-            && r.u32().is_ok_and(|i| i == shard.index)
-            && r.u32().is_ok_and(|c| c == shard.count);
-        if !ok {
-            return loaded;
-        }
-        // Pre-priors v3 headers end here and carry an implicit hash 0;
-        // current headers append the priors hash. Either way the
-        // stamped hash must match the active priors exactly.
-        let stored = if r.is_exhausted() { Some(0) } else { r.u64().ok().filter(|_| r.is_exhausted()) };
-        if stored != Some(priors_hash) {
-            return loaded;
-        }
+    if !header_matches(header.payload, chash, shard, priors_hash) {
+        return loaded;
     }
     loaded.format = Some(JournalFormat::V3);
 
@@ -431,6 +514,18 @@ fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -
                 return loaded;
             }
         };
+        if codec::decode_claim(f.payload).is_some() {
+            // A work-stealing claim: it marks intent, carries no
+            // result, and must never replay. It counts as stale so a
+            // resume compacts it away — a claim without a matching
+            // result frame means the thief died mid-steal, and
+            // dropping the claim is exactly what makes the cell
+            // stealable (or merge-gap-fillable) again.
+            loaded.stale_frames += 1;
+            offset = f.end;
+            frame_idx += 1;
+            continue;
+        }
         let reject = |reason: String| Reject {
             offset: offset as u64,
             frame: frame_idx,
@@ -765,6 +860,78 @@ mod tests {
             serde_json::to_string(&original).unwrap(),
             serde_json::to_string(&back.record).unwrap(),
         );
+        remove(&path);
+    }
+
+    #[test]
+    fn claims_are_skipped_on_replay_and_folded_by_compaction() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("claims");
+        let spec = ShardSpec::new(1, 3);
+        let j = Journal::create(&path, &cfg, spec).unwrap();
+        let done = cell_of(&cfg, "GPT-4", &rec(0));
+        j.append(done, "GPT-4", &rec(0)).unwrap();
+        // Claim two cells, then complete only one — the other is a
+        // thief that died between claim and result.
+        let c1 = cell_of(&cfg, "GPT-4", &rec(1));
+        let c2 = cell_of(&cfg, "CodeLlama-7B", &rec(0));
+        j.append_claims(&[c1, c2], 1).unwrap();
+        j.append(c1, "GPT-4", &rec(1)).unwrap();
+        drop(j);
+
+        let loaded = load_counting(&path, &cfg, spec);
+        assert_eq!(loaded.format, Some(JournalFormat::V3));
+        assert_eq!(loaded.replay.len(), 2, "claims never replay");
+        assert!(loaded.replay.contains_key(&done));
+        assert!(loaded.replay.contains_key(&c1));
+        assert!(!loaded.replay.contains_key(&c2));
+        assert_eq!(loaded.stale_frames, 2, "each claim counts stale so resume compacts");
+        assert!(loaded.rejects.is_empty(), "claims are a frame kind, not corruption");
+        assert!(loaded.needs_compaction());
+
+        // Compaction folds the claims away: the unfinished claim's
+        // cell is simply absent — stealable / gap-fillable again.
+        compact(&path, &cfg, spec, &loaded.replay).unwrap();
+        let again = load_counting(&path, &cfg, spec);
+        assert_eq!(again.replay.len(), 2);
+        assert_eq!(again.stale_frames, 0);
+        assert!(!again.needs_compaction());
+        remove(&path);
+    }
+
+    #[test]
+    fn peek_progress_reports_done_and_claimed_without_replay() {
+        let cfg = EvalConfig::smoke();
+        let path = tmp("peek");
+        let spec = ShardSpec::new(0, 3);
+        let j = Journal::create(&path, &cfg, spec).unwrap();
+        let done = cell_of(&cfg, "GPT-4", &rec(0));
+        let claimed = cell_of(&cfg, "GPT-4", &rec(1));
+        j.append(done, "GPT-4", &rec(0)).unwrap();
+        j.append_claims(&[claimed], 2).unwrap();
+        drop(j);
+
+        let p = peek_progress(&path, &cfg, spec, 0).unwrap();
+        assert!(p.done.contains(&done.0));
+        assert!(p.claimed.contains(&claimed.0));
+        assert_eq!((p.done.len(), p.claimed.len()), (1, 1));
+
+        // Gated exactly like replay: wrong geometry, wrong config,
+        // wrong priors hash, or a missing file sees no progress.
+        assert!(peek_progress(&path, &cfg, ShardSpec::new(1, 3), 0).is_none());
+        assert!(peek_progress(&path, &cfg, spec, 7).is_none());
+        let mut other = EvalConfig::smoke();
+        other.seed += 1;
+        assert!(peek_progress(&path, &other, spec, 0).is_none());
+        assert!(peek_progress(&tmp("peek-missing"), &cfg, spec, 0).is_none());
+
+        // A torn tail truncates the peek to the clean prefix.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let torn = frame::encode_frame(999, &codec::encode_entry("GPT-4", &rec(2)));
+        bytes.extend_from_slice(&torn[..torn.len() - 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        let p = peek_progress(&path, &cfg, spec, 0).unwrap();
+        assert_eq!((p.done.len(), p.claimed.len()), (1, 1));
         remove(&path);
     }
 

@@ -68,6 +68,18 @@ pub struct RunOptions {
     /// `default` for the committed analytic profile. `None` schedules
     /// round-robin and shards by `id % count`, exactly as before.
     pub priors: Option<String>,
+    /// Let shard workers steal whole cells from lagging siblings after
+    /// draining their own partition (`--steal` / `--no-steal`, env
+    /// `PCG_STEAL`). On by default; only effective in worker mode — a
+    /// single-process run has no siblings to steal from. Like priors,
+    /// deliberately outside the config hash: stealing moves cells
+    /// between processes, never changes what they compute.
+    pub steal: bool,
+    /// Keep the per-shard journals and stats sidecars after a
+    /// successful merge instead of deleting them (`--keep-shards` /
+    /// `PCG_KEEP_SHARDS`), for post-mortem inspection of who evaluated
+    /// — and who stole — what.
+    pub keep_shards: bool,
 }
 
 impl RunOptions {
@@ -80,14 +92,18 @@ impl RunOptions {
             shard: None,
             merge_shards: None,
             priors: None,
+            steal: true,
+            keep_shards: false,
         }
     }
 
     /// Parse `--jobs N`, `--resume`, `--no-journal`, `--shard k/N`
     /// (env fallback `PCG_SHARD`), `--merge-shards N` (env fallback
-    /// `PCG_MERGE_SHARDS`), and `--priors SRC` (env fallback
-    /// `PCG_PRIORS`) from the process arguments (exits with code 2 on
-    /// a malformed value, like [`scheduler::jobs_from_cli`]).
+    /// `PCG_MERGE_SHARDS`), `--priors SRC` (env fallback `PCG_PRIORS`),
+    /// `--steal`/`--no-steal` (env fallback `PCG_STEAL`, default on),
+    /// and `--keep-shards` (env fallback `PCG_KEEP_SHARDS`) from the
+    /// process arguments (exits with code 2 on a malformed value, like
+    /// [`scheduler::jobs_from_cli`]).
     pub fn from_cli() -> RunOptions {
         let has = |flag: &str| std::env::args().any(|a| a == flag);
         RunOptions {
@@ -97,6 +113,8 @@ impl RunOptions {
             shard: shard_from_cli(),
             merge_shards: merge_from_cli(),
             priors: flag_value("--priors").or_else(crate::config::priors_source),
+            steal: steal_from_cli(),
+            keep_shards: keep_shards_from_cli(),
         }
     }
 
@@ -182,6 +200,42 @@ fn merge_from_cli() -> Option<u32> {
             std::process::exit(2);
         }
     }
+}
+
+/// Parse a boolean switch value (`1/true/on/yes` vs `0/false/off/no`,
+/// case-insensitive). Exits with code 2 on anything else — a typo'd
+/// `PCG_STEAL=ture` silently defaulting would be worse than stopping.
+fn switch(raw: &str, what: &str) -> bool {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => true,
+        "0" | "false" | "off" | "no" => false,
+        _ => {
+            eprintln!("[pcgbench] invalid {what} value {raw:?}: expected 1/true/on or 0/false/off");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--steal` / `--no-steal` from the arguments (explicit flags win),
+/// else the `PCG_STEAL` environment variable, else on.
+fn steal_from_cli() -> bool {
+    let has = |flag: &str| std::env::args().any(|a| a == flag);
+    if has("--no-steal") {
+        return false;
+    }
+    if has("--steal") {
+        return true;
+    }
+    crate::config::steal_source().is_none_or(|raw| switch(&raw, "PCG_STEAL"))
+}
+
+/// `--keep-shards` from the arguments, else the `PCG_KEEP_SHARDS`
+/// environment variable, else off.
+fn keep_shards_from_cli() -> bool {
+    if std::env::args().any(|a| a == "--keep-shards") {
+        return true;
+    }
+    crate::config::keep_shards_source().is_some_and(|raw| switch(&raw, "PCG_KEEP_SHARDS"))
 }
 
 /// The value of `--flag value` or `--flag=value` in the process args.
@@ -510,5 +564,17 @@ mod tests {
         assert!(!o.resume);
         assert!(o.shard.is_none());
         assert!(o.merge_shards.is_none());
+        assert!(o.steal, "stealing defaults on (harmless outside worker mode)");
+        assert!(!o.keep_shards, "merge cleans up its inputs by default");
+    }
+
+    #[test]
+    fn switch_accepts_the_usual_spellings() {
+        for raw in ["1", "true", "ON", "Yes"] {
+            assert!(switch(raw, "test"));
+        }
+        for raw in ["0", "false", "OFF", "no"] {
+            assert!(!switch(raw, "test"));
+        }
     }
 }

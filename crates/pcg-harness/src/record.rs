@@ -160,6 +160,23 @@ pub struct EvalStats {
     /// needs a larger budget or better-behaved candidates.
     #[serde(default)]
     pub leak_budget_exhausted: bool,
+    /// Whole cells this worker stole from lagging siblings (claimed
+    /// via a journal claim frame, evaluated locally, and journaled
+    /// here). Like `executions`, inherently per-topology — a
+    /// single-process run never steals — so it lives outside
+    /// [`stats_projection`].
+    #[serde(default)]
+    pub cells_stolen: u64,
+    /// Steal candidates abandoned because a sibling's claim frame was
+    /// observed first (claim arbitration; each contested cell counts
+    /// once per observer).
+    #[serde(default)]
+    pub steal_conflicts: u64,
+    /// Sibling-journal progress scans performed while looking for
+    /// stealable cells (including the pre-evaluation scan a stalled
+    /// victim uses to skip cells already taken from it).
+    #[serde(default)]
+    pub steal_scans: u64,
     /// Measured wall seconds per freshly evaluated cell, sorted by cell
     /// id. Replayed cells contribute no entry (their wall was paid in a
     /// previous run). Feeds the `.cols` sidecar's wall column, which

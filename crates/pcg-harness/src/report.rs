@@ -178,6 +178,17 @@ pub fn stats_summary(stats: &crate::record::EvalStats) -> String {
             if mean > 0.0 { max / mean } else { 1.0 },
         );
     }
+    if stats.cells_stolen + stats.steal_conflicts + stats.steal_scans > 0 {
+        let _ = writeln!(
+            s,
+            "[pcgbench]   work stealing: {} cell{} stolen from lagging siblings \
+             ({} claim conflicts, {} sibling scans)",
+            stats.cells_stolen,
+            if stats.cells_stolen == 1 { "" } else { "s" },
+            stats.steal_conflicts,
+            stats.steal_scans,
+        );
+    }
     if stats.resumed_cells > 0 {
         let _ = writeln!(
             s,

@@ -26,6 +26,28 @@
 //! deterministic projection (`record::stats_projection`) matches a
 //! single-process run, while cache-locality counters legitimately
 //! differ — each process dedups executions only within its own shard.
+//!
+//! ## Live work stealing
+//!
+//! Static partitioning (even cost-weighted) cannot anticipate a worker
+//! that is slow for *unpredicted* reasons — a noisy neighbor, one
+//! flaky retry storm — and the merge gate is the max shard wall, so
+//! one straggler stalls the whole fleet. With `--steal` (the default
+//! for shard workers), a worker that drains its own partition turns
+//! thief: it peeks sibling journals for cells with neither a result
+//! nor a claim on disk, durably appends **claim frames** for a batch
+//! to its *own* journal ([`Journal::append_claims`],
+//! claim-before-evaluate), evaluates the stolen cells, and journals
+//! the results locally. Victims pre-scan siblings before evaluating so
+//! a worker waking from a stall skips everything already taken from
+//! it. Arbitration is optimistic: claims race only within the small
+//! scan-to-claim window, and a lost race merely duplicates a cell —
+//! results are deterministic per cell and [`merge_shards`] folds
+//! duplicates last-write-wins, so merged records are byte-identical
+//! whether zero, one, or several workers raced a cell. A thief that
+//! dies between claim and result loses nothing: its orphaned claim is
+//! compacted away on resume and the cell falls through to merge
+//! gap-fill.
 
 use crate::config::EvalConfig;
 use crate::eval;
@@ -33,9 +55,10 @@ use crate::journal::{self, Journal};
 use crate::pipeline::{self, RunOptions};
 use crate::record::{EvalRecord, EvalStats, TaskRecord};
 use crate::runner::SharedRunner;
-use pcg_core::plan::{CellId, ShardSpec};
+use pcg_core::plan::{CellId, PlanCell, ShardSpec, WorkPlan};
+use pcg_core::CostPriors;
 use pcg_core::TaskId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Stats-sidecar path for one shard of a sharded run. Like the shard
@@ -46,6 +69,162 @@ pub fn shard_stats_path(cache_path: &Path, shard: ShardSpec) -> PathBuf {
     let mut os = cache_path.as_os_str().to_os_string();
     os.push(format!(".stats.shard-{}-of-{}", shard.index, shard.count));
     PathBuf::from(os)
+}
+
+/// What one worker's steal phase did, for the stats sidecar.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StealOutcome {
+    /// Whole cells claimed, evaluated, and journaled locally.
+    pub stolen: u64,
+    /// Candidates abandoned to a sibling's observed claim (counted
+    /// once per contested cell).
+    pub conflicts: u64,
+    /// Sibling progress scans performed.
+    pub scans: u64,
+}
+
+/// Union every sibling journal's visible progress (results + claims),
+/// header-gated per sibling exactly like replay. A sibling whose
+/// journal is missing or gated out contributes nothing — its cells
+/// look stealable, which is safe: stolen results are valid for this
+/// worker's plan regardless of what the victim's file said.
+pub fn scan_siblings(
+    cache: &Path,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> journal::Progress {
+    let mut all = journal::Progress::default();
+    for k in 0..shard.count {
+        if k == shard.index {
+            continue;
+        }
+        let spec = ShardSpec::new(k, shard.count);
+        let jpath = journal::shard_journal_path(cache, spec);
+        if let Some(p) = journal::peek_progress(&jpath, cfg, spec, priors_hash) {
+            all.done.extend(p.done);
+            all.claimed.extend(p.claimed);
+        }
+    }
+    all
+}
+
+/// The steal loop: scan siblings, claim a batch of unowned-undone
+/// cells, hand it to `run_batch`, repeat until nothing stealable
+/// remains. `done` seeds the cells this worker already has results
+/// for (its own journal's replay); the engine extends it with sibling
+/// results and its own claims as it goes.
+///
+/// Victim selection is most-lagging-first (the sibling with the most
+/// cells missing results); within one victim, cells are taken in
+/// [`WorkPlan::steal_order`] — the reverse of the victim's own
+/// dispatch, so the victim keeps its in-flight work. Racing thieves
+/// start their pick at a per-thief offset into the candidate ring so
+/// near-simultaneous scans choose disjoint batches; a lost race is
+/// detected at the next scan (the cell shows up claimed) and counted
+/// as a conflict, or — inside the scan-to-claim window — produces a
+/// harmless duplicate evaluation that merge folds last-write-wins.
+///
+/// The engine is deliberately evaluation-agnostic (`run_batch` does
+/// the work) so the production worker and the steal bench drive the
+/// exact same claim/arbitration code.
+#[allow(clippy::too_many_arguments)]
+pub fn steal_from_siblings(
+    cache: &Path,
+    cfg: &EvalConfig,
+    plan: &WorkPlan,
+    shard: ShardSpec,
+    priors: Option<&CostPriors>,
+    priors_hash: u64,
+    wal: &Journal,
+    batch: usize,
+    mut done: HashSet<u64>,
+    mut run_batch: impl FnMut(Vec<PlanCell>),
+) -> StealOutcome {
+    let mut out = StealOutcome::default();
+    if shard.count <= 1 {
+        return out;
+    }
+    let batch = batch.max(1);
+    // Every victim's cells in steal order, derived once — the same
+    // coordination-free determinism the partition itself relies on.
+    let victims: Vec<Vec<PlanCell>> = (0..shard.count)
+        .filter(|&k| k != shard.index)
+        .map(|k| plan.steal_order(ShardSpec::new(k, shard.count), priors))
+        .collect();
+    let mut contested: HashSet<u64> = HashSet::new();
+    loop {
+        out.scans += 1;
+        let progress = scan_siblings(cache, cfg, shard, priors_hash);
+        done.extend(progress.done.iter().copied());
+
+        let remaining =
+            |cells: &Vec<PlanCell>| cells.iter().filter(|c| !done.contains(&c.id.0)).count();
+        let mut by_lag: Vec<&Vec<PlanCell>> = victims.iter().collect();
+        by_lag.sort_by_key(|cells| std::cmp::Reverse(remaining(cells)));
+        let candidates: Vec<PlanCell> = by_lag
+            .into_iter()
+            .flatten()
+            .filter(|c| !done.contains(&c.id.0))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let mut grab: Vec<PlanCell> = Vec::new();
+        let start = (shard.index as usize).wrapping_mul(batch) % candidates.len();
+        for i in 0..candidates.len() {
+            let c = candidates[(start + i) % candidates.len()];
+            if progress.claimed.contains(&c.id.0) {
+                if contested.insert(c.id.0) {
+                    out.conflicts += 1;
+                }
+                continue;
+            }
+            grab.push(c);
+            if grab.len() >= batch {
+                break;
+            }
+        }
+        if grab.is_empty() {
+            // Everything left is claimed by a live sibling (it will
+            // deliver the result) or by a dead one (merge gap-fill
+            // covers it). Either way this thief is finished.
+            break;
+        }
+        // Claim-before-evaluate: the claims must be durable before any
+        // stolen work starts, so a crash from here on can only
+        // duplicate work, never hide it.
+        let ids: Vec<CellId> = grab.iter().map(|c| c.id).collect();
+        if let Err(e) = wal.append_claims(&ids, shard.index) {
+            eprintln!("[pcgbench] warning: could not journal steal claims; stopping steal: {e}");
+            break;
+        }
+        out.stolen += ids.len() as u64;
+        done.extend(ids.iter().map(|id| id.0));
+        run_batch(grab);
+    }
+    out
+}
+
+/// Fold the stats of one stolen-batch evaluation into the worker's
+/// running total. [`SharedRunner`] counters are **cumulative across
+/// calls** on one runner, so the latest snapshot replaces the total
+/// wholesale; the genuinely per-call fields (cells, queue waits,
+/// measured walls, resumed count) accumulate.
+fn absorb_steal_stats(total: &mut EvalStats, fill: EvalStats, stolen_cells: usize) {
+    let cells = total.cells + stolen_cells;
+    let queue_wait_s = total.queue_wait_s + fill.queue_wait_s;
+    let max_queue_wait_s = total.max_queue_wait_s.max(fill.max_queue_wait_s);
+    let resumed_cells = total.resumed_cells;
+    let mut cell_walls = std::mem::take(&mut total.cell_walls);
+    cell_walls.extend(fill.cell_walls.iter().copied());
+    *total = fill;
+    total.cells = cells;
+    total.queue_wait_s = queue_wait_s;
+    total.max_queue_wait_s = max_queue_wait_s;
+    total.resumed_cells = resumed_cells;
+    total.cell_walls = cell_walls;
 }
 
 /// Run one shard of the full evaluation grid as a worker process.
@@ -62,6 +241,7 @@ pub fn run_shard(
     shard: ShardSpec,
     tasks: Option<&[TaskId]>,
 ) -> EvalStats {
+    let t0 = std::time::Instant::now();
     let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
     let models = pcg_models::zoo();
     let plan = eval::plan_for(cfg, &models, tasks);
@@ -75,13 +255,6 @@ pub fn run_shard(
         pipeline::ResumedJournal::none()
     };
     let replay = resumed.replay;
-    let owned = plan.shard_with(shard, priors.as_ref()).len();
-    eprintln!(
-        "[pcgbench] shard {shard}: {owned} of {} cells ({} replayed from {})",
-        plan.len(),
-        replay.len(),
-        jpath.display(),
-    );
 
     let wal = if replay.is_empty() || resumed.recreate {
         Journal::create_with_priors(&jpath, cfg, shard, priors_hash)
@@ -100,12 +273,54 @@ pub fn run_shard(
         }
     };
 
+    // Test/bench fault injection: stall this worker before it touches
+    // any cell, so siblings get a head start and (with stealing on)
+    // visibly drain this shard's partition out from under it.
+    if let Ok(raw) = std::env::var("PCG_STEAL_STALL_MS") {
+        if let Ok(ms) = raw.trim().parse::<u64>() {
+            if ms > 0 {
+                eprintln!("[pcgbench] shard {shard}: injected stall of {ms}ms");
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+
+    let steal_on = opts.steal && shard.count > 1;
+    let mut owned = plan.shard_with(shard, priors.as_ref());
+    let mut scans_before = 0u64;
+    if steal_on {
+        // Victim pre-scan: anything a thief already finished or claimed
+        // while this worker was slow to start is dropped here, so a
+        // straggler waking up does not redo work the fleet took from
+        // it. Cells already in our own replay stay — they cost nothing.
+        let sib = scan_siblings(&cache, cfg, shard, priors_hash);
+        scans_before = 1;
+        let before = owned.len();
+        owned.retain(|c| {
+            replay.contains_key(&c.id)
+                || (!sib.done.contains(&c.id.0) && !sib.claimed.contains(&c.id.0))
+        });
+        let skipped = before - owned.len();
+        if skipped > 0 {
+            eprintln!(
+                "[pcgbench] shard {shard}: {skipped} cell{} already taken by siblings",
+                if skipped == 1 { "" } else { "s" },
+            );
+        }
+    }
+    eprintln!(
+        "[pcgbench] shard {shard}: {} of {} cells ({} replayed from {})",
+        owned.len(),
+        plan.len(),
+        replay.len(),
+        jpath.display(),
+    );
+
     let runner = SharedRunner::new(cfg.clone());
-    let run = eval::evaluate_plan_priors(
+    let run = eval::evaluate_cells_priors(
         cfg,
         &models,
-        &plan,
-        shard,
+        owned,
         opts.jobs,
         priors.as_ref(),
         &runner,
@@ -117,6 +332,45 @@ pub fn run_shard(
         },
     );
     let mut stats = run.stats;
+
+    let mut steal = StealOutcome::default();
+    if steal_on {
+        let done: HashSet<u64> = run.cells.iter().map(|(c, _)| c.id.0).collect();
+        steal = steal_from_siblings(
+            &cache,
+            cfg,
+            &plan,
+            shard,
+            priors.as_ref(),
+            priors_hash,
+            &wal,
+            opts.jobs.max(1),
+            done,
+            |batch| {
+                let stolen = batch.len();
+                let fill = eval::evaluate_cells_priors(
+                    cfg,
+                    &models,
+                    batch,
+                    opts.jobs,
+                    priors.as_ref(),
+                    &runner,
+                    &journal::Replay::new(),
+                    |cell, model, rec| {
+                        if let Err(e) = wal.append(cell, model, rec) {
+                            eprintln!("[pcgbench] warning: journal append failed: {e}");
+                        }
+                    },
+                );
+                absorb_steal_stats(&mut stats, fill.stats, stolen);
+            },
+        );
+    }
+    stats.cells_stolen = steal.stolen;
+    stats.steal_conflicts = steal.conflicts;
+    stats.steal_scans = steal.scans + scans_before;
+    stats.cell_walls.sort_by_key(|w| w.cell);
+    stats.wall_s = t0.elapsed().as_secs_f64();
     stats.journal_compactions = resumed.compacted;
     stats.journal_frames_rejected = resumed.rejected;
     eprintln!("[pcgbench] shard {shard} finished in {:.1}s", stats.wall_s);
@@ -255,12 +509,19 @@ pub fn merge_shards(
     }
     if committed {
         pipeline::write_cols_sidecar(&cache, &record, &stats);
-        // The cache now holds everything the shard journals were
-        // protecting.
-        for k in 0..count {
-            let spec = ShardSpec::new(k, count);
-            journal::remove(&journal::shard_journal_path(&cache, spec));
-            let _ = std::fs::remove_file(shard_stats_path(&cache, spec));
+        if opts.keep_shards {
+            // Post-mortem mode: the per-worker journals (claim frames
+            // included) and sidecars are the only record of who
+            // evaluated what; keep them for inspection.
+            eprintln!("[pcgbench] merge: keeping shard journals and sidecars (--keep-shards)");
+        } else {
+            // The cache now holds everything the shard journals were
+            // protecting.
+            for k in 0..count {
+                let spec = ShardSpec::new(k, count);
+                journal::remove(&journal::shard_journal_path(&cache, spec));
+                let _ = std::fs::remove_file(shard_stats_path(&cache, spec));
+            }
         }
     }
     record
@@ -321,6 +582,9 @@ pub fn combine_stats(parts: &[EvalStats], cells: usize) -> EvalStats {
         stack_overflows_caught: sum(|p| p.stack_overflows_caught),
         guard_faults: sum(|p| p.guard_faults),
         leak_budget_exhausted: parts.iter().any(|p| p.leak_budget_exhausted),
+        cells_stolen: sum(|p| p.cells_stolen),
+        steal_conflicts: sum(|p| p.steal_conflicts),
+        steal_scans: sum(|p| p.steal_scans),
         cell_walls,
         shard_walls,
     }
@@ -399,9 +663,27 @@ mod tests {
             stack_overflows_caught: 0,
             guard_faults: 0,
             leak_budget_exhausted: false,
+            cells_stolen: 0,
+            steal_conflicts: 0,
+            steal_scans: 0,
             cell_walls: Vec::new(),
             shard_walls: Vec::new(),
         }
+    }
+
+    #[test]
+    fn combine_stats_sums_steal_counters() {
+        let mut a = base_stats();
+        a.cells_stolen = 5;
+        a.steal_conflicts = 1;
+        a.steal_scans = 3;
+        let mut b = base_stats();
+        b.cells_stolen = 2;
+        b.steal_scans = 4;
+        let merged = combine_stats(&[a, b], 7);
+        assert_eq!(merged.cells_stolen, 7);
+        assert_eq!(merged.steal_conflicts, 1);
+        assert_eq!(merged.steal_scans, 7);
     }
 
     #[test]

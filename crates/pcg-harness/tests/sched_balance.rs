@@ -128,7 +128,7 @@ fn priors_reorder_execution_without_touching_a_byte() {
     let next_priors = cols
         .cost_priors("merged")
         .expect("a merged sidecar with measured walls must yield a priors table");
-    assert!(next_priors.len() > 0);
+    assert!(!next_priors.is_empty());
 
     // ------- Phase 4: workers journaled WITHOUT priors, merge runs
     // WITH them. Every journal must be rejected on its hash stamp and
