@@ -108,13 +108,13 @@ fn run_role(cache: &Path, spec: ShardSpec, steal: bool) {
     }
     let mut owned = plan.shard(spec);
     if steal {
-        let sib = scan_siblings(cache, &cfg, spec, 0);
+        let sib = scan_siblings(cache, &cfg, &[], spec, 0);
         owned.retain(|c| !sib.done.contains(&c.id.0) && !sib.claimed.contains(&c.id.0));
     }
     run_cells(&plan, &wal, &owned);
     if steal {
         let done: HashSet<u64> = owned.iter().map(|c| c.id.0).collect();
-        steal_from_siblings(cache, &cfg, &plan, spec, None, 0, &wal, BATCH, done, |batch| {
+        steal_from_siblings(cache, &cfg, &[], &plan, spec, None, 0, &wal, BATCH, done, |batch| {
             run_cells(&plan, &wal, &batch);
         });
     }

@@ -98,6 +98,43 @@ impl CandidateKind {
             CandidateKind::StackHog => "stackhog",
         }
     }
+
+    /// Every candidate kind, including each corruption mode.
+    pub const ALL: [CandidateKind; 13] = [
+        CandidateKind::Correct(Quality::Efficient),
+        CandidateKind::Correct(Quality::Inefficient),
+        CandidateKind::SequentialFallback,
+        CandidateKind::WrongOutput(Corruption::PerturbElement),
+        CandidateKind::WrongOutput(Corruption::OffByOneShift),
+        CandidateKind::WrongOutput(Corruption::Truncate),
+        CandidateKind::WrongOutput(Corruption::WrongScale),
+        CandidateKind::BuildFailure,
+        CandidateKind::RuntimeCrash,
+        CandidateKind::Timeout,
+        CandidateKind::Flaky,
+        CandidateKind::Deadlock,
+        CandidateKind::StackHog,
+    ];
+
+    /// Lossless stable tag, one per kind. Unlike [`CandidateKind::code`]
+    /// (which folds every corruption mode into `wrong` for run records),
+    /// `tag`/[`CandidateKind::from_tag`] round-trip exactly — this is
+    /// the interchange encoding for dumped candidate pools, where losing
+    /// the corruption mode would change re-scored verdict details.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CandidateKind::WrongOutput(Corruption::PerturbElement) => "wrong-perturb",
+            CandidateKind::WrongOutput(Corruption::OffByOneShift) => "wrong-shift",
+            CandidateKind::WrongOutput(Corruption::Truncate) => "wrong-truncate",
+            CandidateKind::WrongOutput(Corruption::WrongScale) => "wrong-scale",
+            other => other.code(),
+        }
+    }
+
+    /// Parse a [`CandidateKind::tag`] back into the kind.
+    pub fn from_tag(tag: &str) -> Option<CandidateKind> {
+        CandidateKind::ALL.iter().copied().find(|k| k.tag() == tag)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +146,24 @@ mod tests {
         assert!(CandidateKind::Correct(Quality::Efficient).builds());
         assert!(CandidateKind::WrongOutput(Corruption::Truncate).builds());
         assert!(!CandidateKind::BuildFailure.builds());
+    }
+
+    #[test]
+    fn tags_round_trip_losslessly() {
+        for k in CandidateKind::ALL {
+            assert_eq!(CandidateKind::from_tag(k.tag()), Some(k), "{}", k.tag());
+        }
+        let mut tags: Vec<_> = CandidateKind::ALL.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), CandidateKind::ALL.len());
+        // code() deliberately collapses corruption modes; tag() must not.
+        assert_eq!(CandidateKind::WrongOutput(Corruption::Truncate).code(), "wrong");
+        assert_eq!(
+            CandidateKind::WrongOutput(Corruption::Truncate).tag(),
+            "wrong-truncate"
+        );
+        assert_eq!(CandidateKind::from_tag("bogus"), None);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use output::Output;
 pub use plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 pub use priors::CostPriors;
 pub use problem_type::ProblemType;
+pub use prompt::PromptVariant;
 pub use stage::Stage;
 pub use task::{ProblemId, TaskId};
 

@@ -110,6 +110,13 @@ impl CostPriors {
     /// Expected cost of cell `(model, task)` in (relative) seconds:
     /// the measured entry when one exists, else the analytic default.
     /// Always finite and positive.
+    ///
+    /// `model` is a model-*row* label: on multi-variant grids it carries
+    /// a `@variant` suffix, and the analytic fallback scales by the
+    /// variant's cost factor so weighted sharding still sees a per-row
+    /// signal instead of collapsing every variant of a task into one
+    /// uniform bin. Bare labels (every single-variant grid) hit factor
+    /// 1.0 and cost exactly what they always did.
     pub fn cost(&self, model: &str, task: TaskId) -> f64 {
         // BTreeMap<(String, u32)> cannot be probed with (&str, u32)
         // without allocating; a range over the owned key is still
@@ -118,7 +125,10 @@ impl CostPriors {
         self.entries
             .get(&(model.to_string(), task.index() as u32))
             .copied()
-            .unwrap_or_else(|| Self::default_cost(task))
+            .unwrap_or_else(|| {
+                let (_, variant) = crate::prompt::split_label(model);
+                Self::default_cost(task) * variant.cost_factor()
+            })
     }
 
     /// The committed analytic cost profile, keyed by execution model ×
@@ -189,6 +199,33 @@ mod tests {
         );
         assert_ne!(p.hash(), p2.hash());
         assert_ne!(p.hash(), CostPriors::default_profile().hash());
+    }
+
+    #[test]
+    fn variant_rows_scale_the_analytic_fallback() {
+        use crate::prompt::PromptVariant;
+        let p = CostPriors::default_profile();
+        let t = ProblemId::new(ProblemType::Stencil, 0).task(ExecutionModel::Mpi);
+        let bare = p.cost("GPT-4", t);
+        assert_eq!(bare, CostPriors::default_cost(t), "bare labels are unchanged");
+        // Each variant row gets a distinct, positive default cost.
+        let mut costs = vec![bare];
+        for v in [PromptVariant::Naive, PromptVariant::Student, PromptVariant::RagAugmented] {
+            let c = p.cost(&crate::prompt::row_label("GPT-4", v), t);
+            assert!(c.is_finite() && c > 0.0);
+            assert_eq!(c, CostPriors::default_cost(t) * v.cost_factor());
+            costs.push(c);
+        }
+        costs.sort_by(f64::total_cmp);
+        costs.dedup();
+        assert_eq!(costs.len(), 4, "variant rows must not collapse to uniform bins");
+        // Measured entries keyed by the full row label still win.
+        let row = crate::prompt::row_label("GPT-4", PromptVariant::Naive);
+        let m = CostPriors::from_entries(
+            "sidecar",
+            vec![(row.clone(), t.index() as u32, 9.75f64)],
+        );
+        assert_eq!(m.cost(&row, t), 9.75);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Dump the configured candidate source's sample pools to a directory
+//! that [`pcg_models::ReplaySource`] can re-score offline.
+//!
+//! Every (row, task, temperature) pool the evaluation would request —
+//! the low-temperature set always, the high-temperature set as long as
+//! `skip_high_temp` is off — is sampled once and written in the
+//! `pcg-candidate-pool-v1` text format. Re-running any binary with
+//! `--replay-pool <dir>` (or `PCG_REPLAY_POOL=<dir>`) then scores those
+//! exact candidates instead of drawing fresh ones, which is how CI
+//! proves the dump → re-score loop reproduces the reference verdicts.
+//!
+//! Usage: `dump_pool <dir> [--smoke]` with the usual `PCG_*` config
+//! environment. `--smoke` restricts the task list to the smoke subset
+//! (one problem per type); the default is the full grid.
+
+use pcg_harness::config::EvalConfig;
+use pcg_harness::{eval, pipeline};
+use pcg_models::SampleSpec;
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let mut dir = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            // Already consumed by EvalConfig::from_env.
+            "--prompt-variants" => {
+                args.next();
+            }
+            s if s.starts_with("--prompt-variants=") => {}
+            s if !s.starts_with("--") && dir.is_none() => {
+                dir = Some(std::path::PathBuf::from(s));
+            }
+            s => {
+                eprintln!("dump_pool: unexpected argument {s}");
+                eprintln!("usage: dump_pool <dir> [--smoke] [--prompt-variants LIST]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        eprintln!("usage: dump_pool <dir> [--smoke] [--prompt-variants LIST]");
+        std::process::exit(2);
+    });
+
+    let opts = pipeline::RunOptions::new(1);
+    let source = pipeline::resolve_source(&cfg, &opts);
+    let tasks = if smoke {
+        eval::smoke_tasks()
+    } else {
+        pcg_core::task::all_tasks().collect()
+    };
+    // Pools carry candidates only; chaos is injected (or not) by the
+    // run that scores them, so the dump always samples chaos-free.
+    let specs = [
+        SampleSpec::new(cfg.temp_low, cfg.samples_low, cfg.seed),
+        SampleSpec::new(cfg.temp_high, cfg.samples_high, cfg.seed),
+    ];
+    if let Err(e) = pcg_models::dump_pool(&dir, &source, &tasks, &specs) {
+        eprintln!("dump_pool: could not write {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let pool = match pcg_models::ReplaySource::open(&dir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dump_pool: wrote a pool that does not read back: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[pcgbench] dumped {} pool rows × {} tasks to {} (content hash {:016x})",
+        pcg_models::CandidateSource::model_names(&pool).len(),
+        tasks.len(),
+        dir.display(),
+        pool.content_hash(),
+    );
+}

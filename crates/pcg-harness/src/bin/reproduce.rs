@@ -24,5 +24,8 @@ fn main() {
     print!("{}", report::figure5(&record));
     print!("{}", report::figure6(&record));
     print!("{}", report::figure7(&record));
+    if cfg.prompt_variants.len() > 1 {
+        print!("{}", report::variant_summary(&record));
+    }
     print!("{}", report::experiments_summary(&record));
 }

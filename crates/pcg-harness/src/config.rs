@@ -1,10 +1,19 @@
 //! Evaluation configuration.
 
-use serde::{Deserialize, Serialize};
+use pcg_core::PromptVariant;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::time::Duration;
 
 /// Knobs for one full evaluation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived): the canonical JSON of
+/// this struct *is* the config hash input, so the single-variant
+/// default must keep producing the exact pre-variant bytes. The
+/// `prompt_variants` field is emitted only when it differs from
+/// `[PromptVariant::DEFAULT]`, and a missing field deserializes to
+/// that default — old caches, journals, and hashes are untouched
+/// unless a run actually asks for a variant grid.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalConfig {
     /// Global seed for workload generation and model sampling.
     pub seed: u64,
@@ -44,12 +53,105 @@ pub struct EvalConfig {
     /// every model's failure mix (relative to the mix's other weights).
     /// Zero (the default) is an exact no-op on the sampled streams.
     /// Participates in the config hash like every other field.
-    #[serde(default)]
     pub deadlock_rate: f64,
     /// Chaos-injection weight for the `StackHog` defect kind; see
     /// [`EvalConfig::deadlock_rate`].
-    #[serde(default)]
     pub stack_hog_rate: f64,
+    /// Prompt tiers to cross the model axis with. The grid gets one
+    /// row per (model, variant); the default single-entry list
+    /// `[PromptVariant::DEFAULT]` yields bare-named rows and the
+    /// pre-variant config hash (the field is skipped when default, see
+    /// the struct docs).
+    pub prompt_variants: Vec<PromptVariant>,
+}
+
+/// The default prompt-variant axis: the paper's engineered prompt,
+/// alone — the configuration every pre-variant artifact was keyed
+/// under.
+pub fn default_variants() -> Vec<PromptVariant> {
+    vec![PromptVariant::DEFAULT]
+}
+
+/// Parse a comma-separated prompt-variant list (`naive,expert,rag`).
+/// Rejects empty and duplicate entries: a typo'd axis silently
+/// shrinking the grid would change the config hash out from under
+/// sharded siblings.
+pub fn parse_variants(s: &str) -> Result<Vec<PromptVariant>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        let v = PromptVariant::parse(part)
+            .ok_or_else(|| format!("unknown prompt variant `{part}`"))?;
+        if out.contains(&v) {
+            return Err(format!("duplicate prompt variant `{part}`"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err("empty prompt-variant list".to_string());
+    }
+    Ok(out)
+}
+
+impl Serialize for EvalConfig {
+    fn to_value(&self) -> Value {
+        // Field order mirrors the old derive output exactly; the
+        // trailing `prompt_variants` appears only off the default so
+        // default-config bytes (and hashes) never move.
+        let mut fields = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("samples_low".to_string(), self.samples_low.to_value()),
+            ("samples_high".to_string(), self.samples_high.to_value()),
+            ("temp_low".to_string(), self.temp_low.to_value()),
+            ("temp_high".to_string(), self.temp_high.to_value()),
+            ("size_divisor".to_string(), self.size_divisor.to_value()),
+            ("timeout".to_string(), self.timeout.to_value()),
+            ("reps".to_string(), self.reps.to_value()),
+            ("skip_high_temp".to_string(), self.skip_high_temp.to_value()),
+            ("skip_sweeps".to_string(), self.skip_sweeps.to_value()),
+            ("retry_flaky".to_string(), self.retry_flaky.to_value()),
+            ("grace".to_string(), self.grace.to_value()),
+            ("max_abandoned".to_string(), self.max_abandoned.to_value()),
+            ("deadlock_rate".to_string(), self.deadlock_rate.to_value()),
+            ("stack_hog_rate".to_string(), self.stack_hog_rate.to_value()),
+        ];
+        if self.prompt_variants != default_variants() {
+            fields.push(("prompt_variants".to_string(), self.prompt_variants.to_value()));
+        }
+        Value::Obj(fields)
+    }
+}
+
+impl Deserialize for EvalConfig {
+    fn from_value(v: &Value) -> Result<EvalConfig, DeError> {
+        Ok(EvalConfig {
+            seed: u64::from_value(v.field("seed")?)?,
+            samples_low: usize::from_value(v.field("samples_low")?)?,
+            samples_high: usize::from_value(v.field("samples_high")?)?,
+            temp_low: f64::from_value(v.field("temp_low")?)?,
+            temp_high: f64::from_value(v.field("temp_high")?)?,
+            size_divisor: usize::from_value(v.field("size_divisor")?)?,
+            timeout: Duration::from_value(v.field("timeout")?)?,
+            reps: usize::from_value(v.field("reps")?)?,
+            skip_high_temp: bool::from_value(v.field("skip_high_temp")?)?,
+            skip_sweeps: bool::from_value(v.field("skip_sweeps")?)?,
+            retry_flaky: bool::from_value(v.field("retry_flaky")?)?,
+            grace: Duration::from_value(v.field("grace")?)?,
+            max_abandoned: usize::from_value(v.field("max_abandoned")?)?,
+            deadlock_rate: match v.field("deadlock_rate") {
+                Ok(f) => f64::from_value(f)?,
+                Err(_) => 0.0,
+            },
+            stack_hog_rate: match v.field("stack_hog_rate") {
+                Ok(f) => f64::from_value(f)?,
+                Err(_) => 0.0,
+            },
+            prompt_variants: match v.field("prompt_variants") {
+                Ok(f) => Vec::<PromptVariant>::from_value(f)?,
+                Err(_) => default_variants(),
+            },
+        })
+    }
 }
 
 impl EvalConfig {
@@ -71,6 +173,7 @@ impl EvalConfig {
             max_abandoned: 64,
             deadlock_rate: 0.0,
             stack_hog_rate: 0.0,
+            prompt_variants: default_variants(),
         }
     }
 
@@ -132,6 +235,22 @@ impl EvalConfig {
                 cfg.stack_hog_rate = rate;
             }
         }
+        // `--prompt-variants naive,expert,rag` on any binary's command
+        // line beats the `PCG_PROMPT_VARIANTS` env fallback. Unlike the
+        // numeric overrides, a malformed variant list is fatal:
+        // silently ignoring it would run (and hash) a different grid
+        // than the one asked for.
+        let variants = prompt_variants_flag()
+            .or_else(|| std::env::var("PCG_PROMPT_VARIANTS").ok().filter(|s| !s.is_empty()));
+        if let Some(list) = variants {
+            match parse_variants(&list) {
+                Ok(vs) => cfg.prompt_variants = vs,
+                Err(e) => {
+                    eprintln!("--prompt-variants: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         cfg
     }
 
@@ -155,6 +274,22 @@ pub fn priors_source() -> Option<String> {
     std::env::var("PCG_PRIORS").ok().filter(|s| !s.is_empty())
 }
 
+/// The value of `--prompt-variants` on this process's command line, in
+/// either `--prompt-variants naive,rag` or `--prompt-variants=naive,rag`
+/// form.
+fn prompt_variants_flag() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--prompt-variants" {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix("--prompt-variants=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 /// The `PCG_STEAL` switch (env fallback for `--steal`/`--no-steal`):
 /// whether shard workers steal whole cells from lagging siblings.
 /// Like [`priors_source`], deliberately outside the config hash —
@@ -162,6 +297,16 @@ pub fn priors_source() -> Option<String> {
 /// the bytes they produce.
 pub fn steal_source() -> Option<String> {
     std::env::var("PCG_STEAL").ok().filter(|s| !s.is_empty())
+}
+
+/// The `PCG_REPLAY_POOL` directory (env fallback for `--replay-pool`):
+/// score a dumped candidate pool from this directory instead of
+/// sampling the synthetic zoo. Not an [`EvalConfig`] field, but —
+/// unlike priors or stealing — it *does* enter the config hash: the
+/// pool's content hash arrives as the source's config salt, so a
+/// resumed or sharded run can never splice cells from different pools.
+pub fn replay_pool_source() -> Option<String> {
+    std::env::var("PCG_REPLAY_POOL").ok().filter(|s| !s.is_empty())
 }
 
 /// The `PCG_KEEP_SHARDS` switch (env fallback for `--keep-shards`):
@@ -189,5 +334,44 @@ mod tests {
         let cfg = EvalConfig { size_divisor: 8, ..EvalConfig::full() };
         assert_eq!(cfg.size_for(1 << 16), 1 << 13);
         assert_eq!(cfg.size_for(100), 64);
+    }
+
+    #[test]
+    fn default_variant_config_omits_the_field() {
+        let json = serde_json::to_string(&EvalConfig::smoke()).unwrap();
+        assert!(
+            !json.contains("prompt_variants"),
+            "default config bytes must stay pre-variant: {json}"
+        );
+        let back: EvalConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EvalConfig::smoke());
+        assert_eq!(back.prompt_variants, default_variants());
+    }
+
+    #[test]
+    fn variant_config_round_trips() {
+        let cfg = EvalConfig {
+            prompt_variants: vec![
+                PromptVariant::Naive,
+                PromptVariant::Expert,
+                PromptVariant::RagAugmented,
+            ],
+            ..EvalConfig::smoke()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"prompt_variants\":[\"Naive\",\"Expert\",\"RagAugmented\"]"));
+        let back: EvalConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn parse_variants_accepts_lists_and_rejects_garbage() {
+        assert_eq!(
+            parse_variants("naive,expert,rag").unwrap(),
+            vec![PromptVariant::Naive, PromptVariant::Expert, PromptVariant::RagAugmented]
+        );
+        assert!(parse_variants("").is_err());
+        assert!(parse_variants("expert,expert").is_err());
+        assert!(parse_variants("grandmaster").is_err());
     }
 }

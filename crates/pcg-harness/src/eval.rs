@@ -14,6 +14,13 @@
 //! topology. One [`SharedRunner`] backs each invocation: executions
 //! are deduplicated across concurrent cells, and per-stage times are
 //! collected into an [`EvalStats`].
+//!
+//! Candidate provenance is abstract: every entry point takes any
+//! [`CandidateSource`] — a `&[SyntheticModel]` slice (the legacy zoo,
+//! byte-for-byte), a `SyntheticSource` crossing the zoo with prompt
+//! variants, or a `ReplaySource` re-scoring a dumped pool. The
+//! source's [`CandidateSource::config_salt`] is folded into the plan's
+//! config hash, so cells from different pools can never be confused.
 
 use crate::config::EvalConfig;
 use crate::journal::Replay;
@@ -24,17 +31,20 @@ use pcg_core::plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 use pcg_core::task::all_tasks;
 use pcg_core::{CandidateKind, CostPriors, ExecutionModel, Stage, TaskId};
 use pcg_metrics::TaskSamples;
-use pcg_models::SyntheticModel;
+use pcg_models::{CandidateSource, SampleSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-/// The deterministic [`WorkPlan`] for `models` × `tasks` under `cfg`
-/// (pass `None` for the full 420-task grid). Every process that holds
-/// the same config derives the identical plan — cell ids included —
-/// which is what makes sharded execution coordination-free.
-pub fn plan_for(
+/// The deterministic [`WorkPlan`] for `source`'s rows × `tasks` under
+/// `cfg` (pass `None` for the full 420-task grid). Every process that
+/// holds the same config and source derives the identical plan — cell
+/// ids included — which is what makes sharded execution
+/// coordination-free. The source's salt is folded into the plan's
+/// config hash ([`crate::journal::config_hash_with`]); the default
+/// synthetic path salts nothing and keys exactly as before.
+pub fn plan_for<S: CandidateSource + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
 ) -> WorkPlan {
     let task_list: Vec<TaskId> = match tasks {
@@ -42,8 +52,8 @@ pub fn plan_for(
         None => all_tasks().collect(),
     };
     WorkPlan::new(
-        crate::journal::config_hash(cfg),
-        models.iter().map(|m| m.card().name.to_string()).collect(),
+        crate::journal::config_hash_with(cfg, &source.config_salt()),
+        source.model_names(),
         task_list,
     )
 }
@@ -58,26 +68,26 @@ pub struct SubsetRun {
     pub stats: EvalStats,
 }
 
-/// Evaluate `models` over `tasks` (pass `None` for the full 420),
-/// serially. Identical results to [`evaluate_jobs`] at any worker
-/// count.
-pub fn evaluate(
+/// Evaluate `source`'s rows over `tasks` (pass `None` for the full
+/// 420), serially. Identical results to [`evaluate_jobs`] at any
+/// worker count.
+pub fn evaluate<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
 ) -> EvalRecord {
-    evaluate_jobs(cfg, models, tasks, 1)
+    evaluate_jobs(cfg, source, tasks, 1)
 }
 
-/// Evaluate `models` over `tasks` on `jobs` parallel workers.
-pub fn evaluate_jobs(
+/// Evaluate `source`'s rows over `tasks` on `jobs` parallel workers.
+pub fn evaluate_jobs<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
     jobs: usize,
 ) -> EvalRecord {
     let runner = SharedRunner::new(cfg.clone());
-    evaluate_with(cfg, models, tasks, jobs, &runner).0
+    evaluate_with(cfg, source, tasks, jobs, &runner).0
 }
 
 /// Evaluate against a caller-provided [`SharedRunner`] (so tests can
@@ -88,14 +98,14 @@ pub fn evaluate_jobs(
 /// captured one layer down and become `error: Some("panic")`; a cell
 /// panic means the harness is broken) — but only after the whole grid
 /// has drained, so no in-flight work is lost.
-pub fn evaluate_with(
+pub fn evaluate_with<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
     jobs: usize,
     runner: &SharedRunner,
 ) -> (EvalRecord, EvalStats) {
-    evaluate_resumable(cfg, models, tasks, jobs, runner, &Replay::new(), |_, _, _| {})
+    evaluate_resumable(cfg, source, tasks, jobs, runner, &Replay::new(), |_, _, _| {})
 }
 
 /// [`evaluate_with`] plus crash-safety hooks: cells present in `replay`
@@ -111,16 +121,16 @@ pub fn evaluate_with(
 /// runner: replayed cells contribute their journaled bytes verbatim
 /// (JSON round trips are lossless) and fresh cells recompute exactly
 /// what the interrupted run would have produced.
-pub fn evaluate_resumable(
+pub fn evaluate_resumable<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
     jobs: usize,
     runner: &SharedRunner,
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> (EvalRecord, EvalStats) {
-    evaluate_resumable_priors(cfg, models, tasks, jobs, None, runner, replay, on_cell)
+    evaluate_resumable_priors(cfg, source, tasks, jobs, None, runner, replay, on_cell)
 }
 
 /// [`evaluate_resumable`] with a scheduling cost table: pending cells
@@ -128,9 +138,9 @@ pub fn evaluate_resumable(
 /// execution — the returned record is byte-identical with or without
 /// them, at any worker count.
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_resumable_priors(
+pub fn evaluate_resumable_priors<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     tasks: Option<&[TaskId]>,
     jobs: usize,
     priors: Option<&CostPriors>,
@@ -138,10 +148,10 @@ pub fn evaluate_resumable_priors(
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> (EvalRecord, EvalStats) {
-    let plan = plan_for(cfg, models, tasks);
+    let plan = plan_for(cfg, source, tasks);
     let run = evaluate_plan_priors(
         cfg,
-        models,
+        source,
         &plan,
         ShardSpec::WHOLE,
         jobs,
@@ -160,9 +170,9 @@ pub fn evaluate_resumable_priors(
 /// coordinator; any other spec makes it a shard worker executing its
 /// deterministic `id % shard_count` slice.
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_plan(
+pub fn evaluate_plan<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     plan: &WorkPlan,
     shard: ShardSpec,
     jobs: usize,
@@ -170,7 +180,7 @@ pub fn evaluate_plan(
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> SubsetRun {
-    evaluate_plan_priors(cfg, models, plan, shard, jobs, None, runner, replay, on_cell)
+    evaluate_plan_priors(cfg, source, plan, shard, jobs, None, runner, replay, on_cell)
 }
 
 /// [`evaluate_plan`] with a scheduling cost table. The table changes
@@ -181,9 +191,9 @@ pub fn evaluate_plan(
 /// hash stamp (or none at all); the journal header records the stamp so
 /// the merge can enforce it.
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_plan_priors(
+pub fn evaluate_plan_priors<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     plan: &WorkPlan,
     shard: ShardSpec,
     jobs: usize,
@@ -194,7 +204,7 @@ pub fn evaluate_plan_priors(
 ) -> SubsetRun {
     evaluate_cells_priors(
         cfg,
-        models,
+        source,
         plan.shard_with(shard, priors),
         jobs,
         priors,
@@ -206,20 +216,20 @@ pub fn evaluate_plan_priors(
 
 /// The core coordinator: evaluate an explicit subset of plan cells.
 ///
-/// `models` must be the model list the plan was built from (cells
-/// index into it). Cells found in `replay` are spliced in without
-/// re-evaluation; the rest are fanned over the scheduler. Results come
-/// back in `owned` order regardless of completion order.
-pub fn evaluate_cells(
+/// `source` must be the candidate source the plan was built from
+/// (cells index into its rows). Cells found in `replay` are spliced in
+/// without re-evaluation; the rest are fanned over the scheduler.
+/// Results come back in `owned` order regardless of completion order.
+pub fn evaluate_cells<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     owned: Vec<PlanCell>,
     jobs: usize,
     runner: &SharedRunner,
     replay: &Replay,
     on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> SubsetRun {
-    evaluate_cells_priors(cfg, models, owned, jobs, None, runner, replay, on_cell)
+    evaluate_cells_priors(cfg, source, owned, jobs, None, runner, replay, on_cell)
 }
 
 /// [`evaluate_cells`] with longest-processing-time dispatch: when a
@@ -229,9 +239,9 @@ pub fn evaluate_cells(
 /// in `owned` order and every cell computes exactly what it would have
 /// computed under any other dispatch order.
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_cells_priors(
+pub fn evaluate_cells_priors<S: CandidateSource + Sync + ?Sized>(
     cfg: &EvalConfig,
-    models: &[SyntheticModel],
+    source: &S,
     owned: Vec<PlanCell>,
     jobs: usize,
     priors: Option<&CostPriors>,
@@ -239,16 +249,12 @@ pub fn evaluate_cells_priors(
     replay: &Replay,
     mut on_cell: impl FnMut(CellId, &str, &TaskRecord),
 ) -> SubsetRun {
-    // Chaos injection: fold the config's containment-defect rates into
-    // every model's failure mix. At (0, 0) — the default — this is an
-    // exact no-op on the sampled streams, so existing records are
-    // unchanged; nonzero rates participate in the config hash, so a
-    // chaos run can never be confused with a clean one.
-    let models: Vec<SyntheticModel> = models
-        .iter()
-        .map(|m| m.clone().with_chaos(cfg.deadlock_rate, cfg.stack_hog_rate))
-        .collect();
-    let models = models.as_slice();
+    // Row labels are resolved once: they key LPT weights, journal
+    // appends, and panic diagnostics. Chaos injection travels inside
+    // the [`SampleSpec`] — the source folds the config's
+    // containment-defect rates into its failure mixes, an exact no-op
+    // at the (0, 0) default.
+    let names = source.model_names();
 
     let n_cells = owned.len();
     let mut slots: Vec<Option<TaskRecord>> = Vec::with_capacity(n_cells);
@@ -274,7 +280,7 @@ pub fn evaluate_cells_priors(
     let order = priors.map(|p| {
         let weights: Vec<f64> = pending
             .iter()
-            .map(|c| p.cost(models[c.model].card().name, c.task))
+            .map(|c| p.cost(&names[c.model], c.task))
             .collect();
         let mut idx: Vec<usize> = (0..pending.len()).collect();
         idx.sort_by(|&a, &b| {
@@ -290,11 +296,11 @@ pub fn evaluate_cells_priors(
         pending,
         jobs,
         order,
-        |_, cell| evaluate_task(cfg, runner, &models[cell.model], cell.task),
+        |_, cell| evaluate_task(cfg, runner, source, cell.model, cell.task),
         |local, cell| {
             if let Ok(rec) = &cell.value {
                 let c = pending_cells[local];
-                on_cell(c.id, models[c.model].card().name, rec);
+                on_cell(c.id, &names[c.model], rec);
             }
         },
     );
@@ -316,9 +322,7 @@ pub fn evaluate_cells_priors(
                 let c = pending_cells[local];
                 panic!(
                     "evaluation cell {} for model {} task {:?} panicked: {msg}",
-                    c.id,
-                    models[c.model].card().name,
-                    c.task,
+                    c.id, names[c.model], c.task,
                 );
             }
         }
@@ -395,16 +399,24 @@ pub fn assemble(
     EvalRecord { config: cfg.clone(), models: model_records }
 }
 
-fn evaluate_task(
+fn evaluate_task<S: CandidateSource + ?Sized>(
     cfg: &EvalConfig,
     runner: &SharedRunner,
-    model: &SyntheticModel,
+    source: &S,
+    model: usize,
     task: TaskId,
 ) -> TaskRecord {
     let headline = task.model.headline_n();
+    let spec = |temperature: f64, n: usize| SampleSpec {
+        temperature,
+        n,
+        seed: cfg.seed,
+        deadlock_rate: cfg.deadlock_rate,
+        stack_hog_rate: cfg.stack_hog_rate,
+    };
 
     // Low-temperature set: correctness + headline performance.
-    let kinds_low = model.sample_n(task, cfg.temp_low, cfg.samples_low, cfg.seed);
+    let kinds_low = source.sample(model, task, &spec(cfg.temp_low, cfg.samples_low));
     let mut low = TaskSamples::default();
     for &kind in &kinds_low {
         let out = runner.outcome(task, kind, headline);
@@ -415,10 +427,10 @@ fn evaluate_task(
 
     // High-temperature set: correctness only; the paper excludes the
     // closed-source models from the 200-sample runs for cost.
-    let high = if cfg.skip_high_temp || !model.card().weights_available {
+    let high = if cfg.skip_high_temp || !source.weights_available(model) {
         None
     } else {
-        let kinds = model.sample_n(task, cfg.temp_high, cfg.samples_high, cfg.seed);
+        let kinds = source.sample(model, task, &spec(cfg.temp_high, cfg.samples_high));
         let mut high = TaskSamples::default();
         for &kind in &kinds {
             // Correctness is resource-independent; reuse the smallest
@@ -465,6 +477,7 @@ pub fn kinds_summary(kinds: &[CandidateKind]) -> BTreeMap<&'static str, usize> {
 mod tests {
     use super::*;
     use pcg_core::{ProblemId, ProblemType};
+    use pcg_models::SyntheticModel;
 
     #[test]
     fn smoke_eval_produces_sane_records() {

@@ -5,6 +5,14 @@
 //! to check that the reproduction lands in the right regime, not to
 //! assert exact equality (our substrate is a simulator, not the
 //! authors' testbed).
+//!
+//! Claims name models, not sources: [`claims_for`] projects the claim
+//! set onto whatever [`pcg_models::CandidateSource`] a run actually
+//! evaluated, so a replay pool or custom source that carries only a
+//! subset of the paper's models is compared against that subset only.
+
+use pcg_core::prompt::split_label;
+use pcg_models::CandidateSource;
 
 /// One quantitative claim from the paper.
 #[derive(Debug, Clone)]
@@ -97,17 +105,53 @@ pub fn claims() -> Vec<PaperClaim> {
     ]
 }
 
+/// The claims scoreable against `source`: those naming a model the
+/// source provides. Row labels are matched on the bare card name, so a
+/// variant grid (`GPT-4@naive`, `GPT-4@rag`, …) still anchors every
+/// `GPT-4` claim.
+pub fn claims_for(source: &(impl CandidateSource + ?Sized)) -> Vec<PaperClaim> {
+    let names = source.model_names();
+    claims()
+        .into_iter()
+        .filter(|c| names.iter().any(|n| split_label(n).0 == c.model))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcg_core::PromptVariant;
+    use pcg_models::SyntheticSource;
 
     #[test]
-    fn claims_reference_zoo_models() {
-        let zoo: Vec<&str> =
-            pcg_models::zoo().iter().map(|m| m.card().name).collect();
+    fn claims_reference_source_models() {
+        // Every claim must resolve against the default source — the
+        // claim set and the zoo may only drift together.
+        let zoo = pcg_models::zoo();
+        let scoreable = claims_for(zoo.as_slice());
+        assert_eq!(scoreable.len(), claims().len(), "claim names a model no source provides");
         for c in claims() {
-            assert!(zoo.contains(&c.model), "unknown model {}", c.model);
             assert!(c.value > 0.0);
         }
+    }
+
+    #[test]
+    fn claims_survive_variant_grids_and_shrink_with_the_source() {
+        let grid = SyntheticSource::zoo(&[PromptVariant::Naive, PromptVariant::RagAugmented]);
+        assert_eq!(
+            claims_for(&grid).len(),
+            claims().len(),
+            "variant-suffixed rows must still anchor their model's claims"
+        );
+        let one = SyntheticSource::new(
+            pcg_models::zoo()
+                .into_iter()
+                .filter(|m| m.card().name == "GPT-4")
+                .collect(),
+            &[PromptVariant::DEFAULT],
+        );
+        let subset = claims_for(&one);
+        assert!(!subset.is_empty() && subset.len() < claims().len());
+        assert!(subset.iter().all(|c| c.model == "GPT-4"));
     }
 }

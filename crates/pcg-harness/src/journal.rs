@@ -119,10 +119,27 @@ pub fn config_hash(cfg: &EvalConfig) -> u64 {
     fnv1a(&serde_json::to_vec(cfg).unwrap_or_default())
 }
 
-fn header_payload(cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Vec<u8> {
+/// [`config_hash`] with a candidate-source salt folded in
+/// (`pcg_models::CandidateSource::config_salt`). The empty salt — the
+/// default synthetic path — returns exactly [`config_hash`], so every
+/// pre-source artifact keeps its identity; a non-empty salt (e.g. a
+/// replay pool's content hash) re-keys every cell id and journal
+/// header, which is precisely what stops resume and merge from
+/// splicing cells produced from different candidate pools.
+pub fn config_hash_with(cfg: &EvalConfig, salt: &[u8]) -> u64 {
+    let base = config_hash(cfg);
+    if salt.is_empty() {
+        return base;
+    }
+    let mut bytes = base.to_le_bytes().to_vec();
+    bytes.extend_from_slice(salt);
+    fnv1a(&bytes)
+}
+
+fn header_payload(chash: u64, shard: ShardSpec, priors_hash: u64) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u32(VERSION);
-    w.put_u64(config_hash(cfg));
+    w.put_u64(chash);
     w.put_u32(shard.index);
     w.put_u32(shard.count);
     w.put_u64(priors_hash);
@@ -280,12 +297,31 @@ impl Journal {
         shard: ShardSpec,
         priors_hash: u64,
     ) -> std::io::Result<Journal> {
+        Journal::create_sourced(path, cfg, &[], shard, priors_hash)
+    }
+
+    /// [`Journal::create_with_priors`] with a candidate-source salt:
+    /// the header's config hash becomes [`config_hash_with`], so a
+    /// journal written against one candidate pool can never replay
+    /// into a run scoring a different one. The empty salt is the
+    /// synthetic default and writes byte-identical headers.
+    pub fn create_sourced(
+        path: &Path,
+        cfg: &EvalConfig,
+        salt: &[u8],
+        shard: ShardSpec,
+        priors_hash: u64,
+    ) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut file = File::create(path)?;
         let mut bytes = JOURNAL_MAGIC.to_vec();
-        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard, priors_hash));
+        frame::encode_frame_into(
+            &mut bytes,
+            HEADER_CELL,
+            &header_payload(config_hash_with(cfg, salt), shard, priors_hash),
+        );
         file.write_all(&bytes)?;
         file.sync_data()?;
         Ok(Journal { file: Mutex::new(file) })
@@ -368,16 +404,30 @@ pub fn load_counting_with_priors(
     shard: ShardSpec,
     priors_hash: u64,
 ) -> Loaded {
+    load_counting_sourced(path, cfg, &[], shard, priors_hash)
+}
+
+/// [`load_counting_with_priors`] for a run scoring a salted candidate
+/// source: the journal's header must carry [`config_hash_with`] of
+/// `(cfg, salt)` or nothing is replayed. The empty salt is the
+/// synthetic default and gates identically to the unsalted loaders.
+pub fn load_counting_sourced(
+    path: &Path,
+    cfg: &EvalConfig,
+    salt: &[u8],
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> Loaded {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(_) => return Loaded::empty(),
     };
     if bytes.starts_with(&JOURNAL_MAGIC) {
-        load_v3(&bytes, cfg, shard, priors_hash)
+        load_v3(&bytes, config_hash_with(cfg, salt), shard, priors_hash)
     } else {
-        // v2 predates priors entirely: only a no-priors run may
-        // replay it.
-        if priors_hash != 0 {
+        // v2 predates priors and candidate sources entirely: only a
+        // no-priors, default-source run may replay it.
+        if priors_hash != 0 || !salt.is_empty() {
             return Loaded::empty();
         }
         load_v2(&bytes, cfg, shard)
@@ -450,6 +500,19 @@ pub fn peek_progress(
     shard: ShardSpec,
     priors_hash: u64,
 ) -> Option<Progress> {
+    peek_progress_sourced(path, cfg, &[], shard, priors_hash)
+}
+
+/// [`peek_progress`] with a candidate-source salt, gated on
+/// [`config_hash_with`] like [`load_counting_sourced`] — a thief must
+/// never steal cells journaled against a different candidate pool.
+pub fn peek_progress_sourced(
+    path: &Path,
+    cfg: &EvalConfig,
+    salt: &[u8],
+    shard: ShardSpec,
+    priors_hash: u64,
+) -> Option<Progress> {
     let bytes = std::fs::read(path).ok()?;
     if !bytes.starts_with(&JOURNAL_MAGIC) {
         return None;
@@ -458,7 +521,7 @@ pub fn peek_progress(
         Some(Ok(f)) if f.cell == HEADER_CELL => f,
         _ => return None,
     };
-    if !header_matches(header.payload, config_hash(cfg), shard, priors_hash) {
+    if !header_matches(header.payload, config_hash_with(cfg, salt), shard, priors_hash) {
         return None;
     }
     let mut progress = Progress::default();
@@ -474,9 +537,8 @@ pub fn peek_progress(
     Some(progress)
 }
 
-fn load_v3(bytes: &[u8], cfg: &EvalConfig, shard: ShardSpec, priors_hash: u64) -> Loaded {
+fn load_v3(bytes: &[u8], chash: u64, shard: ShardSpec, priors_hash: u64) -> Loaded {
     let mut loaded = Loaded::empty();
-    let chash = config_hash(cfg);
 
     // Frame 0: the header. Any defect here — torn, bad CRC, wrong
     // version/config/shard — means nothing in the file is replayable.
@@ -700,12 +762,30 @@ pub fn compact_with_priors(
     priors_hash: u64,
     replay: &Replay,
 ) -> std::io::Result<usize> {
+    compact_sourced(path, cfg, &[], shard, priors_hash, replay)
+}
+
+/// [`compact_with_priors`] preserving a candidate-source salt in the
+/// rewritten header (via [`config_hash_with`]), so a compacted salted
+/// journal replays under the same source check as the original.
+pub fn compact_sourced(
+    path: &Path,
+    cfg: &EvalConfig,
+    salt: &[u8],
+    shard: ShardSpec,
+    priors_hash: u64,
+    replay: &Replay,
+) -> std::io::Result<usize> {
     let mut os = path.as_os_str().to_os_string();
     os.push(crate::pipeline::unique_suffix("compact"));
     let tmp = PathBuf::from(os);
     let result = (|| {
         let mut bytes = JOURNAL_MAGIC.to_vec();
-        frame::encode_frame_into(&mut bytes, HEADER_CELL, &header_payload(cfg, shard, priors_hash));
+        frame::encode_frame_into(
+            &mut bytes,
+            HEADER_CELL,
+            &header_payload(config_hash_with(cfg, salt), shard, priors_hash),
+        );
         let mut cells: Vec<(&CellId, &ReplayCell)> = replay.iter().collect();
         cells.sort_by_key(|(id, _)| **id);
         for (id, cell) in &cells {
@@ -844,6 +924,43 @@ mod tests {
         assert_eq!(got.record.low.ratio, vec![3.5, 0.0]);
         remove(&path);
         assert!(load(&path, &cfg, ShardSpec::WHOLE).is_empty());
+    }
+
+    #[test]
+    fn source_salt_gates_replay_and_empty_salt_is_identity() {
+        let cfg = EvalConfig::smoke();
+        assert_eq!(config_hash_with(&cfg, &[]), config_hash(&cfg));
+        let salt = b"pool-A".to_vec();
+        assert_ne!(config_hash_with(&cfg, &salt), config_hash(&cfg));
+
+        // A journal written under one pool's salt: its cells are keyed
+        // by the salted hash.
+        let path = tmp("sourced");
+        let chash = config_hash_with(&cfg, &salt);
+        let r = rec(0);
+        let cell = CellId::new(chash, "GPT-4", r.task);
+        let j = Journal::create_sourced(&path, &cfg, &salt, ShardSpec::WHOLE, 0).unwrap();
+        j.append(cell, "GPT-4", &r).unwrap();
+        drop(j);
+
+        // Same salt replays; no salt or a different pool replays
+        // nothing — and the unsalted loader path gates out too.
+        let same = load_counting_sourced(&path, &cfg, &salt, ShardSpec::WHOLE, 0);
+        assert_eq!(same.replay.len(), 1);
+        assert!(same.replay.contains_key(&cell));
+        let other = load_counting_sourced(&path, &cfg, b"pool-B", ShardSpec::WHOLE, 0);
+        assert!(other.replay.is_empty());
+        assert!(load(&path, &cfg, ShardSpec::WHOLE).is_empty());
+        assert!(peek_progress(&path, &cfg, ShardSpec::WHOLE, 0).is_none());
+        let peek =
+            peek_progress_sourced(&path, &cfg, &salt, ShardSpec::WHOLE, 0).unwrap();
+        assert!(peek.done.contains(&cell.0));
+
+        // Compaction preserves the salt.
+        compact_sourced(&path, &cfg, &salt, ShardSpec::WHOLE, 0, &same.replay).unwrap();
+        let again = load_counting_sourced(&path, &cfg, &salt, ShardSpec::WHOLE, 0);
+        assert_eq!(again.replay.len(), 1);
+        remove(&path);
     }
 
     #[test]

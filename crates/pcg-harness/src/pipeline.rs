@@ -23,7 +23,8 @@ use crate::record::{EvalRecord, EvalStats};
 use crate::runner::SharedRunner;
 use crate::scheduler;
 use pcg_core::plan::{CellId, ShardSpec};
-use pcg_core::CostPriors;
+use pcg_core::{CandidateKind, CostPriors, TaskId};
+use pcg_models::{CandidateSource, ReplaySource, SampleSpec, SyntheticSource};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
@@ -80,6 +81,12 @@ pub struct RunOptions {
     /// `PCG_KEEP_SHARDS`), for post-mortem inspection of who evaluated
     /// — and who stole — what.
     pub keep_shards: bool,
+    /// Score a dumped candidate pool from this directory instead of
+    /// sampling the synthetic zoo (`--replay-pool <dir>` /
+    /// `PCG_REPLAY_POOL`). The pool's content hash enters the config
+    /// hash as the source's salt, so replay runs cache, journal,
+    /// shard, and merge under their own cell ids.
+    pub replay_pool: Option<String>,
 }
 
 impl RunOptions {
@@ -94,6 +101,7 @@ impl RunOptions {
             priors: None,
             steal: true,
             keep_shards: false,
+            replay_pool: None,
         }
     }
 
@@ -115,6 +123,8 @@ impl RunOptions {
             priors: flag_value("--priors").or_else(crate::config::priors_source),
             steal: steal_from_cli(),
             keep_shards: keep_shards_from_cli(),
+            replay_pool: flag_value("--replay-pool")
+                .or_else(crate::config::replay_pool_source),
         }
     }
 
@@ -123,6 +133,119 @@ impl RunOptions {
     pub fn with_priors(mut self, src: impl Into<String>) -> RunOptions {
         self.priors = Some(src.into());
         self
+    }
+
+    /// The options with a replay-pool directory swapped in
+    /// (builder-style, for tests and benches).
+    pub fn with_replay_pool(mut self, dir: impl Into<String>) -> RunOptions {
+        self.replay_pool = Some(dir.into());
+        self
+    }
+}
+
+/// The candidate source a pipeline run scores: the synthetic zoo
+/// crossed with the config's prompt variants (the default), or a
+/// dumped candidate pool replayed from a directory. Resolved once per
+/// run by [`resolve_source`] and threaded through planning, journal
+/// identity, and evaluation.
+pub enum ResolvedSource {
+    /// The calibrated zoo under `cfg.prompt_variants`.
+    Synthetic(SyntheticSource),
+    /// A dumped pool re-scored offline-deterministically.
+    Replay(ReplaySource),
+}
+
+impl CandidateSource for ResolvedSource {
+    fn model_names(&self) -> Vec<String> {
+        match self {
+            ResolvedSource::Synthetic(s) => s.model_names(),
+            ResolvedSource::Replay(r) => r.model_names(),
+        }
+    }
+
+    fn weights_available(&self, model: usize) -> bool {
+        match self {
+            ResolvedSource::Synthetic(s) => s.weights_available(model),
+            ResolvedSource::Replay(r) => r.weights_available(model),
+        }
+    }
+
+    fn sample(&self, model: usize, task: TaskId, spec: &SampleSpec) -> Vec<CandidateKind> {
+        match self {
+            ResolvedSource::Synthetic(s) => s.sample(model, task, spec),
+            ResolvedSource::Replay(r) => r.sample(model, task, spec),
+        }
+    }
+
+    fn config_salt(&self) -> Vec<u8> {
+        match self {
+            ResolvedSource::Synthetic(s) => s.config_salt(),
+            ResolvedSource::Replay(r) => r.config_salt(),
+        }
+    }
+}
+
+/// Resolve the run's candidate source from config and options. Exits
+/// with code 2 on an unusable combination — a replay pool that does
+/// not load, or one combined with knobs that change what a pool would
+/// have contained (prompt variants, chaos injection): degrading
+/// silently to the zoo would score the wrong thing under the wrong
+/// hash, and cooperating shard workers must all fail the same way.
+pub fn resolve_source(cfg: &EvalConfig, opts: &RunOptions) -> ResolvedSource {
+    let Some(dir) = opts.replay_pool.as_deref() else {
+        return ResolvedSource::Synthetic(SyntheticSource::zoo(&cfg.prompt_variants));
+    };
+    if cfg.prompt_variants != crate::config::default_variants() {
+        eprintln!(
+            "[pcgbench] error: --replay-pool and --prompt-variants are mutually exclusive: \
+             a pool's rows are fixed by its manifest"
+        );
+        std::process::exit(2);
+    }
+    if cfg.deadlock_rate != 0.0 || cfg.stack_hog_rate != 0.0 {
+        eprintln!(
+            "[pcgbench] error: chaos injection cannot be combined with --replay-pool: \
+             a dumped pool's contents are fixed"
+        );
+        std::process::exit(2);
+    }
+    match ReplaySource::open(Path::new(dir)) {
+        Ok(r) => {
+            eprintln!(
+                "[pcgbench] replay pool: {} rows from {} (content hash {:016x})",
+                r.model_names().len(),
+                dir,
+                r.content_hash(),
+            );
+            ResolvedSource::Replay(r)
+        }
+        Err(e) => {
+            eprintln!("[pcgbench] error: could not open replay pool {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The cache path a run commits to: the caller's explicit path, the
+/// config-tagged default, or — for a replay-pool run — a pool-hash
+/// qualified variant of the default, so a replayed scoring can never
+/// satisfy (or clobber) the synthetic cache for the same config.
+pub(crate) fn cache_path_for(
+    path: Option<&Path>,
+    cfg: &EvalConfig,
+    source: &ResolvedSource,
+) -> PathBuf {
+    if let Some(p) = path {
+        return p.to_path_buf();
+    }
+    match source {
+        ResolvedSource::Synthetic(_) => default_cache_path(cfg),
+        ResolvedSource::Replay(r) => {
+            let tag = if cfg.size_divisor == 1 { "full" } else { "quick" };
+            PathBuf::from("target")
+                .join("pcgbench")
+                .join(format!("records-{tag}-pool{:016x}.json", r.content_hash()))
+        }
     }
 }
 
@@ -282,7 +405,9 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
             std::process::exit(0);
         }
     }
-    let path = path.map(Path::to_path_buf).unwrap_or_else(|| default_cache_path(cfg));
+    let source = resolve_source(cfg, opts);
+    let salt = source.config_salt();
+    let path = cache_path_for(path, cfg, &source);
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(rec) = serde_json::from_slice::<EvalRecord>(&bytes) {
             if rec.config == *cfg {
@@ -310,7 +435,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
     let jpath = journal::journal_path(&path);
     let resumed = if opts.resume {
-        resume_journal(&jpath, cfg, ShardSpec::WHOLE, priors_hash)
+        resume_journal(&jpath, cfg, &salt, ShardSpec::WHOLE, priors_hash)
     } else {
         ResumedJournal::none()
     };
@@ -325,7 +450,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     }
     let wal = if opts.journal {
         let opened = if replay.is_empty() || resumed.recreate {
-            Journal::create_with_priors(&jpath, cfg, ShardSpec::WHOLE, priors_hash)
+            Journal::create_sourced(&jpath, cfg, &salt, ShardSpec::WHOLE, priors_hash)
         } else {
             Journal::open_append(&jpath)
         };
@@ -343,7 +468,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     let runner = SharedRunner::new(cfg.clone());
     let (record, mut stats) = evaluate_resumable_priors(
         cfg,
-        &pcg_models::zoo(),
+        &source,
         None,
         opts.jobs,
         priors.as_ref(),
@@ -380,7 +505,7 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
     };
     write_stats(cfg, &stats);
     if committed {
-        write_cols_sidecar(&path, &record, &stats);
+        write_cols_sidecar(&path, &record, &stats, &salt);
         // The cache now holds everything the journal was protecting.
         journal::remove(&jpath);
     }
@@ -392,10 +517,15 @@ pub fn load_or_run_opts(path: Option<&Path>, cfg: &EvalConfig, opts: &RunOptions
 /// the wall column (the next run's `--priors` source). Best-effort:
 /// the sidecar is a pure accelerator for projection diffs, and every
 /// consumer falls back to the JSON cache.
-pub(crate) fn write_cols_sidecar(cache: &Path, record: &EvalRecord, stats: &EvalStats) {
+pub(crate) fn write_cols_sidecar(
+    cache: &Path,
+    record: &EvalRecord,
+    stats: &EvalStats,
+    salt: &[u8],
+) {
     let mut cols = crate::colstats::ColumnarStats::from_record(record);
     if !stats.cell_walls.is_empty() {
-        let chash = journal::config_hash(&record.config);
+        let chash = journal::config_hash_with(&record.config, salt);
         let walls: HashMap<CellId, f64> =
             stats.cell_walls.iter().map(|w| (CellId(w.cell), w.secs)).collect();
         cols.set_walls(chash, &walls);
@@ -436,10 +566,11 @@ impl ResumedJournal {
 pub(crate) fn resume_journal(
     path: &Path,
     cfg: &EvalConfig,
+    salt: &[u8],
     shard: ShardSpec,
     priors_hash: u64,
 ) -> ResumedJournal {
-    let loaded = journal::load_counting_with_priors(path, cfg, shard, priors_hash);
+    let loaded = journal::load_counting_sourced(path, cfg, salt, shard, priors_hash);
     for r in &loaded.rejects {
         eprintln!("[pcgbench] warning: journal {}: rejected {r}", path.display());
     }
@@ -447,7 +578,7 @@ pub(crate) fn resume_journal(
     if !loaded.needs_compaction() {
         return ResumedJournal { replay: loaded.replay, compacted: 0, rejected, recreate: false };
     }
-    match journal::compact_with_priors(path, cfg, shard, priors_hash, &loaded.replay) {
+    match journal::compact_sourced(path, cfg, salt, shard, priors_hash, &loaded.replay) {
         Ok(_) => {
             if loaded.format == Some(journal::JournalFormat::V2Jsonl) {
                 eprintln!(

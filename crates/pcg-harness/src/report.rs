@@ -459,6 +459,58 @@ pub fn prompts(filter: Option<ExecutionModel>) -> String {
     s
 }
 
+/// Per-prompt-variant metric rollup: mean pass@1 (serial and
+/// parallel) and mean speedup_n@1 across the model rows of each
+/// variant present in the record. Single-variant records collapse to
+/// one line; `reproduce` prints this block only when the grid actually
+/// has a variant axis.
+pub fn variant_summary(rec: &EvalRecord) -> String {
+    use pcg_core::prompt::split_label;
+    use pcg_metrics::MetricSummary;
+    // Pool every (row, task) sample set into its variant's bin — the
+    // serial and parallel axes separately, since the paper reports
+    // them apart — and let the metrics crate do the binning.
+    let labeled = |parallel: bool| -> Vec<(pcg_core::PromptVariant, &pcg_metrics::TaskSamples)> {
+        rec.models
+            .iter()
+            .flat_map(|m| {
+                let variant = split_label(&m.model).1;
+                m.tasks
+                    .iter()
+                    .filter(move |t| {
+                        t.task.model.is_parallel() == parallel
+                            && (!parallel || perf_eligible(t.task))
+                    })
+                    .map(move |t| (variant, &t.low))
+            })
+            .collect()
+    };
+    let serial = MetricSummary::compute_grouped(&labeled(false), 1, 1);
+    let parallel = MetricSummary::compute_grouped(&labeled(true), 1, 1);
+    let mut s = header("Prompt-variant rollup (pooled over model rows)");
+    let _ = writeln!(
+        s,
+        "{:<10}{:>7}{:>9}{:>11}{:>11}",
+        "variant", "tasks", "serial", "parallel", "speedup"
+    );
+    for (variant, par) in &parallel {
+        let ser = serial
+            .iter()
+            .find(|(v, _)| v == variant)
+            .map_or(0.0, |(_, m)| m.pass_at_k);
+        let _ = writeln!(
+            s,
+            "{:<10}{:>7}{:>9.3}{:>11.3}{:>11.2}",
+            variant.label(),
+            par.tasks,
+            ser,
+            par.pass_at_k,
+            par.speedup,
+        );
+    }
+    s
+}
+
 /// Paper-vs-measured summary for EXPERIMENTS.md.
 pub fn experiments_summary(rec: &EvalRecord) -> String {
     let mut s = header("Paper-reported vs measured");
@@ -467,7 +519,12 @@ pub fn experiments_summary(rec: &EvalRecord) -> String {
         "{:<10} {:<24} {:<20} {:>8} {:>9}",
         "artifact", "claim", "model", "paper", "measured"
     );
-    for c in crate::expected::claims() {
+    // Claims about models this record never evaluated (a subset or
+    // replay source) are dropped rather than printed as dashes.
+    for c in crate::expected::claims()
+        .into_iter()
+        .filter(|c| rec.model(c.model).is_some())
+    {
         let measured = match (c.artifact, c.claim) {
             ("Figure 2", "serial pass@1") => rec
                 .model(c.model)

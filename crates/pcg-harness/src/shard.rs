@@ -58,6 +58,7 @@ use crate::runner::SharedRunner;
 use pcg_core::plan::{CellId, PlanCell, ShardSpec, WorkPlan};
 use pcg_core::CostPriors;
 use pcg_core::TaskId;
+use pcg_models::CandidateSource;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
@@ -91,6 +92,7 @@ pub struct StealOutcome {
 pub fn scan_siblings(
     cache: &Path,
     cfg: &EvalConfig,
+    salt: &[u8],
     shard: ShardSpec,
     priors_hash: u64,
 ) -> journal::Progress {
@@ -101,7 +103,7 @@ pub fn scan_siblings(
         }
         let spec = ShardSpec::new(k, shard.count);
         let jpath = journal::shard_journal_path(cache, spec);
-        if let Some(p) = journal::peek_progress(&jpath, cfg, spec, priors_hash) {
+        if let Some(p) = journal::peek_progress_sourced(&jpath, cfg, salt, spec, priors_hash) {
             all.done.extend(p.done);
             all.claimed.extend(p.claimed);
         }
@@ -132,6 +134,7 @@ pub fn scan_siblings(
 pub fn steal_from_siblings(
     cache: &Path,
     cfg: &EvalConfig,
+    salt: &[u8],
     plan: &WorkPlan,
     shard: ShardSpec,
     priors: Option<&CostPriors>,
@@ -155,7 +158,7 @@ pub fn steal_from_siblings(
     let mut contested: HashSet<u64> = HashSet::new();
     loop {
         out.scans += 1;
-        let progress = scan_siblings(cache, cfg, shard, priors_hash);
+        let progress = scan_siblings(cache, cfg, salt, shard, priors_hash);
         done.extend(progress.done.iter().copied());
 
         let remaining =
@@ -242,22 +245,23 @@ pub fn run_shard(
     tasks: Option<&[TaskId]>,
 ) -> EvalStats {
     let t0 = std::time::Instant::now();
-    let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
-    let models = pcg_models::zoo();
-    let plan = eval::plan_for(cfg, &models, tasks);
+    let source = pipeline::resolve_source(cfg, opts);
+    let salt = source.config_salt();
+    let cache = pipeline::cache_path_for(path, cfg, &source);
+    let plan = eval::plan_for(cfg, &source, tasks);
     let jpath = journal::shard_journal_path(&cache, shard);
     let priors = pipeline::load_priors(opts);
     let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
 
     let resumed = if opts.resume {
-        pipeline::resume_journal(&jpath, cfg, shard, priors_hash)
+        pipeline::resume_journal(&jpath, cfg, &salt, shard, priors_hash)
     } else {
         pipeline::ResumedJournal::none()
     };
     let replay = resumed.replay;
 
     let wal = if replay.is_empty() || resumed.recreate {
-        Journal::create_with_priors(&jpath, cfg, shard, priors_hash)
+        Journal::create_sourced(&jpath, cfg, &salt, shard, priors_hash)
     } else {
         Journal::open_append(&jpath)
     };
@@ -293,7 +297,7 @@ pub fn run_shard(
         // while this worker was slow to start is dropped here, so a
         // straggler waking up does not redo work the fleet took from
         // it. Cells already in our own replay stay — they cost nothing.
-        let sib = scan_siblings(&cache, cfg, shard, priors_hash);
+        let sib = scan_siblings(&cache, cfg, &salt, shard, priors_hash);
         scans_before = 1;
         let before = owned.len();
         owned.retain(|c| {
@@ -319,7 +323,7 @@ pub fn run_shard(
     let runner = SharedRunner::new(cfg.clone());
     let run = eval::evaluate_cells_priors(
         cfg,
-        &models,
+        &source,
         owned,
         opts.jobs,
         priors.as_ref(),
@@ -339,6 +343,7 @@ pub fn run_shard(
         steal = steal_from_siblings(
             &cache,
             cfg,
+            &salt,
             &plan,
             shard,
             priors.as_ref(),
@@ -350,7 +355,7 @@ pub fn run_shard(
                 let stolen = batch.len();
                 let fill = eval::evaluate_cells_priors(
                     cfg,
-                    &models,
+                    &source,
                     batch,
                     opts.jobs,
                     priors.as_ref(),
@@ -399,9 +404,10 @@ pub fn merge_shards(
     count: u32,
     tasks: Option<&[TaskId]>,
 ) -> EvalRecord {
-    let cache = path.map(Path::to_path_buf).unwrap_or_else(|| pipeline::default_cache_path(cfg));
-    let models = pcg_models::zoo();
-    let plan = eval::plan_for(cfg, &models, tasks);
+    let source = pipeline::resolve_source(cfg, opts);
+    let salt = source.config_salt();
+    let cache = pipeline::cache_path_for(path, cfg, &source);
+    let plan = eval::plan_for(cfg, &source, tasks);
     let priors = pipeline::load_priors(opts);
     let priors_hash = priors.as_ref().map_or(0, |p| p.hash());
 
@@ -427,7 +433,7 @@ pub fn merge_shards(
                 continue;
             }
         }
-        let loaded = journal::load_counting_with_priors(&jpath, cfg, spec, priors_hash);
+        let loaded = journal::load_counting_sourced(&jpath, cfg, &salt, spec, priors_hash);
         for r in &loaded.rejects {
             eprintln!("[pcgbench] warning: journal {}: rejected {r}", jpath.display());
         }
@@ -465,7 +471,7 @@ pub fn merge_shards(
         let runner = SharedRunner::new(cfg.clone());
         let fill = eval::evaluate_cells_priors(
             cfg,
-            &models,
+            &source,
             missing,
             opts.jobs,
             priors.as_ref(),
@@ -508,7 +514,7 @@ pub fn merge_shards(
         let _ = pipeline::atomic_write(&pipeline::stats_path(cfg), &bytes);
     }
     if committed {
-        pipeline::write_cols_sidecar(&cache, &record, &stats);
+        pipeline::write_cols_sidecar(&cache, &record, &stats, &salt);
         if opts.keep_shards {
             // Post-mortem mode: the per-worker journals (claim frames
             // included) and sidecars are the only record of who

@@ -89,14 +89,15 @@ fn stolen_cells_merge_byte_identically() {
     let stats2 = write_one_shard(&cache, &cfg, &models, &tasks, &runner, spec2);
     drop(Journal::create_with_priors(&journal::shard_journal_path(&cache, spec0), &cfg, spec0, 0).unwrap());
 
-    let before = scan_siblings(&cache, &cfg, spec1, 0);
+    let before = scan_siblings(&cache, &cfg, &[], spec1, 0);
     assert_eq!(before.done.len(), plan.shard_with(spec2, None).len(), "shard 2's results are visible to the thief");
     assert!(before.claimed.is_empty());
 
     let wal1 = Journal::open_append(&journal::shard_journal_path(&cache, spec1)).unwrap();
     let done: std::collections::HashSet<u64> =
         plan.shard_with(spec1, None).iter().map(|c| c.id.0).collect();
-    let outcome = steal_from_siblings(&cache, &cfg, &plan, spec1, None, 0, &wal1, 4, done, |batch| {
+    let outcome =
+        steal_from_siblings(&cache, &cfg, &[], &plan, spec1, None, 0, &wal1, 4, done, |batch| {
         eval::evaluate_cells_priors(&cfg, &models, batch, 2, None, &runner, &Replay::new(), |cell, model, rec| {
             wal1.append(cell, model, rec).unwrap();
         });

@@ -1,6 +1,7 @@
 //! Benchmark-level aggregation of per-sample outcomes.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The per-sample outcomes for one task (one prompt).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -78,6 +79,29 @@ impl MetricSummary {
             tasks: tasks.len(),
         }
     }
+
+    /// Aggregate labeled tasks into one summary per distinct key, in
+    /// key order. The key is whatever axis the caller groups by — the
+    /// harness uses it to roll model rows up per prompt variant — and
+    /// grouping here (rather than in each consumer) keeps "same key ⇒
+    /// same bin" in one place.
+    pub fn compute_grouped<K: Ord + Clone>(
+        tasks: &[(K, &TaskSamples)],
+        k: usize,
+        n_resources: u32,
+    ) -> Vec<(K, MetricSummary)> {
+        let mut groups: BTreeMap<K, Vec<&TaskSamples>> = BTreeMap::new();
+        for (key, t) in tasks {
+            groups.entry(key.clone()).or_default().push(t);
+        }
+        groups
+            .into_iter()
+            .map(|(key, ts)| {
+                let summary = MetricSummary::compute(&ts, k, n_resources);
+                (key, summary)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +133,28 @@ mod tests {
         let s = MetricSummary::compute(&[], 1, 32);
         assert_eq!(s.tasks, 0);
         assert_eq!(s.pass_at_k, 0.0);
+    }
+
+    #[test]
+    fn grouped_summaries_bin_by_key_in_key_order() {
+        let a = task(&[true, true], &[2.0, 2.0]);
+        let b = task(&[false, false], &[0.0, 0.0]);
+        let c = task(&[true, false], &[4.0, 0.0]);
+        let grouped = MetricSummary::compute_grouped(
+            &[("rag", &a), ("naive", &b), ("rag", &c)],
+            1,
+            4,
+        );
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, "naive");
+        assert_eq!(grouped[1].0, "rag");
+        assert_eq!(grouped[0].1.tasks, 1);
+        assert_eq!(grouped[1].1.tasks, 2);
+        assert_eq!(grouped[0].1.pass_at_k, 0.0);
+        assert!((grouped[1].1.pass_at_k - 0.75).abs() < 1e-12);
+        // Each group must match a direct compute over its members.
+        let direct = MetricSummary::compute(&[&a, &c], 1, 4);
+        assert!((grouped[1].1.speedup - direct.speedup).abs() < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * structured/dense problem types are easiest, sparse/unstructured
 //!   hardest, with transform best and sparse linear algebra worst.
 
-use pcg_core::{ExecutionModel, ProblemType, TaskId};
+use pcg_core::{ExecutionModel, ProblemType, PromptVariant, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// Per-model calibration: base rates and behavioral knobs.
@@ -83,6 +83,56 @@ impl Calibration {
             }
         }
         total / count as f64
+    }
+
+    /// The calibration for this model under a prompt tier.
+    ///
+    /// [`PromptVariant::Expert`] — the default, the paper's engineered
+    /// prompt — is the **identity**: `self` is returned with zero
+    /// arithmetic applied, so default-variant sample streams are
+    /// byte-identical to the pre-variant harness. The other tiers apply
+    /// deterministic deltas shaped by the related-work findings:
+    ///
+    /// * **Naive** (no instruction, no header): correctness drops hard
+    ///   and the failure mass shifts toward sequential fallback — with
+    ///   no "compute in parallel" sentence, models mostly emit serial
+    ///   code.
+    /// * **Student** (instruction, no header): moderate drop, with
+    ///   extra build failures (the paper found the include/use header
+    ///   load-bearing for using the right programming model's API).
+    /// * **RagAugmented** (expert + retrieved reference): correctness
+    ///   and parallel quality improve, and mode collapse eases — the
+    ///   reference anchors the output distribution.
+    pub fn with_variant(self, variant: PromptVariant) -> Calibration {
+        match variant {
+            PromptVariant::Expert => self,
+            PromptVariant::Naive => {
+                let mut c = self;
+                for r in &mut c.exec_rate {
+                    *r *= 0.72;
+                }
+                c.efficient_share *= 0.90;
+                c.failure_mix[2] += 0.25;
+                c
+            }
+            PromptVariant::Student => {
+                let mut c = self;
+                for r in &mut c.exec_rate {
+                    *r *= 0.88;
+                }
+                c.failure_mix[0] += 0.10;
+                c
+            }
+            PromptVariant::RagAugmented => {
+                let mut c = self;
+                for r in &mut c.exec_rate {
+                    *r *= 1.18;
+                }
+                c.efficient_share = (c.efficient_share * 1.10).min(0.95);
+                c.collapse_prob *= 0.90;
+                c
+            }
+        }
     }
 
     /// Average `p_correct` over serial tasks.
@@ -157,6 +207,40 @@ mod tests {
         let min = mults.iter().cloned().fold(f64::MAX, f64::min);
         assert_eq!(ptype_multiplier(ProblemType::Transform, false), max);
         assert_eq!(ptype_multiplier(ProblemType::SparseLinearAlgebra, false), min);
+    }
+
+    #[test]
+    fn variant_deltas_order_correctness_and_expert_is_identity() {
+        let base = Calibration {
+            exec_rate: exec_rates(0.8, 0.4, 1.3),
+            efficient_share: 0.7,
+            collapse_prob: 0.2,
+            failure_mix: [0.2, 0.4, 0.15, 0.13, 0.12, 0.0, 0.0, 0.0],
+        };
+        assert_eq!(
+            base.clone().with_variant(PromptVariant::Expert),
+            base,
+            "the default variant must be a bit-exact identity"
+        );
+        let rate = |v: PromptVariant| base.clone().with_variant(v).mean_parallel_rate(false);
+        let naive = rate(PromptVariant::Naive);
+        let student = rate(PromptVariant::Student);
+        let expert = rate(PromptVariant::Expert);
+        let rag = rate(PromptVariant::RagAugmented);
+        assert!(
+            naive < student && student < expert && expert < rag,
+            "tiers must order correctness: {naive} {student} {expert} {rag}"
+        );
+        // Naive shifts failure mass toward sequential fallback.
+        let n = base.clone().with_variant(PromptVariant::Naive);
+        assert!(n.failure_mix[2] > base.failure_mix[2]);
+        // Student adds build failures.
+        let s = base.clone().with_variant(PromptVariant::Student);
+        assert!(s.failure_mix[0] > base.failure_mix[0]);
+        // RAG improves parallel quality and eases collapse.
+        let r = base.clone().with_variant(PromptVariant::RagAugmented);
+        assert!(r.efficient_share > base.efficient_share);
+        assert!(r.collapse_prob < base.collapse_prob);
     }
 
     #[test]

@@ -16,14 +16,23 @@
 //! timing, metric estimation — operates on these real artifacts, so the
 //! harness pipeline is exercised end to end. `EXPERIMENTS.md` records
 //! which numbers are calibration inputs versus measured outputs.
+//!
+//! Candidate provenance is pluggable: the harness consumes any
+//! [`CandidateSource`] (the synthetic zoo — bare or crossed with a
+//! [`pcg_core::PromptVariant`] list via [`SyntheticSource`] — or a
+//! dumped pool replayed from a directory via [`ReplaySource`]).
 
 mod calibration;
 mod card;
+mod replay;
 mod sampler;
+mod source;
 
 pub use calibration::Calibration;
 pub use card::ModelCard;
+pub use replay::{dump_pool, ReplaySource};
 pub use sampler::SyntheticModel;
+pub use source::{CandidateSource, SampleSpec, SyntheticSource};
 
 /// The seven paper models, in Table 2 order.
 pub fn zoo() -> Vec<SyntheticModel> {

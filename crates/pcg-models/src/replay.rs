@@ -1,0 +1,389 @@
+//! Offline candidate-pool replay: score dumped (or externally
+//! generated) candidate pools deterministically from a directory.
+//!
+//! A pool directory holds a `manifest.txt` naming the model rows plus
+//! one `pool-NNN.txt` per row listing, for every `(task, temperature)`
+//! pair, the exact candidate kinds that model emitted — the lossless
+//! [`CandidateKind::tag`] encoding, so corruption modes survive the
+//! round trip. [`ReplaySource`] loads the directory once and serves
+//! [`CandidateSource::sample`] lookups out of memory; [`dump_pool`]
+//! writes a directory from any other source (typically the synthetic
+//! zoo, or a real LLM's outputs mapped onto the defect taxonomy).
+//!
+//! **Identity:** the entire canonical content of the directory is
+//! FNV-1a hashed into [`CandidateSource::config_salt`], which the
+//! harness folds into the run's config hash. Two pools that differ in
+//! any sample therefore produce different cell ids, so a resumed or
+//! merged run can never splice verdicts from different pools. Replays
+//! are bit-deterministic: the pool file *is* the sample stream.
+//!
+//! The format is line-oriented ASCII so pools can be produced by
+//! anything that can write text:
+//!
+//! ```text
+//! manifest.txt:   pcg-candidate-pool-v1
+//!                 model <weights 0|1> <name…>
+//! pool-NNN.txt:   task <dense-index> temp <f64-bits-hex> <tag> <tag>…
+//! ```
+
+use crate::source::{CandidateSource, SampleSpec};
+use pcg_core::plan::{fnv1a_extend, fnv1a_start};
+use pcg_core::{CandidateKind, TaskId};
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic first line of `manifest.txt`; bump on format changes.
+const POOL_MAGIC: &str = "pcg-candidate-pool-v1";
+
+/// Version tag folded into the config salt ahead of the content hash.
+const SALT_TAG: &[u8] = b"pcg-replay-pool-v1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A candidate pool loaded from a dump directory. See the module docs
+/// for the format and identity rules.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    dir: PathBuf,
+    names: Vec<String>,
+    weights: Vec<bool>,
+    /// Per row: `(task dense index, temperature bits) -> kinds`.
+    pools: Vec<BTreeMap<(u32, u64), Vec<CandidateKind>>>,
+    /// FNV-1a over the canonical content (names, weights, every entry).
+    content_hash: u64,
+}
+
+impl ReplaySource {
+    /// Load a pool directory. Every parse problem is an
+    /// [`io::ErrorKind::InvalidData`] error naming the offending file
+    /// and line — a malformed pool must never be silently half-loaded.
+    pub fn open(dir: &Path) -> io::Result<ReplaySource> {
+        let manifest_path = dir.join("manifest.txt");
+        let manifest = std::fs::read_to_string(&manifest_path)?;
+        let mut lines = manifest.lines();
+        match lines.next() {
+            Some(POOL_MAGIC) => {}
+            other => {
+                return Err(bad(format!(
+                    "{}: expected `{POOL_MAGIC}` header, got {other:?}",
+                    manifest_path.display()
+                )))
+            }
+        }
+        let mut names = Vec::new();
+        let mut weights = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix("model ").ok_or_else(|| {
+                bad(format!(
+                    "{}:{}: expected `model <0|1> <name>`, got `{line}`",
+                    manifest_path.display(),
+                    lineno + 2
+                ))
+            })?;
+            let (flag, name) = rest.split_once(' ').ok_or_else(|| {
+                bad(format!("{}:{}: missing model name", manifest_path.display(), lineno + 2))
+            })?;
+            let w = match flag {
+                "0" => false,
+                "1" => true,
+                _ => {
+                    return Err(bad(format!(
+                        "{}:{}: weights flag must be 0 or 1, got `{flag}`",
+                        manifest_path.display(),
+                        lineno + 2
+                    )))
+                }
+            };
+            if name.is_empty() {
+                return Err(bad(format!(
+                    "{}:{}: empty model name",
+                    manifest_path.display(),
+                    lineno + 2
+                )));
+            }
+            names.push(name.to_string());
+            weights.push(w);
+        }
+        if names.is_empty() {
+            return Err(bad(format!("{}: no model rows", manifest_path.display())));
+        }
+
+        let mut pools = Vec::with_capacity(names.len());
+        for i in 0..names.len() {
+            let path = dir.join(pool_file_name(i));
+            let text = std::fs::read_to_string(&path)?;
+            let mut pool = BTreeMap::new();
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                let ctx = || format!("{}:{}", path.display(), lineno + 1);
+                if parts.next() != Some("task") {
+                    return Err(bad(format!("{}: expected `task …`, got `{line}`", ctx())));
+                }
+                let task: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("{}: bad task index", ctx())))?;
+                if task as usize >= pcg_core::NUM_TASKS {
+                    return Err(bad(format!("{}: task index {task} out of range", ctx())));
+                }
+                if parts.next() != Some("temp") {
+                    return Err(bad(format!("{}: expected `temp`", ctx())));
+                }
+                let temp_bits = parts
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| bad(format!("{}: bad temperature bits", ctx())))?;
+                let kinds: Vec<CandidateKind> = parts
+                    .map(|tag| {
+                        CandidateKind::from_tag(tag)
+                            .ok_or_else(|| bad(format!("{}: unknown kind tag `{tag}`", ctx())))
+                    })
+                    .collect::<io::Result<_>>()?;
+                if kinds.is_empty() {
+                    return Err(bad(format!("{}: empty sample list", ctx())));
+                }
+                if pool.insert((task, temp_bits), kinds).is_some() {
+                    return Err(bad(format!(
+                        "{}: duplicate (task {task}, temp) entry",
+                        ctx()
+                    )));
+                }
+            }
+            pools.push(pool);
+        }
+
+        let mut h = fnv1a_start();
+        for ((name, w), pool) in names.iter().zip(&weights).zip(&pools) {
+            h = fnv1a_extend(h, name.as_bytes());
+            h = fnv1a_extend(h, &[0xff, u8::from(*w)]);
+            for ((task, temp_bits), kinds) in pool {
+                h = fnv1a_extend(h, &task.to_le_bytes());
+                h = fnv1a_extend(h, &temp_bits.to_le_bytes());
+                for k in kinds {
+                    h = fnv1a_extend(h, k.tag().as_bytes());
+                    h = fnv1a_extend(h, b"\n");
+                }
+            }
+        }
+        Ok(ReplaySource { dir: dir.to_path_buf(), names, weights, pools, content_hash: h })
+    }
+
+    /// FNV-1a over the pool's canonical content. Stable across loads,
+    /// changes when any sample changes; the harness uses it to suffix
+    /// replay cache paths so pools never collide with synthetic caches.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The directory this pool was loaded from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl CandidateSource for ReplaySource {
+    fn model_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn weights_available(&self, model: usize) -> bool {
+        self.weights[model]
+    }
+
+    fn sample(&self, model: usize, task: TaskId, spec: &SampleSpec) -> Vec<CandidateKind> {
+        assert!(
+            spec.deadlock_rate == 0.0 && spec.stack_hog_rate == 0.0,
+            "chaos injection perturbs generated pools, but a replay pool is fixed \
+             content — re-dump the pool from a chaos-configured source instead"
+        );
+        let key = (task.index() as u32, spec.temperature.to_bits());
+        let kinds = self.pools[model].get(&key).unwrap_or_else(|| {
+            panic!(
+                "replay pool {} has no samples for model `{}` task {task:?} at \
+                 temperature {} — the pool was dumped under a different config",
+                self.dir.display(),
+                self.names[model],
+                spec.temperature,
+            )
+        });
+        assert!(
+            kinds.len() >= spec.n,
+            "replay pool {} holds {} samples for model `{}` task {task:?}, run wants {}",
+            self.dir.display(),
+            kinds.len(),
+            self.names[model],
+            spec.n,
+        );
+        kinds[..spec.n].to_vec()
+    }
+
+    fn config_salt(&self) -> Vec<u8> {
+        let mut salt = SALT_TAG.to_vec();
+        salt.push(0xff);
+        salt.extend_from_slice(&self.content_hash.to_le_bytes());
+        salt
+    }
+}
+
+/// The pool file name for manifest row `i`.
+fn pool_file_name(i: usize) -> String {
+    format!("pool-{i:03}.txt")
+}
+
+/// Dump `source`'s pools for `tasks` × `specs` into `dir` (created if
+/// missing), in the format [`ReplaySource::open`] reads. High-cost
+/// sources beware: this samples every (row, task, spec) combination.
+pub fn dump_pool(
+    dir: &Path,
+    source: &(impl CandidateSource + ?Sized),
+    tasks: &[TaskId],
+    specs: &[SampleSpec],
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let names = source.model_names();
+    let mut manifest = String::from(POOL_MAGIC);
+    manifest.push('\n');
+    for (i, name) in names.iter().enumerate() {
+        manifest.push_str(&format!(
+            "model {} {name}\n",
+            u8::from(source.weights_available(i))
+        ));
+    }
+    std::fs::write(dir.join("manifest.txt"), manifest)?;
+    for i in 0..names.len() {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(pool_file_name(i)))?);
+        for &task in tasks {
+            for spec in specs {
+                let kinds = source.sample(i, task, spec);
+                write!(
+                    f,
+                    "task {} temp {:016x}",
+                    task.index(),
+                    spec.temperature.to_bits()
+                )?;
+                for k in &kinds {
+                    write!(f, " {}", k.tag())?;
+                }
+                writeln!(f)?;
+            }
+        }
+        f.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticModel;
+    use pcg_core::{ExecutionModel, ProblemId, ProblemType};
+
+    fn tasks() -> Vec<TaskId> {
+        let p = ProblemId::new(ProblemType::Transform, 0);
+        vec![p.task(ExecutionModel::Serial), p.task(ExecutionModel::Mpi)]
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("pcg-replay-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn dump_and_replay_round_trip_exactly() {
+        let dir = tmpdir("roundtrip");
+        let zoo = vec![
+            SyntheticModel::by_name("CodeLlama-7B").unwrap(),
+            SyntheticModel::by_name("GPT-4").unwrap(),
+        ];
+        let specs = [SampleSpec::new(0.2, 6, 42), SampleSpec::new(0.8, 10, 42)];
+        dump_pool(&dir, &zoo, &tasks(), &specs).unwrap();
+        let replay = ReplaySource::open(&dir).unwrap();
+        assert_eq!(replay.model_names(), zoo.model_names());
+        assert!(replay.weights_available(0));
+        assert!(!replay.weights_available(1));
+        for i in 0..2 {
+            for &t in &tasks() {
+                for spec in &specs {
+                    assert_eq!(
+                        replay.sample(i, t, spec),
+                        zoo.sample(i, t, spec),
+                        "replayed kinds must equal the dumped stream"
+                    );
+                }
+            }
+        }
+        // Fewer samples than dumped: a deterministic prefix.
+        let short = SampleSpec::new(0.2, 3, 42);
+        let full = zoo.sample(0, tasks()[0], &specs[0]);
+        assert_eq!(replay.sample(0, tasks()[0], &short), full[..3].to_vec());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salt_is_stable_nonempty_and_content_sensitive() {
+        let dir = tmpdir("salt");
+        let zoo = vec![SyntheticModel::by_name("CodeLlama-7B").unwrap()];
+        let specs = [SampleSpec::new(0.2, 4, 1)];
+        dump_pool(&dir, &zoo, &tasks(), &specs).unwrap();
+        let a = ReplaySource::open(&dir).unwrap();
+        let b = ReplaySource::open(&dir).unwrap();
+        assert!(!a.config_salt().is_empty(), "replay pools must perturb the config hash");
+        assert_eq!(a.config_salt(), b.config_salt());
+        // Flip one sample tag: the salt must change.
+        let pool = dir.join("pool-000.txt");
+        let text = std::fs::read_to_string(&pool).unwrap();
+        let first_tag = text.split_whitespace().nth(4).unwrap().to_string();
+        let replacement = if first_tag == "nobuild" { "crash" } else { "nobuild" };
+        std::fs::write(&pool, text.replacen(&first_tag, replacement, 1)).unwrap();
+        let c = ReplaySource::open(&dir).unwrap();
+        assert_ne!(a.config_salt(), c.config_salt());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_pools_are_rejected_loudly() {
+        let dir = tmpdir("malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Bad magic.
+        std::fs::write(dir.join("manifest.txt"), "wrong-magic\nmodel 1 A\n").unwrap();
+        assert!(ReplaySource::open(&dir).is_err());
+        // Unknown kind tag.
+        std::fs::write(dir.join("manifest.txt"), format!("{POOL_MAGIC}\nmodel 1 A\n"))
+            .unwrap();
+        std::fs::write(dir.join("pool-000.txt"), "task 0 temp 3fc999999999999a gremlin\n")
+            .unwrap();
+        let err = ReplaySource::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("gremlin"), "{err}");
+        // Out-of-range task index.
+        std::fs::write(dir.join("pool-000.txt"), "task 9999 temp 0 correct\n").unwrap();
+        assert!(ReplaySource::open(&dir).is_err());
+        // Missing pool file entirely.
+        std::fs::remove_file(dir.join("pool-000.txt")).unwrap();
+        assert!(ReplaySource::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "different config")]
+    fn missing_pool_entry_panics_with_context() {
+        let dir = tmpdir("missing-entry");
+        let zoo = vec![SyntheticModel::by_name("CodeLlama-7B").unwrap()];
+        dump_pool(&dir, &zoo, &tasks(), &[SampleSpec::new(0.2, 4, 1)]).unwrap();
+        let replay = ReplaySource::open(&dir).unwrap();
+        let t = tasks()[0];
+        std::fs::remove_dir_all(&dir).unwrap();
+        // Ask at a temperature the pool was never dumped for.
+        let _ = replay.sample(0, t, &SampleSpec::new(0.5, 4, 1));
+    }
+}

@@ -235,7 +235,24 @@ impl SyntheticModel {
         n: usize,
         global_seed: u64,
     ) -> Vec<CandidateKind> {
-        let model_tag = self.card.name.bytes().fold(0u64, |h, b| {
+        self.sample_n_as(self.card.name, task, temperature, n, global_seed)
+    }
+
+    /// [`SyntheticModel::sample_n`] with the RNG stream keyed by an
+    /// explicit row `label` instead of the card name. Multi-variant
+    /// grids sample each `name@variant` row as its own independent
+    /// stream (so variants are statistically independent draws, like
+    /// re-prompting a real model); with `label == card.name` this is
+    /// exactly `sample_n`.
+    pub fn sample_n_as(
+        &self,
+        label: &str,
+        task: TaskId,
+        temperature: f64,
+        n: usize,
+        global_seed: u64,
+    ) -> Vec<CandidateKind> {
+        let model_tag = label.bytes().fold(0u64, |h, b| {
             h.wrapping_mul(131).wrapping_add(u64::from(b))
         });
         let mut rng = rng_for(global_seed ^ model_tag, task, Purpose::ModelSample, 0);
